@@ -1,0 +1,339 @@
+//! Dense trajectory encoders: the common trait plus the NeuTraj,
+//! NT-No-SAM, Transformer, and TrajGAT-lite baselines.
+
+use crate::quadtree::QuadTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::{
+    layers::positional_encoding, Embedding, EncoderBlock, GruCell, Linear, ParamSet, Tape,
+    Tensor, Var,
+};
+use traj_data::{NormStats, Trajectory};
+use traj_grid::{DecomposedGridEmbedding, GridSpec};
+use traj2hash::config::{ModelConfig, Readout};
+use traj2hash::encoder::GpsChannelEncoder;
+
+/// Anything that embeds a trajectory into a fixed-width dense vector.
+pub trait TrajEncoder {
+    /// Embeds on a tape (training entry point).
+    fn embed_var(&self, tape: &Tape, t: &Trajectory) -> Var;
+    /// All trainable parameters.
+    fn params(&self) -> &ParamSet;
+    /// Embedding width.
+    fn dim(&self) -> usize;
+    /// Method name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Inference embedding as a plain vector.
+    fn embed(&self, t: &Trajectory) -> Vec<f32> {
+        let tape = Tape::new();
+        self.embed_var(&tape, t).value().data().to_vec()
+    }
+
+    /// Batch inference.
+    fn embed_all(&self, ts: &[Trajectory]) -> Vec<Vec<f32>> {
+        ts.iter().map(|t| self.embed(t)).collect()
+    }
+}
+
+/// The NeuTraj family: a GRU metric encoder reading out the final hidden
+/// state (which, as the paper observes, implicitly realizes the
+/// lower-bound read-out for DTW/Fréchet).
+///
+/// With `spatial` set, each input point is augmented with the frozen
+/// grid-cell embedding of its location — our CPU-scale stand-in for
+/// NeuTraj's spatial attention memory module, which likewise injects
+/// grid-neighbourhood context into the recurrent state. Without it, the
+/// encoder is the `NT-No-SAM` ablation.
+pub struct GruMetricEncoder {
+    params: ParamSet,
+    input: Linear,
+    cell: GruCell,
+    norm: NormStats,
+    spatial: Option<(GridSpec, DecomposedGridEmbedding)>,
+    dim: usize,
+    name: &'static str,
+}
+
+impl GruMetricEncoder {
+    /// Builds the plain encoder (`NT-No-SAM`).
+    pub fn plain(dim: usize, norm: NormStats, seed: u64) -> Self {
+        Self::build(dim, norm, None, seed, "NT-No-SAM")
+    }
+
+    /// Builds the spatially augmented encoder (`NeuTraj`).
+    pub fn spatial(
+        dim: usize,
+        norm: NormStats,
+        spec: GridSpec,
+        emb: DecomposedGridEmbedding,
+        seed: u64,
+    ) -> Self {
+        Self::build(dim, norm, Some((spec, emb)), seed, "NeuTraj")
+    }
+
+    fn build(
+        dim: usize,
+        norm: NormStats,
+        spatial: Option<(GridSpec, DecomposedGridEmbedding)>,
+        seed: u64,
+        name: &'static str,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let in_dim = 2 + spatial.as_ref().map(|(_, e)| e.dim()).unwrap_or(0);
+        let input = Linear::new(&mut rng, &mut params, in_dim, dim);
+        let cell = GruCell::new(&mut rng, &mut params, dim, dim);
+        GruMetricEncoder { params, input, cell, norm, spatial, dim, name }
+    }
+
+    fn features(&self, t: &Trajectory) -> Tensor {
+        let base = self.norm.apply(t);
+        match &self.spatial {
+            None => Tensor::from_vec(t.len(), 2, base),
+            Some((spec, emb)) => {
+                let gd = emb.dim();
+                let cols = 2 + gd;
+                let mut data = vec![0.0f32; t.len() * cols];
+                for (i, &p) in t.points.iter().enumerate() {
+                    data[i * cols] = base[i * 2];
+                    data[i * cols + 1] = base[i * 2 + 1];
+                    let (gx, gy) = spec.locate(p);
+                    emb.embed_into(gx, gy, &mut data[i * cols + 2..(i + 1) * cols]);
+                }
+                Tensor::from_vec(t.len(), cols, data)
+            }
+        }
+    }
+}
+
+impl TrajEncoder for GruMetricEncoder {
+    fn embed_var(&self, tape: &Tape, t: &Trajectory) -> Var {
+        assert!(!t.is_empty(), "cannot encode an empty trajectory");
+        let x = tape.constant(self.features(t));
+        let seq = self.input.forward(tape, &x).relu();
+        self.cell.run_final(tape, &seq)
+    }
+
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The plain Transformer baseline: the paper's Section V-A3 competitor —
+/// stacked attention/feed-forward blocks with a CLS read-out, no grid
+/// channel, no reverse augmentation.
+pub struct TransformerEncoder {
+    params: ParamSet,
+    inner: GpsChannelEncoder,
+    dim: usize,
+}
+
+impl TransformerEncoder {
+    /// Builds the encoder with the given width/blocks/heads.
+    pub fn new(dim: usize, blocks: usize, heads: usize, norm: NormStats, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let cfg = ModelConfig {
+            dim,
+            blocks,
+            heads,
+            readout: Readout::Cls,
+            use_grids: false,
+            use_rev_aug: false,
+            ..ModelConfig::default()
+        };
+        let inner = GpsChannelEncoder::new(&mut rng, &mut params, &cfg, norm);
+        TransformerEncoder { params, inner, dim }
+    }
+}
+
+impl TrajEncoder for TransformerEncoder {
+    fn embed_var(&self, tape: &Tape, t: &Trajectory) -> Var {
+        self.inner.forward(tape, t)
+    }
+
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        "Transformer"
+    }
+}
+
+/// TrajGAT-lite: each point is tagged with its PR-quadtree leaf cell,
+/// whose learned embedding is added to the point features before the
+/// attention blocks; read-out is mean pooling (TrajGAT's choice).
+///
+/// This keeps TrajGAT's two distinguishing ingredients — quadtree-derived
+/// spatial structure and a (graph-)transformer with global read-out —
+/// while replacing the full graph-attention message passing with
+/// sequence self-attention, which is what fits this reproduction's CPU
+/// budget (see DESIGN.md).
+pub struct TrajGatEncoder {
+    params: ParamSet,
+    tree: QuadTree,
+    cell_emb: Embedding,
+    input: Linear,
+    blocks: Vec<EncoderBlock>,
+    norm: NormStats,
+    dim: usize,
+}
+
+impl TrajGatEncoder {
+    /// Builds the encoder; the quadtree is constructed from the points of
+    /// `training_sample`.
+    pub fn new(
+        dim: usize,
+        blocks: usize,
+        heads: usize,
+        norm: NormStats,
+        training_sample: &[Trajectory],
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let bbox = traj_data::BoundingBox::of_dataset(training_sample)
+            .expect("TrajGAT needs a non-empty training sample");
+        let points: Vec<traj_data::Point> = training_sample
+            .iter()
+            .flat_map(|t| t.points.iter().cloned())
+            .collect();
+        let tree = QuadTree::build(bbox, &points, 64, 8);
+        let cell_emb = Embedding::new(&mut rng, &mut params, tree.num_leaves(), dim);
+        let input = Linear::new(&mut rng, &mut params, 2, dim);
+        let blocks = (0..blocks)
+            .map(|_| EncoderBlock::new(&mut rng, &mut params, dim, 2 * dim, heads))
+            .collect();
+        TrajGatEncoder { params, tree, cell_emb, input, blocks, norm, dim }
+    }
+
+    /// The underlying quadtree (exposed for inspection).
+    pub fn tree(&self) -> &QuadTree {
+        &self.tree
+    }
+}
+
+impl TrajEncoder for TrajGatEncoder {
+    fn embed_var(&self, tape: &Tape, t: &Trajectory) -> Var {
+        assert!(!t.is_empty(), "cannot encode an empty trajectory");
+        let feats = self.norm.apply(t);
+        let x = tape.constant(Tensor::from_vec(t.len(), 2, feats));
+        let cells: Vec<usize> = t.points.iter().map(|&p| self.tree.locate(p)).collect();
+        let cell_seq = self.cell_emb.forward(tape, &cells);
+        let mut seq = self.input.forward(tape, &x).add(&cell_seq);
+        let pe = tape.constant(positional_encoding(t.len(), self.dim));
+        seq = seq.add(&pe);
+        for block in &self.blocks {
+            seq = block.forward(tape, &seq);
+        }
+        seq.mean_rows()
+    }
+
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        "TrajGAT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::{CityGenerator, CityParams};
+    use traj_grid::NceConfig;
+
+    fn setup() -> (Vec<Trajectory>, NormStats) {
+        let trajs = CityGenerator::new(CityParams::test_city(), 2).generate(10);
+        let norm = NormStats::fit(&trajs);
+        (trajs, norm)
+    }
+
+    #[test]
+    fn gru_plain_embeds() {
+        let (trajs, norm) = setup();
+        let enc = GruMetricEncoder::plain(8, norm, 1);
+        let e = enc.embed(&trajs[0]);
+        assert_eq!(e.len(), 8);
+        assert!(e.iter().all(|x| x.is_finite()));
+        assert_eq!(enc.name(), "NT-No-SAM");
+    }
+
+    #[test]
+    fn gru_spatial_differs_from_plain() {
+        let (trajs, norm) = setup();
+        let bbox = traj_data::BoundingBox::of_dataset(&trajs).unwrap();
+        let spec = GridSpec::new(bbox, 100.0);
+        let mut emb = DecomposedGridEmbedding::init(&spec, 8, 3);
+        emb.pretrain(&spec, &NceConfig { dim: 8, epochs: 1, ..NceConfig::default() });
+        let neutraj = GruMetricEncoder::spatial(8, norm, spec, emb, 1);
+        assert_eq!(neutraj.name(), "NeuTraj");
+        let plain = GruMetricEncoder::plain(8, norm, 1);
+        assert_ne!(neutraj.embed(&trajs[0]), plain.embed(&trajs[0]));
+    }
+
+    #[test]
+    fn gru_readout_is_order_sensitive() {
+        let (trajs, norm) = setup();
+        let enc = GruMetricEncoder::plain(8, norm, 4);
+        let fwd = enc.embed(&trajs[0]);
+        let rev = enc.embed(&trajs[0].reversed());
+        let diff: f32 = fwd.iter().zip(&rev).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn transformer_embeds_with_cls() {
+        let (trajs, norm) = setup();
+        let enc = TransformerEncoder::new(16, 1, 2, norm, 5);
+        let e = enc.embed(&trajs[0]);
+        assert_eq!(e.len(), 16);
+        assert_eq!(enc.name(), "Transformer");
+    }
+
+    #[test]
+    fn trajgat_embeds_and_uses_tree() {
+        let (trajs, norm) = setup();
+        let enc = TrajGatEncoder::new(16, 1, 2, norm, &trajs, 6);
+        assert!(enc.tree().num_leaves() >= 1);
+        let e = enc.embed(&trajs[0]);
+        assert_eq!(e.len(), 16);
+        assert!(e.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn all_encoders_receive_gradients() {
+        let (trajs, norm) = setup();
+        let encoders: Vec<Box<dyn TrajEncoder>> = vec![
+            Box::new(GruMetricEncoder::plain(8, norm, 7)),
+            Box::new(TransformerEncoder::new(8, 1, 2, norm, 8)),
+            Box::new(TrajGatEncoder::new(8, 1, 2, norm, &trajs, 9)),
+        ];
+        for enc in &encoders {
+            let tape = Tape::new();
+            enc.embed_var(&tape, &trajs[0]).square().mean_all().backward();
+            let got = enc.params().iter().filter(|p| p.borrow().grad.norm() > 0.0).count();
+            assert!(got > 0, "{} received no gradients", enc.name());
+            enc.params().zero_grad();
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A PR (point-region) quadtree over the study area — the spatial
+//! substrate of the TrajGAT baseline, which enhances its attention with
+//! PR-quadtree structure. We build the tree from a sample of training
+//! points and use the leaf cells as spatial tokens.
+
+use traj_data::{BoundingBox, Point};
+
+/// One node of the quadtree.
+#[derive(Debug)]
+enum Node {
+    /// Leaf with its id in the leaf table.
+    Leaf { id: usize },
+    /// Four children in NW, NE, SW, SE order.
+    Internal { children: Box<[Node; 4]> },
+}
+
+/// A PR quadtree: splits any region holding more than `capacity` sample
+/// points, down to `max_depth`.
+#[derive(Debug)]
+pub struct QuadTree {
+    root: Node,
+    bbox: BoundingBox,
+    num_leaves: usize,
+    max_depth: usize,
+}
+
+impl QuadTree {
+    /// Builds the tree from sample points.
+    pub fn build(bbox: BoundingBox, points: &[Point], capacity: usize, max_depth: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        let mut num_leaves = 0;
+        let pts: Vec<Point> = points.iter().filter(|p| bbox.contains(**p)).cloned().collect();
+        let root = Self::build_node(&bbox, &pts, capacity, max_depth, 0, &mut num_leaves);
+        QuadTree { root, bbox, num_leaves, max_depth }
+    }
+
+    fn quadrant_box(b: &BoundingBox, q: usize) -> BoundingBox {
+        let mx = (b.min_x + b.max_x) / 2.0;
+        let my = (b.min_y + b.max_y) / 2.0;
+        match q {
+            0 => BoundingBox { min_x: b.min_x, min_y: my, max_x: mx, max_y: b.max_y }, // NW
+            1 => BoundingBox { min_x: mx, min_y: my, max_x: b.max_x, max_y: b.max_y }, // NE
+            2 => BoundingBox { min_x: b.min_x, min_y: b.min_y, max_x: mx, max_y: my }, // SW
+            _ => BoundingBox { min_x: mx, min_y: b.min_y, max_x: b.max_x, max_y: my }, // SE
+        }
+    }
+
+    fn quadrant_of(b: &BoundingBox, p: Point) -> usize {
+        let mx = (b.min_x + b.max_x) / 2.0;
+        let my = (b.min_y + b.max_y) / 2.0;
+        match (p.x >= mx, p.y >= my) {
+            (false, true) => 0,
+            (true, true) => 1,
+            (false, false) => 2,
+            (true, false) => 3,
+        }
+    }
+
+    fn build_node(
+        bbox: &BoundingBox,
+        points: &[Point],
+        capacity: usize,
+        max_depth: usize,
+        depth: usize,
+        num_leaves: &mut usize,
+    ) -> Node {
+        if points.len() <= capacity || depth >= max_depth {
+            let id = *num_leaves;
+            *num_leaves += 1;
+            return Node::Leaf { id };
+        }
+        let mut buckets: [Vec<Point>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for &p in points {
+            buckets[Self::quadrant_of(bbox, p)].push(p);
+        }
+        let children = Box::new([
+            Self::build_node(&Self::quadrant_box(bbox, 0), &buckets[0], capacity, max_depth, depth + 1, num_leaves),
+            Self::build_node(&Self::quadrant_box(bbox, 1), &buckets[1], capacity, max_depth, depth + 1, num_leaves),
+            Self::build_node(&Self::quadrant_box(bbox, 2), &buckets[2], capacity, max_depth, depth + 1, num_leaves),
+            Self::build_node(&Self::quadrant_box(bbox, 3), &buckets[3], capacity, max_depth, depth + 1, num_leaves),
+        ]);
+        Node::Internal { children }
+    }
+
+    /// Number of leaf cells (the spatial vocabulary size).
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Maximum depth the tree was allowed to reach.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Maps a point to its leaf id; points outside the box are clamped.
+    pub fn locate(&self, p: Point) -> usize {
+        let mut p = self.bbox.clamp(p);
+        // nudge off the max border so quadrant_of stays in range
+        if p.x >= self.bbox.max_x {
+            p.x = self.bbox.max_x - 1e-9;
+        }
+        if p.y >= self.bbox.max_y {
+            p.y = self.bbox.max_y - 1e-9;
+        }
+        let mut node = &self.root;
+        let mut bbox = self.bbox;
+        loop {
+            match node {
+                Node::Leaf { id } => return *id,
+                Node::Internal { children } => {
+                    let q = Self::quadrant_of(&bbox, p);
+                    bbox = Self::quadrant_box(&bbox, q);
+                    node = &children[q];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_points(n: usize, extent: f64) -> Vec<Point> {
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * extent
+        };
+        (0..n).map(|_| Point::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn empty_tree_is_single_leaf() {
+        let t = QuadTree::build(BoundingBox::from_extent(100.0, 100.0), &[], 4, 8);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.locate(Point::new(50.0, 50.0)), 0);
+    }
+
+    #[test]
+    fn dense_regions_get_finer_cells() {
+        let mut pts = uniform_points(50, 10.0); // dense in [0,10]^2 corner
+        pts.extend([Point::new(900.0, 900.0)]);
+        let t = QuadTree::build(BoundingBox::from_extent(1000.0, 1000.0), &pts, 4, 10);
+        assert!(t.num_leaves() > 4, "tree should have split ({} leaves)", t.num_leaves());
+        // two points in the dense corner map to leaves, the far corner to another
+        let a = t.locate(Point::new(1.0, 1.0));
+        let far = t.locate(Point::new(950.0, 950.0));
+        assert_ne!(a, far);
+    }
+
+    #[test]
+    fn locate_is_deterministic_and_total() {
+        let pts = uniform_points(200, 500.0);
+        let t = QuadTree::build(BoundingBox::from_extent(500.0, 500.0), &pts, 8, 8);
+        for &p in &pts {
+            let id = t.locate(p);
+            assert!(id < t.num_leaves());
+            assert_eq!(id, t.locate(p));
+        }
+        // outside points clamp rather than panic
+        let _ = t.locate(Point::new(-100.0, 1e9));
+    }
+
+    #[test]
+    fn capacity_one_separates_distant_points() {
+        let pts = vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)];
+        let t = QuadTree::build(BoundingBox::from_extent(100.0, 100.0), &pts, 1, 8);
+        assert_ne!(t.locate(pts[0]), t.locate(pts[1]));
+    }
+
+    #[test]
+    fn max_depth_bounds_splitting() {
+        // identical points can never be separated; max_depth must stop it
+        let pts = vec![Point::new(5.0, 5.0); 100];
+        let t = QuadTree::build(BoundingBox::from_extent(100.0, 100.0), &pts, 1, 6);
+        assert!(t.num_leaves() < 4usize.pow(7));
+    }
+}

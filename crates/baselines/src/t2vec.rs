@@ -1,0 +1,198 @@
+//! t2vec-style baseline: a sequence-to-sequence denoising autoencoder.
+//!
+//! The original t2vec trains a GRU encoder–decoder to reconstruct a clean
+//! grid-token trajectory from a distorted/down-sampled view; its
+//! embedding is the final encoder state. It is distance-agnostic — the
+//! paper's Table I discussion notes this is why t2vec (and CL-TSim)
+//! trail the metric-learning methods. We keep the architecture and the
+//! denoising objective but reconstruct normalized coordinates with MSE
+//! instead of a 1.2M-way softmax over grid tokens, which preserves the
+//! objective's nature at CPU scale (see DESIGN.md).
+
+use crate::encoders::TrajEncoder;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tinynn::{clip_grad_norm, Adam, GruCell, Linear, ParamSet, Tape, Tensor, Var};
+use traj_data::{augment, NormStats, Trajectory};
+
+/// The t2vec-style denoising autoencoder.
+pub struct T2vecEncoder {
+    params: ParamSet,
+    input: Linear,
+    encoder: GruCell,
+    decoder: GruCell,
+    output: Linear,
+    norm: NormStats,
+    dim: usize,
+}
+
+/// Training configuration for the denoising objective.
+#[derive(Debug, Clone)]
+pub struct T2vecConfig {
+    /// Training epochs over the corpus sample.
+    pub epochs: usize,
+    /// Trajectories per batch.
+    pub batch_size: usize,
+    /// Point dropping rate of the corrupted view.
+    pub drop_rate: f64,
+    /// Distortion noise sigma (meters).
+    pub noise_sigma: f64,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for T2vecConfig {
+    fn default() -> Self {
+        T2vecConfig {
+            epochs: 5,
+            batch_size: 16,
+            drop_rate: 0.2,
+            noise_sigma: 20.0,
+            lr: 1e-3,
+            seed: 5,
+        }
+    }
+}
+
+impl T2vecEncoder {
+    /// Builds the autoencoder.
+    pub fn new(dim: usize, norm: NormStats, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let input = Linear::new(&mut rng, &mut params, 2, dim);
+        let encoder = GruCell::new(&mut rng, &mut params, dim, dim);
+        let decoder = GruCell::new(&mut rng, &mut params, dim, dim);
+        let output = Linear::new(&mut rng, &mut params, dim, 2);
+        T2vecEncoder { params, input, encoder, decoder, output, norm, dim }
+    }
+
+    fn encode_state(&self, tape: &Tape, t: &Trajectory) -> Var {
+        let feats = self.norm.apply(t);
+        let x = tape.constant(Tensor::from_vec(t.len(), 2, feats));
+        let seq = self.input.forward(tape, &x).relu();
+        self.encoder.run_final(tape, &seq)
+    }
+
+    /// Reconstruction loss: encode a corrupted view, decode step by step
+    /// (teacher-forced on the clean previous point), and measure MSE
+    /// against the clean coordinates.
+    fn denoise_loss(&self, tape: &Tape, clean: &Trajectory, corrupted: &Trajectory) -> Var {
+        let state = self.encode_state(tape, corrupted);
+        let clean_feats = self.norm.apply(clean);
+        let target = tape.constant(Tensor::from_vec(clean.len(), 2, clean_feats.clone()));
+        let mut h = state;
+        let mut loss: Option<Var> = None;
+        for i in 0..clean.len() {
+            // teacher forcing: feed the previous clean point (origin at 0)
+            let prev = if i == 0 {
+                tape.constant(Tensor::zeros(1, 2))
+            } else {
+                target.slice_rows(i - 1, 1)
+            };
+            let inp = self.input.forward(tape, &prev).relu();
+            h = self.decoder.step(tape, &inp, &h);
+            let pred = self.output.forward(tape, &h);
+            let term = pred.sub(&target.slice_rows(i, 1)).square().sum_all();
+            loss = Some(match loss {
+                None => term,
+                Some(acc) => acc.add(&term),
+            });
+        }
+        loss.expect("non-empty trajectory").scale(1.0 / clean.len() as f32)
+    }
+
+    /// Trains on a corpus with the denoising objective; returns mean loss
+    /// per epoch.
+    pub fn train(&self, corpus: &[Trajectory], cfg: &T2vecConfig) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut opt = Adam::new(cfg.lr);
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            let mut order: Vec<usize> = (0..corpus.len()).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for batch in order.chunks(cfg.batch_size) {
+                let tape = Tape::new();
+                let mut loss: Option<Var> = None;
+                for &i in batch {
+                    let clean = &corpus[i];
+                    let corrupted =
+                        augment::observe(clean, &mut rng, cfg.drop_rate, cfg.noise_sigma);
+                    let term = self.denoise_loss(&tape, clean, &corrupted);
+                    loss = Some(match loss {
+                        None => term,
+                        Some(acc) => acc.add(&term),
+                    });
+                }
+                if let Some(loss) = loss {
+                    let loss = loss.scale(1.0 / batch.len() as f32);
+                    epoch_loss += loss.item();
+                    batches += 1;
+                    self.params.zero_grad();
+                    loss.backward();
+                    clip_grad_norm(&self.params, 5.0);
+                    opt.step(&self.params);
+                }
+            }
+            epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+        }
+        epoch_losses
+    }
+}
+
+impl TrajEncoder for T2vecEncoder {
+    fn embed_var(&self, tape: &Tape, t: &Trajectory) -> Var {
+        self.encode_state(tape, t)
+    }
+
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        "t2vec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::{CityGenerator, CityParams};
+
+    #[test]
+    fn denoising_training_reduces_loss() {
+        let corpus = CityGenerator::new(CityParams::test_city(), 13).generate(24);
+        let norm = NormStats::fit(&corpus);
+        let enc = T2vecEncoder::new(8, norm, 1);
+        let losses = enc.train(
+            &corpus,
+            &T2vecConfig { epochs: 4, batch_size: 8, ..Default::default() },
+        );
+        assert_eq!(losses.len(), 4);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss did not decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn embedding_has_width_and_is_robust_to_views() {
+        let corpus = CityGenerator::new(CityParams::test_city(), 14).generate(16);
+        let norm = NormStats::fit(&corpus);
+        let enc = T2vecEncoder::new(8, norm, 2);
+        enc.train(&corpus, &T2vecConfig { epochs: 2, batch_size: 8, ..Default::default() });
+        let e = enc.embed(&corpus[0]);
+        assert_eq!(e.len(), 8);
+        assert!(e.iter().all(|x| x.is_finite()));
+    }
+}

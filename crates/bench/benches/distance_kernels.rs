@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the exact distance kernels — the quadratic costs
+//! that motivate the whole paper (Section I: "the quadratic computation
+//! complexity of distance functions").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_data::{CityGenerator, CityParams, Trajectory};
+use traj_dist::{cdtw, dtw, edr, erp, frechet, hausdorff};
+
+fn pair_of_length(n: usize) -> (Trajectory, Trajectory) {
+    let mut params = CityParams::porto_like();
+    params.min_points = n;
+    params.max_points = n;
+    let mut generator = CityGenerator::new(params, 99);
+    (generator.generate_one(), generator.generate_one())
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n in [32usize, 64, 128] {
+        let (a, b) = pair_of_length(n);
+        group.bench_with_input(BenchmarkId::new("dtw", n), &n, |bench, _| {
+            bench.iter(|| dtw(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("frechet", n), &n, |bench, _| {
+            bench.iter(|| frechet(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("hausdorff", n), &n, |bench, _| {
+            bench.iter(|| hausdorff(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cdtw_band8", n), &n, |bench, _| {
+            bench.iter(|| cdtw(black_box(&a), black_box(&b), 8))
+        });
+        group.bench_with_input(BenchmarkId::new("erp", n), &n, |bench, _| {
+            bench.iter(|| erp(black_box(&a), black_box(&b), traj_data::Point::new(0.0, 0.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("edr_50m", n), &n, |bench, _| {
+            bench.iter(|| edr(black_box(&a), black_box(&b), 50.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

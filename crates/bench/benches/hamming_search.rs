@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the three search strategies (the timing substrate
+//! behind Fig. 5 and Fig. 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_bench::clustered_workload;
+use traj_index::{euclidean_top_k, hamming_top_k, HammingTable, MultiIndexHashing, VpTree};
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_strategies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n_db in [20_000usize, 100_000] {
+        let w = clustered_workload(n_db, 8, 32, n_db / 400, 2, 7);
+        let q_emb = &w.query_embeddings[0];
+        let q_code = &w.query_codes[0];
+
+        group.bench_with_input(BenchmarkId::new("euclidean_bf", n_db), &n_db, |b, _| {
+            b.iter(|| euclidean_top_k(black_box(&w.db_embeddings), black_box(q_emb), 50))
+        });
+        group.bench_with_input(BenchmarkId::new("hamming_bf", n_db), &n_db, |b, _| {
+            b.iter(|| hamming_top_k(black_box(&w.db_codes), black_box(q_code), 50))
+        });
+        let table = HammingTable::build(w.db_codes.clone());
+        group.bench_with_input(BenchmarkId::new("hamming_hybrid", n_db), &n_db, |b, _| {
+            b.iter(|| table.hybrid_top_k(black_box(q_code), 50))
+        });
+        let mih = MultiIndexHashing::build(w.db_codes.clone(), 4);
+        group.bench_with_input(BenchmarkId::new("multi_index_hashing", n_db), &n_db, |b, _| {
+            b.iter(|| mih.top_k(black_box(q_code), 50))
+        });
+        let vp = VpTree::build(w.db_embeddings.clone());
+        group.bench_with_input(BenchmarkId::new("vp_tree", n_db), &n_db, |b, _| {
+            b.iter(|| vp.top_k(black_box(q_emb), 50))
+        });
+    }
+    group.finish();
+}
+
+fn bench_code_ops(c: &mut Criterion) {
+    let w = clustered_workload(2, 1, 64, 1, 2, 3);
+    let (a, b) = (&w.db_codes[0], &w.db_codes[1]);
+    c.bench_function("hamming_distance_64bit", |bench| {
+        bench.iter(|| black_box(a).hamming(black_box(b)))
+    });
+}
+
+criterion_group!(benches, bench_search, bench_code_ops);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Fig. 4: the effect of the read-out layer (Mean / CLS / LowerBound) on
+//! a bare Transformer backbone, searching in Euclidean space, for every
+//! measure. All other Traj2Hash techniques (grid channel, reverse
+//! augmentation, generated triplets) are disabled, as in the paper.
+//!
+//! ```text
+//! cargo run -p traj-bench --release --bin fig4 -- --scale small
+//! ```
+
+use traj_bench::{build_dataset, eval_euclidean, test_ground_truth, CommonArgs};
+use traj_eval::{fmt4, TextTable};
+use traj2hash::{train, ModelContext, Readout, Traj2Hash, TrainData};
+
+fn main() {
+    let args = CommonArgs::parse(&std::env::args().skip(1).collect::<Vec<_>>());
+    let scale = &args.scale;
+    println!(
+        "# Fig. 4 reproduction — read-out layer comparison (scale={}, seed={})\n",
+        scale.name, args.seed
+    );
+    for city in args.cities() {
+        let dataset = build_dataset(city, scale, args.seed);
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, args.seed);
+        let mut table =
+            TextTable::new(vec!["Dataset", "Measure", "Readout", "HR@10", "HR@50", "R10@50"]);
+        for measure in args.measures() {
+            let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
+            let mut tcfg = scale.train.clone().without_triplets();
+            tcfg.gamma = 0.0; // pure WMSE: only the read-out varies
+            let data = TrainData::prepare(&dataset, measure, &tcfg);
+            for readout in [Readout::Mean, Readout::Cls, Readout::LowerBound] {
+                let mcfg = traj2hash::ModelConfig {
+                    readout,
+                    ..scale.model.clone().without_rev_aug()
+                };
+                let mut model = Traj2Hash::new(mcfg, &ctx, args.seed);
+                train(&mut model, &data, &tcfg);
+                let db = model.embed_all(&dataset.database);
+                let q = model.embed_all(&dataset.query);
+                let m = eval_euclidean(&db, &q, &truth);
+                table.add_row(vec![
+                    city.name().to_string(),
+                    measure.name().to_string(),
+                    readout.name().to_string(),
+                    fmt4(m.hr10),
+                    fmt4(m.hr50),
+                    fmt4(m.r10_50),
+                ]);
+                eprintln!(
+                    "[fig4] {} {} {}: {}",
+                    city.name(),
+                    measure.name(),
+                    readout.name(),
+                    m
+                );
+            }
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 6: mean per-query time of the three search strategies as the
+//! requested `k` varies from 10 to 50 with a fixed 100K database.
+//!
+//! ```text
+//! cargo run -p traj-bench --release --bin fig6
+//! ```
+
+use traj_bench::{clustered_workload, time_search_strategies, CommonArgs};
+use traj_eval::{fmt_ms, TextTable};
+
+fn main() {
+    let args = CommonArgs::parse(&std::env::args().skip(1).collect::<Vec<_>>());
+    let bits = args.scale.model.dim.max(32);
+    let n_db = 100_000;
+    let n_query = 200;
+    println!(
+        "# Fig. 6 reproduction — query time vs k (db={n_db}, bits={bits}, {n_query} queries)\n"
+    );
+    let w = clustered_workload(n_db, n_query, bits, n_db / 400, 2, args.seed);
+    let mut table = TextTable::new(vec![
+        "k",
+        "Euclidean-BF (ms)",
+        "Hamming-BF (ms)",
+        "Hamming-Hybrid (ms)",
+    ]);
+    for k in [10usize, 20, 30, 40, 50] {
+        let t = time_search_strategies(
+            &w.db_embeddings,
+            &w.db_codes,
+            &w.query_embeddings,
+            &w.query_codes,
+            k,
+        );
+        table.add_row(vec![
+            k.to_string(),
+            fmt_ms(t.euclidean_bf),
+            fmt_ms(t.hamming_bf),
+            fmt_ms(t.hamming_hybrid),
+        ]);
+        eprintln!(
+            "[fig6] k={k}: euclid {:.3}ms hamming {:.3}ms hybrid {:.3}ms",
+            t.euclidean_bf * 1e3,
+            t.hamming_bf * 1e3,
+            t.hamming_hybrid * 1e3
+        );
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,51 @@
+//! Fresh resolution sweep: Fresh is data-independent, so its one tunable
+//! — the grid resolution — deserves the same per-dataset tuning the
+//! paper gave it (they chose 1 km for real taxi data). This harness
+//! evaluates Fresh at several resolutions for every city/measure so
+//! Table II can quote the best-tuned Fresh.
+//!
+//! ```text
+//! cargo run -p traj-bench --release --bin fresh_eval -- --scale small
+//! ```
+
+use traj_baselines::{Fresh, FreshConfig};
+use traj_bench::{build_dataset, eval_hamming, test_ground_truth, CommonArgs};
+use traj_eval::{fmt4, TextTable};
+
+fn main() {
+    let args = CommonArgs::parse(&std::env::args().skip(1).collect::<Vec<_>>());
+    let scale = &args.scale;
+    let bits = scale.model.dim;
+    println!("# Fresh resolution sweep (scale={}, {} bits)\n", scale.name, bits);
+    for city in args.cities() {
+        let dataset = build_dataset(city, scale, args.seed);
+        let mut table = TextTable::new(vec![
+            "Dataset", "Measure", "Resolution (m)", "HR@10", "HR@50", "R10@50",
+        ]);
+        for measure in args.measures() {
+            let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
+            for resolution in [500.0f64, 1000.0, 2000.0, 4000.0] {
+                let fresh = Fresh::new(FreshConfig {
+                    resolution,
+                    bits_per_rep: bits / 4,
+                    seed: args.seed,
+                    ..FreshConfig::default()
+                });
+                let m = eval_hamming(
+                    &fresh.hash_all(&dataset.database),
+                    &fresh.hash_all(&dataset.query),
+                    &truth,
+                );
+                table.add_row(vec![
+                    city.name().to_string(),
+                    measure.name().to_string(),
+                    format!("{resolution}"),
+                    fmt4(m.hr10),
+                    fmt4(m.hr50),
+                    fmt4(m.r10_50),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,21 @@
+//! Diagnostic: triplet generation statistics per city/scale/coarse cell.
+use traj_bench::{build_dataset, CommonArgs, City};
+use traj_grid::{cluster_by_grid, GridSpec};
+
+fn main() {
+    let args = CommonArgs::parse(&std::env::args().skip(1).collect::<Vec<_>>());
+    for city in [City::Porto, City::Chengdu] {
+        let dataset = build_dataset(city, &args.scale, args.seed);
+        let bbox = traj_data::BoundingBox::of_dataset(&dataset.corpus).unwrap();
+        for cell in [500.0, 1000.0, 2000.0] {
+            let spec = GridSpec::new(bbox, cell);
+            let c = cluster_by_grid(&dataset.corpus, &spec);
+            let usable: usize = c.clusters.iter().map(|cl| cl.len()).sum();
+            println!(
+                "{} corpus={} cell={}m: clusters={} usable_members={} singletons={} max={}",
+                city.name(), dataset.corpus.len(), cell, c.clusters.len(), usable,
+                c.singletons, c.max_cluster
+            );
+        }
+    }
+}

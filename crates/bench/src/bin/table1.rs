@@ -1,0 +1,75 @@
+//! Table I: top-k search accuracy in **Euclidean space** for six dense
+//! baselines and Traj2Hash, under Fréchet / Hausdorff / DTW, on both
+//! synthetic cities.
+//!
+//! ```text
+//! cargo run -p traj-bench --release --bin table1 -- --scale small
+//! ```
+
+use traj_bench::{
+    build_dataset, eval_euclidean, test_ground_truth, train_dense, train_traj2hash, CommonArgs,
+    DenseMethod,
+};
+use traj_eval::{fmt4, TextTable};
+use traj2hash::{ModelContext, TrainData};
+
+fn main() {
+    let args = CommonArgs::parse(&std::env::args().skip(1).collect::<Vec<_>>());
+    let scale = &args.scale;
+    println!(
+        "# Table I reproduction — Euclidean space (scale={}, seed={})\n",
+        scale.name, args.seed
+    );
+    for city in args.cities() {
+        let dataset = build_dataset(city, scale, args.seed);
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, args.seed);
+        let truth_cache: Vec<_> = args
+            .measures()
+            .iter()
+            .map(|&m| (m, test_ground_truth(&dataset.query, &dataset.database, m)))
+            .collect();
+
+        let mut table = TextTable::new(vec![
+            "Dataset", "Method", "Measure", "HR@10", "HR@50", "R10@50",
+        ]);
+        for (measure, truth) in &truth_cache {
+            let data = TrainData::prepare(&dataset, *measure, &scale.train);
+            for method in DenseMethod::all() {
+                let enc = train_dense(method, &dataset, &ctx, &data, scale, args.seed);
+                let db = enc.embed_all(&dataset.database);
+                let q = enc.embed_all(&dataset.query);
+                let m = eval_euclidean(&db, &q, truth);
+                table.add_row(vec![
+                    city.name().to_string(),
+                    method.name().to_string(),
+                    measure.name().to_string(),
+                    fmt4(m.hr10),
+                    fmt4(m.hr50),
+                    fmt4(m.r10_50),
+                ]);
+                eprintln!("[table1] {} {} {}: {}", city.name(), method.name(), measure.name(), m);
+            }
+            let (model, report) = train_traj2hash(&dataset, &ctx, &data, scale, args.seed);
+            let db = model.embed_all(&dataset.database);
+            let q = model.embed_all(&dataset.query);
+            let m = eval_euclidean(&db, &q, truth);
+            table.add_row(vec![
+                city.name().to_string(),
+                "Traj2Hash".to_string(),
+                measure.name().to_string(),
+                fmt4(m.hr10),
+                fmt4(m.hr50),
+                fmt4(m.r10_50),
+            ]);
+            eprintln!(
+                "[table1] {} Traj2Hash {}: {} (best epoch {}, {:.1}s)",
+                city.name(),
+                measure.name(),
+                m,
+                report.best_epoch,
+                report.seconds
+            );
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,15 @@
+//! # traj-bench — experiment harnesses
+//!
+//! Shared infrastructure for the binaries that regenerate every table and
+//! figure of the paper (see DESIGN.md section 4 for the index). Each
+//! binary accepts `--scale tiny|small|medium`, `--seed N`, and where
+//! applicable `--city` / `--measure` filters; results print as aligned
+//! text tables in the same layout as the paper's.
+
+pub mod harness;
+pub mod methods;
+pub mod scale;
+
+pub use harness::*;
+pub use methods::*;
+pub use scale::*;

@@ -1,0 +1,213 @@
+//! Model and training configuration.
+
+/// The read-out layer applied after the stacked attention blocks
+/// (Section V-D, Fig. 4 compares these three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readout {
+    /// Use the first token's embedding (Eq. 13) — justified by the
+    /// endpoint lower bound of Lemma 1. The paper's choice for DTW and
+    /// Fréchet; combined with reverse augmentation it covers both the
+    /// first- and last-point bounds.
+    LowerBound,
+    /// Mean-pool all positions (TrajGAT's read-out; best for Hausdorff).
+    Mean,
+    /// Prepend a learned CLS token and use its output (BERT-style).
+    Cls,
+}
+
+impl Readout {
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Readout::LowerBound => "LowerBound",
+            Readout::Mean => "Mean",
+            Readout::Cls => "CLS",
+        }
+    }
+}
+
+/// Hyper-parameters of the Traj2Hash model (defaults follow Section V-A5,
+/// scaled where noted).
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Latent dimensionality `d`; also the number of hash bits `d_h`
+    /// (the paper sets both to 64).
+    pub dim: usize,
+    /// Number of stacked Attention–MLP blocks `m` (paper: 2).
+    pub blocks: usize,
+    /// Attention heads (paper: 4).
+    pub heads: usize,
+    /// Grid-channel embedding dimensionality.
+    pub grid_dim: usize,
+    /// Read-out layer of the GPS channel.
+    pub readout: Readout,
+    /// Include the light-weight grid channel (ablation `-Grids` disables).
+    pub use_grids: bool,
+    /// Apply reverse augmentation / concatenation (ablation `-RevAug`
+    /// disables).
+    pub use_rev_aug: bool,
+    /// Fine grid cell size in meters (paper: 50 m).
+    pub fine_cell_m: f64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            dim: 64,
+            blocks: 2,
+            heads: 4,
+            grid_dim: 64,
+            readout: Readout::LowerBound,
+            use_grids: true,
+            use_rev_aug: true,
+            fine_cell_m: 50.0,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A small configuration for CPU-scale experiments and tests.
+    pub fn small() -> Self {
+        ModelConfig { dim: 32, blocks: 2, heads: 2, grid_dim: 32, ..Default::default() }
+    }
+
+    /// A minimal configuration for unit tests.
+    pub fn tiny() -> Self {
+        ModelConfig {
+            dim: 16,
+            blocks: 1,
+            heads: 2,
+            grid_dim: 16,
+            fine_cell_m: 100.0,
+            ..Default::default()
+        }
+    }
+
+    /// The `-Grids` ablation (Section V-D).
+    pub fn without_grids(mut self) -> Self {
+        self.use_grids = false;
+        self
+    }
+
+    /// The `-RevAug` ablation (cumulative: also drops grids, matching the
+    /// paper's "the ablated component in the former variant is also
+    /// eliminated in the latter").
+    pub fn without_rev_aug(mut self) -> Self {
+        self.use_grids = false;
+        self.use_rev_aug = false;
+        self
+    }
+}
+
+/// Hyper-parameters of the training run (Section V-A5).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Margin `alpha` of the ranking-based hashing objective (paper
+    /// default: 5).
+    pub alpha: f32,
+    /// Balance weight `gamma` between WMSE and the hashing objectives
+    /// (paper default: 6).
+    pub gamma: f32,
+    /// Samples per anchor `M` for the WMSE loss (paper: 10).
+    pub samples_per_anchor: usize,
+    /// Anchor batch size for the WMSE objective (paper: 20).
+    pub batch_size: usize,
+    /// Batch size over generated triplets (paper: 500; scaled here).
+    pub triplet_batch: usize,
+    /// Number of generated triplets to use per epoch.
+    pub triplets_per_epoch: usize,
+    /// Training epochs (paper max: 100; scaled here).
+    pub epochs: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Initial HashNet relaxation scale `beta` (paper: 1, increased each
+    /// iteration).
+    pub beta0: f32,
+    /// Additive increase of `beta` per epoch.
+    pub beta_step: f32,
+    /// Coarse cell size for fast triplet generation, meters (paper: 500).
+    pub coarse_cell_m: f64,
+    /// Similarity temperature target for `auto_theta` (median similarity).
+    pub theta_target: f64,
+    /// Disable the generated-triplet loss `L_t` (ablation `-Triplets`).
+    pub use_triplets: bool,
+    /// Gradient clipping threshold.
+    pub clip_norm: f32,
+    /// RNG seed for sampling and initialization.
+    pub seed: u64,
+    /// Compute validation HR@10 each epoch and keep the best parameters.
+    pub validate: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            alpha: 5.0,
+            gamma: 6.0,
+            samples_per_anchor: 10,
+            batch_size: 20,
+            triplet_batch: 64,
+            triplets_per_epoch: 256,
+            epochs: 12,
+            lr: 1e-3,
+            beta0: 1.0,
+            beta_step: 0.5,
+            coarse_cell_m: 500.0,
+            theta_target: 0.5,
+            use_triplets: true,
+            clip_norm: 5.0,
+            seed: 7,
+            validate: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A very small configuration for unit tests.
+    pub fn tiny() -> Self {
+        TrainConfig {
+            epochs: 3,
+            triplets_per_epoch: 64,
+            triplet_batch: 32,
+            validate: false,
+            ..Default::default()
+        }
+    }
+
+    /// The `-Triplets` ablation (Section V-D): `L_t` eliminated. Combined
+    /// with [`ModelConfig::without_rev_aug`] this reduces the model to a
+    /// Transformer with the lower-bound read-out, as the paper states.
+    pub fn without_triplets(mut self) -> Self {
+        self.use_triplets = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let m = ModelConfig::default();
+        assert_eq!(m.dim, 64);
+        assert_eq!(m.blocks, 2);
+        assert_eq!(m.heads, 4);
+        assert_eq!(m.fine_cell_m, 50.0);
+        let t = TrainConfig::default();
+        assert_eq!(t.alpha, 5.0);
+        assert_eq!(t.gamma, 6.0);
+        assert_eq!(t.samples_per_anchor, 10);
+        assert_eq!(t.batch_size, 20);
+        assert_eq!(t.coarse_cell_m, 500.0);
+        assert_eq!(t.lr, 1e-3);
+    }
+
+    #[test]
+    fn ablations_are_cumulative() {
+        let a = ModelConfig::default().without_grids();
+        assert!(!a.use_grids && a.use_rev_aug);
+        let b = ModelConfig::default().without_rev_aug();
+        assert!(!b.use_grids && !b.use_rev_aug);
+    }
+}

@@ -1,0 +1,38 @@
+//! # traj2hash — learning to hash for trajectory similarity
+//!
+//! Reproduction of *"Learning to Hash for Trajectory Similarity
+//! Computation and Search"* (ICDE 2024). The model encodes a trajectory
+//! into a Euclidean embedding `h_f^T` whose pairwise distances
+//! approximate a chosen trajectory measure (DTW / Fréchet / Hausdorff),
+//! and simultaneously into a binary code `z^T = sign(h_f^T)` for fast
+//! Hamming-space top-k search.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use traj2hash::{ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData, train};
+//! use traj_data::{CityParams, Dataset, SplitSizes};
+//! use traj_dist::Measure;
+//!
+//! let dataset = Dataset::generate(CityParams::porto_like(), SplitSizes::small(), 42);
+//! let cfg = ModelConfig::small();
+//! let ctx = ModelContext::prepare(&dataset.training_visible(), &cfg, 42);
+//! let mut model = Traj2Hash::new(cfg, &ctx, 42);
+//! let data = TrainData::prepare(&dataset, Measure::Frechet, &TrainConfig::default());
+//! let report = train(&mut model, &data, &TrainConfig::default());
+//! println!("best epoch: {}", report.best_epoch);
+//! let code = model.hash_signs(&dataset.query[0]);
+//! assert_eq!(code.len(), model.embedding_dim());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod encoder;
+pub mod loss;
+pub mod model;
+pub mod trainer;
+
+pub use config::{ModelConfig, Readout, TrainConfig};
+pub use model::{ModelContext, Traj2Hash};
+pub use trainer::{train, validation_hr10, TrainData, TrainReport};

@@ -1,0 +1,306 @@
+//! The Traj2Hash model: two-channel encoder + hash layer (Section IV).
+
+use crate::config::ModelConfig;
+use crate::encoder::{GpsChannelEncoder, GridChannelEncoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::{Mlp, Param, ParamSet, Tape, Tensor, Var};
+use traj_data::{NormStats, Trajectory};
+use traj_grid::{DecomposedGridEmbedding, GridSpec, NceConfig};
+
+/// Everything the model needs to know about the dataset before training:
+/// normalization statistics, the fine grid, and the pre-trained frozen
+/// grid embeddings.
+pub struct ModelContext {
+    /// Gaussian normalization statistics fitted on training-visible data.
+    pub norm: NormStats,
+    /// Fine grid (50 m cells by default).
+    pub fine_spec: GridSpec,
+    /// Pre-trained decomposed grid embedding.
+    pub grid_emb: DecomposedGridEmbedding,
+    /// Wall-clock seconds spent pre-training the grid embedding.
+    pub pretrain_secs: f64,
+}
+
+impl ModelContext {
+    /// Fits normalization statistics, builds the fine grid over the
+    /// dataset's bounding box, and pre-trains the decomposed grid
+    /// embedding with NCE.
+    pub fn prepare(training_visible: &[Trajectory], cfg: &ModelConfig, seed: u64) -> Self {
+        let norm = NormStats::fit(training_visible);
+        let bbox = traj_data::BoundingBox::of_dataset(training_visible)
+            .expect("cannot prepare a model context from an empty dataset");
+        let fine_spec = GridSpec::new(bbox, cfg.fine_cell_m);
+        let mut grid_emb = DecomposedGridEmbedding::init(&fine_spec, cfg.grid_dim, seed);
+        let nce = NceConfig { dim: cfg.grid_dim, seed, ..NceConfig::default() };
+        let pretrain_secs = grid_emb.pretrain(&fine_spec, &nce);
+        ModelContext { norm, fine_spec, grid_emb, pretrain_secs }
+    }
+}
+
+/// The Traj2Hash model.
+///
+/// `embed` produces the Euclidean representation `h_f^T` (Eq. 15) whose
+/// pairwise Euclidean distances approximate the trajectory measure;
+/// `hash` binarizes it with `sign` (Eq. 16) for Hamming-space search.
+pub struct Traj2Hash {
+    cfg: ModelConfig,
+    /// All trainable parameters.
+    pub params: ParamSet,
+    gps: GpsChannelEncoder,
+    grid: Option<GridChannelEncoder>,
+    fuse: Mlp,
+    projector: Param,
+    /// Relaxation scale `beta` of `tanh(beta x)`; annealed during
+    /// training, effectively infinite (hard sign) at inference.
+    pub beta: f32,
+}
+
+impl Traj2Hash {
+    /// Builds a model with freshly initialized parameters, using the
+    /// context's decomposed grid embedding for the grid channel.
+    pub fn new(cfg: ModelConfig, ctx: &ModelContext, seed: u64) -> Self {
+        let emb: Box<dyn traj_grid::GridEmbedding> = Box::new(ctx.grid_emb.clone());
+        Self::with_grid_embedding(cfg, ctx, emb, seed)
+    }
+
+    /// Builds a model with an explicit grid embedding provider — used by
+    /// the Fig. 7 comparison to plug in Node2vec instead of the
+    /// decomposed representation.
+    pub fn with_grid_embedding(
+        cfg: ModelConfig,
+        ctx: &ModelContext,
+        grid_embedding: Box<dyn traj_grid::GridEmbedding>,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let gps = GpsChannelEncoder::new(&mut rng, &mut params, &cfg, ctx.norm);
+        let grid = cfg.use_grids.then(|| {
+            GridChannelEncoder::new(
+                &mut rng,
+                &mut params,
+                ctx.fine_spec.clone(),
+                grid_embedding,
+                cfg.dim,
+            )
+        });
+        let fuse_in = if cfg.use_grids { 2 * cfg.dim } else { cfg.dim };
+        let fuse = Mlp::new(&mut rng, &mut params, &[fuse_in, cfg.dim]);
+        // W_p in R^{d/2 x d} when reverse augmentation doubles the width
+        // back to d (Eq. 15); a square projection otherwise, so the final
+        // embedding width is d in both cases and ablations are comparable.
+        let proj_out = if cfg.use_rev_aug { cfg.dim / 2 } else { cfg.dim };
+        let projector = params.register(Param::new(tinynn::init::xavier_uniform(
+            &mut rng,
+            cfg.dim,
+            proj_out,
+        )));
+        Traj2Hash { cfg, params, gps, grid, fuse, projector, beta: 1.0 }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Width of the final embedding (= number of hash bits).
+    pub fn embedding_dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Encodes one direction of a trajectory: two channels fused
+    /// (Eq. 14) then projected.
+    fn encode_direction(&self, tape: &Tape, t: &Trajectory) -> Var {
+        let h_l = self.gps.forward(tape, t);
+        let fused_in = match &self.grid {
+            Some(grid_enc) => h_l.concat_cols(&grid_enc.forward(tape, t)),
+            None => h_l,
+        };
+        let h = self.fuse.forward(tape, &fused_in);
+        let w_p = tape.param(&self.projector);
+        h.matmul(&w_p)
+    }
+
+    /// The Euclidean-space embedding `h_f^T` as a tape variable
+    /// (training entry point). With reverse augmentation this is
+    /// `[W_p h, W_p h_r]` (Eq. 15), which satisfies the reverse symmetric
+    /// property by Lemma 3.
+    pub fn embed_var(&self, tape: &Tape, t: &Trajectory) -> Var {
+        if self.cfg.use_rev_aug {
+            let fwd = self.encode_direction(tape, t);
+            let rev = self.encode_direction(tape, &t.reversed());
+            fwd.concat_cols(&rev)
+        } else {
+            self.encode_direction(tape, t)
+        }
+    }
+
+    /// The relaxed hash code `tanh(beta * h_f)` used during training
+    /// (HashNet continuation, Section IV-F).
+    pub fn hash_var(&self, tape: &Tape, t: &Trajectory) -> Var {
+        self.embed_var(tape, t).scale(self.beta).tanh()
+    }
+
+    /// Relaxed hash code from an existing embedding variable.
+    pub fn hash_of(&self, embedding: &Var) -> Var {
+        embedding.scale(self.beta).tanh()
+    }
+
+    /// Inference: the Euclidean embedding as a plain tensor.
+    pub fn embed(&self, t: &Trajectory) -> Tensor {
+        let tape = Tape::new();
+        self.embed_var(&tape, t).value()
+    }
+
+    /// Inference: the hard binary code as `+-1` signs (Eq. 16).
+    pub fn hash_signs(&self, t: &Trajectory) -> Vec<i8> {
+        self.embed(t)
+            .data()
+            .iter()
+            .map(|&x| if x > 0.0 { 1 } else { -1 })
+            .collect()
+    }
+
+    /// Batch embedding of many trajectories into row vectors.
+    pub fn embed_all(&self, ts: &[Trajectory]) -> Vec<Vec<f32>> {
+        ts.iter().map(|t| self.embed(t).data().to_vec()).collect()
+    }
+
+    /// Batch hashing of many trajectories.
+    pub fn hash_all(&self, ts: &[Trajectory]) -> Vec<Vec<i8>> {
+        ts.iter().map(|t| self.hash_signs(t)).collect()
+    }
+
+    /// The model's distance approximation `Euclidean(h_f^1, h_f^2)`.
+    pub fn approx_distance(&self, a: &Trajectory, b: &Trajectory) -> f32 {
+        self.embed(a).distance(&self.embed(b))
+    }
+
+    /// Serializes all parameters.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        self.params.save_bytes()
+    }
+
+    /// Restores parameters saved by [`Traj2Hash::save_bytes`].
+    pub fn load_bytes(&self, bytes: &[u8]) -> Result<(), String> {
+        self.params.load_bytes(bytes)
+    }
+
+    /// Writes the parameters to a file.
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.save_bytes())
+    }
+
+    /// Restores parameters from a file written by
+    /// [`Traj2Hash::save_to_file`]. The model must have been constructed
+    /// with the same configuration.
+    pub fn load_from_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let bytes = std::fs::read(path)?;
+        self.load_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::{CityGenerator, CityParams};
+
+    fn setup(cfg: ModelConfig) -> (Traj2Hash, Vec<Trajectory>) {
+        let trajs = CityGenerator::new(CityParams::test_city(), 1).generate(12);
+        let ctx = ModelContext::prepare(&trajs, &cfg, 5);
+        (Traj2Hash::new(cfg, &ctx, 6), trajs)
+    }
+
+    #[test]
+    fn embedding_has_configured_width() {
+        let (model, trajs) = setup(ModelConfig::tiny());
+        let e = model.embed(&trajs[0]);
+        assert_eq!(e.shape(), (1, model.embedding_dim()));
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn reverse_symmetric_property_holds() {
+        // Lemma 3: E(h(T1), h(T2)) == E(h(T1^r), h(T2^r)) for an
+        // *untrained* network already — it is a structural property.
+        let (model, trajs) = setup(ModelConfig::tiny());
+        let (a, b) = (&trajs[0], &trajs[1]);
+        let d_fwd = model.approx_distance(a, b);
+        let d_rev = model.approx_distance(&a.reversed(), &b.reversed());
+        assert!(
+            (d_fwd - d_rev).abs() < 1e-4,
+            "reverse symmetry violated: {d_fwd} vs {d_rev}"
+        );
+    }
+
+    #[test]
+    fn without_rev_aug_property_breaks() {
+        let (model, trajs) = setup(ModelConfig::tiny().without_rev_aug());
+        let (a, b) = (&trajs[0], &trajs[1]);
+        let d_fwd = model.approx_distance(a, b);
+        let d_rev = model.approx_distance(&a.reversed(), &b.reversed());
+        assert!(
+            (d_fwd - d_rev).abs() > 1e-4,
+            "-RevAug should not satisfy reverse symmetry ({d_fwd} vs {d_rev})"
+        );
+    }
+
+    #[test]
+    fn hash_signs_are_binary_and_match_embedding_sign() {
+        let (model, trajs) = setup(ModelConfig::tiny());
+        let e = model.embed(&trajs[0]);
+        let h = model.hash_signs(&trajs[0]);
+        assert_eq!(h.len(), e.len());
+        for (&s, &x) in h.iter().zip(e.data()) {
+            assert!(s == 1 || s == -1);
+            assert_eq!(s == 1, x > 0.0);
+        }
+    }
+
+    #[test]
+    fn relaxed_hash_approaches_hard_sign_as_beta_grows() {
+        let (mut model, trajs) = setup(ModelConfig::tiny());
+        model.beta = 50.0;
+        let tape = Tape::new();
+        let relaxed = model.hash_var(&tape, &trajs[0]).value();
+        let hard = model.hash_signs(&trajs[0]);
+        for (&r, &s) in relaxed.data().iter().zip(&hard) {
+            assert!((r - s as f32).abs() < 0.2, "relaxed {r} vs hard {s}");
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_embeddings() {
+        let (model, trajs) = setup(ModelConfig::tiny());
+        let before = model.embed(&trajs[0]);
+        let blob = model.save_bytes();
+
+        let ctx = ModelContext::prepare(&trajs, &ModelConfig::tiny(), 5);
+        let other = Traj2Hash::new(ModelConfig::tiny(), &ctx, 999);
+        assert!(other.embed(&trajs[0]).max_abs_diff(&before) > 1e-6);
+        other.load_bytes(&blob).unwrap();
+        assert!(other.embed(&trajs[0]).max_abs_diff(&before) < 1e-6);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (model, trajs) = setup(ModelConfig::tiny());
+        let path = std::env::temp_dir().join("traj2hash_test_model.bin");
+        model.save_to_file(&path).unwrap();
+        let ctx = ModelContext::prepare(&trajs, &ModelConfig::tiny(), 5);
+        let other = Traj2Hash::new(ModelConfig::tiny(), &ctx, 31337);
+        other.load_from_file(&path).unwrap();
+        assert_eq!(model.hash_signs(&trajs[0]), other.hash_signs(&trajs[0]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn grids_ablation_still_works() {
+        let (model, trajs) = setup(ModelConfig::tiny().without_grids());
+        let e = model.embed(&trajs[0]);
+        assert_eq!(e.cols(), model.embedding_dim());
+        assert!(e.is_finite());
+    }
+}

@@ -1,0 +1,341 @@
+//! End-to-end training of Traj2Hash (Section IV-F): WMSE on the seed
+//! distance matrix + ranking-based hashing objective + generated-triplet
+//! objective, combined as `L = L_s + gamma * (L_r + L_t)` (Eq. 21),
+//! optimized with Adam under the HashNet `tanh(beta x)` continuation.
+
+use crate::config::TrainConfig;
+use crate::loss::{
+    approx_similarity, rank_pairs, rank_weights, ranking_hash_loss, sample_companions, wmse_term,
+};
+use crate::model::Traj2Hash;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use tinynn::{clip_grad_norm, Adam, Tape, Var};
+use traj_data::{Dataset, Trajectory};
+use traj_dist::{auto_theta, distance_matrix, similarity_matrix, DistanceMatrix, Measure};
+use traj_grid::{generate_triplets, GridSpec, Triplet};
+
+/// Supervision assembled once before training.
+pub struct TrainData {
+    /// Seed trajectories.
+    pub seeds: Vec<Trajectory>,
+    /// Similarity supervision `S` over the seeds (Eq. 17's targets).
+    pub sim: DistanceMatrix,
+    /// Exact distance matrix over the seeds (kept for diagnostics).
+    pub dist: DistanceMatrix,
+    /// Unlabelled corpus used by the fast triplet generation.
+    pub corpus: Vec<Trajectory>,
+    /// Generated `(anchor, positive, negative)` corpus triplets.
+    pub triplets: Vec<Triplet>,
+    /// Validation trajectories.
+    pub validation: Vec<Trajectory>,
+    /// Indices of validation trajectories used as queries.
+    pub val_queries: Vec<usize>,
+    /// Exact top-10 neighbours of each validation query within the
+    /// validation set (ground truth for model selection).
+    pub val_truth: Vec<Vec<usize>>,
+}
+
+impl TrainData {
+    /// Computes all supervision: the parallel exact distance matrix over
+    /// the seeds, its similarity transform, the coarse-grid triplets, and
+    /// the validation ground truth.
+    pub fn prepare(dataset: &Dataset, measure: Measure, cfg: &TrainConfig) -> TrainData {
+        let dist = distance_matrix(&dataset.seeds, measure);
+        let theta = auto_theta(&dist, cfg.theta_target);
+        let sim = similarity_matrix(&dist, theta);
+
+        let bbox = traj_data::BoundingBox::of_dataset(&dataset.corpus)
+            .expect("empty corpus");
+        let coarse = GridSpec::new(bbox, cfg.coarse_cell_m);
+        let triplets = generate_triplets(&dataset.corpus, &coarse, 20_000, cfg.seed);
+
+        let val_dist = distance_matrix(&dataset.validation, measure);
+        let n_queries = dataset.validation.len().min(40);
+        let val_queries: Vec<usize> = (0..n_queries).collect();
+        let val_truth = val_queries.iter().map(|&q| val_dist.top_k_row(q, 10)).collect();
+
+        TrainData {
+            seeds: dataset.seeds.clone(),
+            sim,
+            dist,
+            corpus: dataset.corpus.clone(),
+            triplets,
+            validation: dataset.validation.clone(),
+            val_queries,
+            val_truth,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean combined loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation HR@10 per epoch (empty when validation is disabled).
+    pub val_hr10: Vec<f64>,
+    /// Epoch whose parameters were kept.
+    pub best_epoch: usize,
+    /// Number of generated triplets available.
+    pub triplet_count: usize,
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Embeds the given seed indices once on a shared tape, so a trajectory
+/// appearing in several loss terms of a batch is only encoded once.
+fn embed_cached(
+    model: &Traj2Hash,
+    tape: &Tape,
+    trajs: &[Trajectory],
+    cache: &mut HashMap<usize, Var>,
+    idx: usize,
+) -> Var {
+    cache
+        .entry(idx)
+        .or_insert_with(|| model.embed_var(tape, &trajs[idx]))
+        .clone()
+}
+
+/// Validation HR@10 in Euclidean space over the prepared validation set.
+pub fn validation_hr10(model: &Traj2Hash, data: &TrainData) -> f64 {
+    let embeddings = model.embed_all(&data.validation);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (qi, &q) in data.val_queries.iter().enumerate() {
+        let qe = &embeddings[q];
+        let mut order: Vec<usize> =
+            (0..data.validation.len()).filter(|&j| j != q).collect();
+        let d2 = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+        };
+        order.sort_by(|&a, &b| {
+            d2(qe, &embeddings[a])
+                .partial_cmp(&d2(qe, &embeddings[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let predicted = &order[..10.min(order.len())];
+        let truth = &data.val_truth[qi];
+        hits += predicted.iter().filter(|p| truth.contains(p)).count();
+        total += truth.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Trains the model in place and returns a report.
+pub fn train(model: &mut Traj2Hash, data: &TrainData, cfg: &TrainConfig) -> TrainReport {
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let n_seeds = data.seeds.len();
+    assert!(n_seeds >= 2, "need at least two seed trajectories");
+
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut val_hr10 = Vec::new();
+    let mut best = (0usize, f64::MIN, model.save_bytes());
+
+    let mut triplet_cursor = 0usize;
+    for epoch in 0..cfg.epochs {
+        // HashNet continuation: increase beta each epoch so tanh(beta x)
+        // approaches sign(x).
+        model.beta = cfg.beta0 + cfg.beta_step * epoch as f32;
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+
+        // ---- WMSE + ranking objective over seed anchors (L_s + g L_r) --
+        let mut anchors: Vec<usize> = (0..n_seeds).collect();
+        for i in (1..anchors.len()).rev() {
+            let j = rng.random_range(0..=i);
+            anchors.swap(i, j);
+        }
+        for batch in anchors.chunks(cfg.batch_size) {
+            let tape = Tape::new();
+            let mut cache: HashMap<usize, Var> = HashMap::new();
+            let mut loss: Option<Var> = None;
+            let add = |term: Var, acc: &mut Option<Var>| {
+                *acc = Some(match acc.take() {
+                    None => term,
+                    Some(a) => a.add(&term),
+                });
+            };
+            for &i in batch {
+                let companions =
+                    sample_companions(i, data.sim.row(i), cfg.samples_per_anchor, &mut rng);
+                if companions.is_empty() {
+                    continue;
+                }
+                let weights = rank_weights(companions.len());
+                let e_i = embed_cached(model, &tape, &data.seeds, &mut cache, i);
+                for (rank, &j) in companions.iter().enumerate() {
+                    let e_j = embed_cached(model, &tape, &data.seeds, &mut cache, j);
+                    let g = approx_similarity(&e_i, &e_j);
+                    let term = wmse_term(&tape, &g, data.sim.get(i, j), weights[rank]);
+                    add(term, &mut loss);
+                }
+                // ranking hash objective on the same samples (Eq. 18/19)
+                let z_i = model.hash_of(&e_i);
+                for (p, n) in rank_pairs(&companions) {
+                    let e_p = embed_cached(model, &tape, &data.seeds, &mut cache, p);
+                    let e_n = embed_cached(model, &tape, &data.seeds, &mut cache, n);
+                    let z_p = model.hash_of(&e_p);
+                    let z_n = model.hash_of(&e_n);
+                    let term =
+                        ranking_hash_loss(&z_i, &z_p, &z_n, cfg.alpha).scale(cfg.gamma);
+                    add(term, &mut loss);
+                }
+            }
+            if let Some(loss) = loss {
+                let loss = loss.scale(1.0 / batch.len() as f32);
+                epoch_loss += loss.item();
+                batches += 1;
+                model.params.zero_grad();
+                loss.backward();
+                clip_grad_norm(&model.params, cfg.clip_norm);
+                opt.step(&model.params);
+            }
+        }
+
+        // ---- generated-triplet objective (L_t), Eq. 20 ------------------
+        if cfg.use_triplets && !data.triplets.is_empty() {
+            let mut used = 0usize;
+            while used < cfg.triplets_per_epoch {
+                let take = cfg.triplet_batch.min(cfg.triplets_per_epoch - used);
+                let tape = Tape::new();
+                let mut cache: HashMap<usize, Var> = HashMap::new();
+                let mut loss: Option<Var> = None;
+                for _ in 0..take {
+                    let (a, p, n) = data.triplets[triplet_cursor % data.triplets.len()];
+                    triplet_cursor += 1;
+                    let z_a = model
+                        .hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, a));
+                    let z_p = model
+                        .hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, p));
+                    let z_n = model
+                        .hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, n));
+                    let term = ranking_hash_loss(&z_a, &z_p, &z_n, cfg.alpha);
+                    loss = Some(match loss {
+                        None => term,
+                        Some(acc) => acc.add(&term),
+                    });
+                }
+                used += take;
+                if let Some(loss) = loss {
+                    let loss = loss.scale(cfg.gamma / take as f32);
+                    epoch_loss += loss.item();
+                    batches += 1;
+                    model.params.zero_grad();
+                    loss.backward();
+                    clip_grad_norm(&model.params, cfg.clip_norm);
+                    opt.step(&model.params);
+                }
+            }
+        }
+
+        epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+
+        // ---- model selection on validation HR@10 ------------------------
+        if cfg.validate {
+            let hr = validation_hr10(model, data);
+            val_hr10.push(hr);
+            if hr > best.1 {
+                best = (epoch, hr, model.save_bytes());
+            }
+        }
+    }
+
+    if cfg.validate && best.1 > f64::MIN {
+        model
+            .load_bytes(&best.2)
+            .expect("restoring best parameters cannot fail");
+    }
+
+    TrainReport {
+        epoch_losses,
+        val_hr10,
+        best_epoch: best.0,
+        triplet_count: data.triplets.len(),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, TrainConfig};
+    use crate::model::ModelContext;
+    use traj_data::{CityParams, SplitSizes};
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(
+            CityParams::test_city(),
+            SplitSizes { seeds: 16, validation: 24, corpus: 120, query: 5, database: 40 },
+            21,
+        )
+    }
+
+    #[test]
+    fn training_reduces_loss_and_improves_hr() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let tcfg = TrainConfig {
+            epochs: 4,
+            validate: true,
+            triplets_per_epoch: 32,
+            triplet_batch: 16,
+            ..TrainConfig::default()
+        };
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg);
+        let hr_before = validation_hr10(&model, &data);
+        let report = train(&mut model, &data, &tcfg);
+        assert_eq!(report.epoch_losses.len(), 4);
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "loss did not decrease: {:?}",
+            report.epoch_losses
+        );
+        let hr_after = validation_hr10(&model, &data);
+        assert!(
+            hr_after >= hr_before,
+            "training should not hurt validation HR@10 ({hr_before} -> {hr_after})"
+        );
+    }
+
+    #[test]
+    fn train_data_prepare_produces_consistent_supervision() {
+        let dataset = tiny_dataset();
+        let tcfg = TrainConfig::tiny();
+        let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg);
+        assert_eq!(data.sim.n(), dataset.seeds.len());
+        // similarity diagonal is 1, distances diagonal is 0
+        for i in 0..data.sim.n() {
+            assert!((data.sim.get(i, i) - 1.0).abs() < 1e-9);
+            assert_eq!(data.dist.get(i, i), 0.0);
+        }
+        assert_eq!(data.val_truth.len(), data.val_queries.len());
+        for t in &data.val_truth {
+            assert_eq!(t.len(), 10);
+        }
+    }
+
+    #[test]
+    fn triplet_ablation_trains_without_triplets() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny().without_rev_aug();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let tcfg = TrainConfig { epochs: 2, validate: false, ..TrainConfig::tiny() }
+            .without_triplets();
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg);
+        let report = train(&mut model, &data, &tcfg);
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Trajectory perturbations.
+//!
+//! Used by the CL-TSim baseline (whose contrastive objective needs
+//! distorted/down-sampled views, Section V-A5 of the paper sets the
+//! distorting and dropping rates), by the t2vec denoising objective, and
+//! by the entity-linking example to simulate two independent observations
+//! of the same moving object.
+
+use crate::types::{Point, Trajectory};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Adds Gaussian noise of standard deviation `sigma` to each point
+/// independently with probability `rate`.
+pub fn distort(t: &Trajectory, rng: &mut StdRng, rate: f64, sigma: f64) -> Trajectory {
+    let points = t
+        .points
+        .iter()
+        .map(|&p| {
+            if rng.random::<f64>() < rate {
+                Point::new(p.x + gauss(rng) * sigma, p.y + gauss(rng) * sigma)
+            } else {
+                p
+            }
+        })
+        .collect();
+    Trajectory::new(points)
+}
+
+/// Drops each interior point independently with probability `rate`,
+/// always keeping the first and last point so the trip endpoints (and
+/// hence the DTW/Fréchet lower bound of Lemma 1) survive.
+pub fn downsample(t: &Trajectory, rng: &mut StdRng, rate: f64) -> Trajectory {
+    if t.len() <= 2 {
+        return t.clone();
+    }
+    let last = t.len() - 1;
+    let points = t
+        .points
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i == 0 || i == last || rng.random::<f64>() >= rate)
+        .map(|(_, &p)| p)
+        .collect();
+    Trajectory::new(points)
+}
+
+/// A combined "second observation" view: down-sample then distort, as a
+/// different sensor with a lower sampling rate and its own noise would
+/// record the same trip.
+pub fn observe(t: &Trajectory, rng: &mut StdRng, drop_rate: f64, noise_sigma: f64) -> Trajectory {
+    let down = downsample(t, rng, drop_rate);
+    distort(&down, rng, 1.0, noise_sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_xy(&(0..20).map(|i| (i as f64 * 10.0, 0.0)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn distort_zero_rate_is_identity() {
+        let t = traj();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(distort(&t, &mut rng, 0.0, 50.0), t);
+    }
+
+    #[test]
+    fn distort_full_rate_moves_points() {
+        let t = traj();
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = distort(&t, &mut rng, 1.0, 5.0);
+        assert_eq!(d.len(), t.len());
+        assert_ne!(d, t);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let t = traj();
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = downsample(&t, &mut rng, 0.8);
+        assert_eq!(d.first(), t.first());
+        assert_eq!(d.last(), t.last());
+        assert!(d.len() < t.len());
+        assert!(d.len() >= 2);
+    }
+
+    #[test]
+    fn downsample_short_trajectory_untouched() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(downsample(&t, &mut rng, 0.99), t);
+    }
+
+    #[test]
+    fn observe_produces_plausible_view() {
+        let t = traj();
+        let mut rng = StdRng::seed_from_u64(5);
+        let o = observe(&t, &mut rng, 0.3, 3.0);
+        assert!(o.len() <= t.len() && o.len() >= 2);
+        // Views stay near the original path.
+        let max_dev = o
+            .points
+            .iter()
+            .map(|p| {
+                t.points
+                    .iter()
+                    .map(|q| p.distance(q))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max);
+        assert!(max_dev < 20.0, "deviation {max_dev}");
+    }
+}

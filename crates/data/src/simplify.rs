@@ -1,0 +1,151 @@
+//! Douglas–Peucker trajectory simplification.
+//!
+//! A standard preprocessing tool in trajectory databases: reduce the
+//! point count while guaranteeing that no original point deviates from
+//! the simplified polyline by more than `epsilon` meters. Useful before
+//! the quadratic exact measures (their cost drops with the square of the
+//! simplification ratio) and as a principled alternative to random
+//! down-sampling.
+
+use crate::types::{Point, Trajectory};
+
+/// Perpendicular distance from `p` to the segment `a`–`b`.
+fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len2 = dx * dx + dy * dy;
+    if len2 == 0.0 {
+        return p.distance(&a);
+    }
+    let t = (((p.x - a.x) * dx + (p.y - a.y) * dy) / len2).clamp(0.0, 1.0);
+    p.distance(&Point::new(a.x + t * dx, a.y + t * dy))
+}
+
+/// Simplifies a trajectory with the Douglas–Peucker algorithm: keeps the
+/// endpoints and recursively keeps the farthest point of any span whose
+/// deviation exceeds `epsilon`.
+///
+/// Guarantees: endpoints survive, kept points appear in original order,
+/// and every dropped point lies within `epsilon` of the simplified
+/// polyline.
+pub fn douglas_peucker(t: &Trajectory, epsilon: f64) -> Trajectory {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    if t.len() <= 2 {
+        return t.clone();
+    }
+    let mut keep = vec![false; t.len()];
+    keep[0] = true;
+    keep[t.len() - 1] = true;
+    // iterative stack of (start, end) spans to avoid recursion depth
+    let mut stack = vec![(0usize, t.len() - 1)];
+    while let Some((start, end)) = stack.pop() {
+        if end <= start + 1 {
+            continue;
+        }
+        let (a, b) = (t.points[start], t.points[end]);
+        let mut worst = (0.0f64, start);
+        for i in (start + 1)..end {
+            let d = point_segment_distance(t.points[i], a, b);
+            if d > worst.0 {
+                worst = (d, i);
+            }
+        }
+        if worst.0 > epsilon {
+            keep[worst.1] = true;
+            stack.push((start, worst.1));
+            stack.push((worst.1, end));
+        }
+    }
+    Trajectory::new(
+        t.points
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&p, _)| p)
+            .collect(),
+    )
+}
+
+/// Maximum deviation of any original point from the simplified polyline
+/// (used to verify the epsilon guarantee).
+pub fn max_deviation(original: &Trajectory, simplified: &Trajectory) -> f64 {
+    let mut worst = 0.0f64;
+    for &p in &original.points {
+        let mut best = f64::INFINITY;
+        if simplified.len() == 1 {
+            best = p.distance(&simplified.points[0]);
+        }
+        for w in simplified.points.windows(2) {
+            best = best.min(point_segment_distance(p, w[0], w[1]));
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{CityGenerator, CityParams};
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let t = Trajectory::from_xy(&(0..50).map(|i| (i as f64, 0.0)).collect::<Vec<_>>());
+        let s = douglas_peucker(&t, 0.01);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first(), t.first());
+        assert_eq!(s.last(), t.last());
+    }
+
+    #[test]
+    fn corner_is_preserved() {
+        let mut xy: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 0.0)).collect();
+        xy.extend((1..10).map(|i| (9.0, i as f64)));
+        let t = Trajectory::from_xy(&xy);
+        let s = douglas_peucker(&t, 0.5);
+        assert_eq!(s.len(), 3, "start, corner, end");
+        assert!(s.points.contains(&crate::types::Point::new(9.0, 0.0)));
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_every_informative_point() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0)]);
+        let s = douglas_peucker(&t, 0.0);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn deviation_guarantee_on_realistic_trips() {
+        let trips = CityGenerator::new(CityParams::test_city(), 44).generate(25);
+        for t in &trips {
+            for eps in [5.0, 20.0, 100.0] {
+                let s = douglas_peucker(t, eps);
+                assert!(s.len() >= 2);
+                let dev = max_deviation(t, &s);
+                assert!(
+                    dev <= eps + 1e-9,
+                    "deviation {dev} exceeds epsilon {eps} (kept {}/{})",
+                    s.len(),
+                    t.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_keeps_fewer_points() {
+        let trips = CityGenerator::new(CityParams::test_city(), 45).generate(5);
+        for t in &trips {
+            let fine = douglas_peucker(t, 2.0).len();
+            let coarse = douglas_peucker(t, 50.0).len();
+            assert!(coarse <= fine);
+        }
+    }
+
+    #[test]
+    fn tiny_trajectories_pass_through() {
+        let one = Trajectory::from_xy(&[(1.0, 2.0)]);
+        assert_eq!(douglas_peucker(&one, 10.0), one);
+        let two = Trajectory::from_xy(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(douglas_peucker(&two, 10.0), two);
+    }
+}

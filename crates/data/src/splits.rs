@@ -1,0 +1,130 @@
+//! Experimental dataset splits mirroring the paper's protocol
+//! (Section V-A2): a labelled pool split into seeds (20%) and validation
+//! (80%), a large unlabelled corpus for fast triplet generation, and a
+//! disjoint query + database test set.
+
+use crate::synthetic::{CityGenerator, CityParams};
+use crate::types::Trajectory;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Sizes of each split.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitSizes {
+    /// Seed trajectories with exact pairwise distances (WMSE supervision).
+    pub seeds: usize,
+    /// Validation trajectories (model selection on HR@10).
+    pub validation: usize,
+    /// Unlabelled corpus for the fast triplet generation.
+    pub corpus: usize,
+    /// Query trajectories of the test set.
+    pub query: usize,
+    /// Database trajectories of the test set.
+    pub database: usize,
+}
+
+impl SplitSizes {
+    /// A laptop-scale configuration preserving the paper's ratios
+    /// (labelled pool : corpus : database roughly 1 : 20 : 10 and a
+    /// 20/80 seed/validation split of the labelled pool).
+    pub fn small() -> Self {
+        SplitSizes { seeds: 120, validation: 200, corpus: 2_000, query: 60, database: 1_500 }
+    }
+
+    /// A minimal configuration for tests.
+    pub fn tiny() -> Self {
+        SplitSizes { seeds: 30, validation: 40, corpus: 300, query: 15, database: 200 }
+    }
+
+    /// Total number of trajectories needed.
+    pub fn total(&self) -> usize {
+        self.seeds + self.validation + self.corpus + self.query + self.database
+    }
+}
+
+/// A fully materialized dataset split.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Seed trajectories (exact distance matrix is computed over these).
+    pub seeds: Vec<Trajectory>,
+    /// Validation trajectories.
+    pub validation: Vec<Trajectory>,
+    /// Unlabelled triplet-generation corpus.
+    pub corpus: Vec<Trajectory>,
+    /// Test queries.
+    pub query: Vec<Trajectory>,
+    /// Test database.
+    pub database: Vec<Trajectory>,
+}
+
+impl Dataset {
+    /// Generates a dataset for the given city with disjoint splits.
+    ///
+    /// The generation and shuffling are both derived from `seed`, so the
+    /// same `(params, sizes, seed)` triple always produces the identical
+    /// dataset.
+    pub fn generate(params: CityParams, sizes: SplitSizes, seed: u64) -> Dataset {
+        let mut generator = CityGenerator::new(params, seed);
+        let mut pool = generator.generate(sizes.total());
+        // Fisher–Yates shuffle so splits are not correlated with
+        // generation order.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5f37_59df);
+        for i in (1..pool.len()).rev() {
+            let j = rng.random_range(0..=i);
+            pool.swap(i, j);
+        }
+        let mut take = |n: usize| -> Vec<Trajectory> { pool.drain(..n).collect() };
+        Dataset {
+            seeds: take(sizes.seeds),
+            validation: take(sizes.validation),
+            corpus: take(sizes.corpus),
+            query: take(sizes.query),
+            database: take(sizes.database),
+        }
+    }
+
+    /// All trajectories that participate in normalization statistics
+    /// (training-visible data only: seeds + validation + corpus).
+    pub fn training_visible(&self) -> Vec<Trajectory> {
+        let mut all = self.seeds.clone();
+        all.extend(self.validation.iter().cloned());
+        all.extend(self.corpus.iter().cloned());
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_respected() {
+        let sizes = SplitSizes::tiny();
+        let d = Dataset::generate(CityParams::test_city(), sizes, 7);
+        assert_eq!(d.seeds.len(), sizes.seeds);
+        assert_eq!(d.validation.len(), sizes.validation);
+        assert_eq!(d.corpus.len(), sizes.corpus);
+        assert_eq!(d.query.len(), sizes.query);
+        assert_eq!(d.database.len(), sizes.database);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(CityParams::test_city(), SplitSizes::tiny(), 3);
+        let b = Dataset::generate(CityParams::test_city(), SplitSizes::tiny(), 3);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.database, b.database);
+    }
+
+    #[test]
+    fn splits_are_disjoint() {
+        let d = Dataset::generate(CityParams::test_city(), SplitSizes::tiny(), 11);
+        // Trajectories are continuous random data, so equality across
+        // splits would mean the split logic reused an element.
+        for s in &d.seeds {
+            assert!(!d.validation.contains(s));
+            assert!(!d.query.contains(s));
+            assert!(!d.database.contains(s));
+        }
+    }
+}

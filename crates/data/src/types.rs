@@ -1,0 +1,238 @@
+//! Core trajectory types.
+//!
+//! Coordinates are planar (meters in a local projection). The paper works
+//! on GPS longitude/latitude but immediately Gaussian-normalizes the
+//! coordinates (Eq. 10) and measures point distances with the Euclidean
+//! metric, so a planar frame is the faithful representation.
+
+/// A single 2-D location sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// East–west coordinate, meters.
+    pub x: f64,
+    /// North–south coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt in inner loops).
+    pub fn squared_distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// A GPS trajectory: an ordered sequence of points (Definition 1; the
+/// paper discards timestamps, so we store only the spatial sequence).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    /// The ordered point sequence.
+    pub points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from points.
+    pub fn new(points: Vec<Point>) -> Self {
+        Trajectory { points }
+    }
+
+    /// Creates a trajectory from `(x, y)` pairs.
+    pub fn from_xy(xy: &[(f64, f64)]) -> Self {
+        Trajectory { points: xy.iter().map(|&(x, y)| Point::new(x, y)).collect() }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the trajectory has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// First point.
+    ///
+    /// # Panics
+    /// Panics on an empty trajectory.
+    pub fn first(&self) -> Point {
+        self.points[0]
+    }
+
+    /// Last point.
+    ///
+    /// # Panics
+    /// Panics on an empty trajectory.
+    pub fn last(&self) -> Point {
+        *self.points.last().expect("empty trajectory")
+    }
+
+    /// The reversed trajectory `T_r` (Definition 4).
+    pub fn reversed(&self) -> Trajectory {
+        let mut points = self.points.clone();
+        points.reverse();
+        Trajectory { points }
+    }
+
+    /// Total polyline length in meters.
+    pub fn path_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum()
+    }
+
+    /// Axis-aligned bounding box, or `None` if empty.
+    pub fn bbox(&self) -> Option<BoundingBox> {
+        let first = *self.points.first()?;
+        let mut bb = BoundingBox {
+            min_x: first.x,
+            min_y: first.y,
+            max_x: first.x,
+            max_y: first.y,
+        };
+        for p in &self.points[1..] {
+            bb.expand(*p);
+        }
+        Some(bb)
+    }
+}
+
+/// Axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum x.
+    pub min_x: f64,
+    /// Minimum y.
+    pub min_y: f64,
+    /// Maximum x.
+    pub max_x: f64,
+    /// Maximum y.
+    pub max_y: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box spanning `[0, width] x [0, height]`.
+    pub fn from_extent(width: f64, height: f64) -> Self {
+        BoundingBox { min_x: 0.0, min_y: 0.0, max_x: width, max_y: height }
+    }
+
+    /// Width in meters.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height in meters.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Union of two boxes.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        BoundingBox {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// True when `p` lies inside (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Clamps a point into the box.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min_x, self.max_x), p.y.clamp(self.min_y, self.max_y))
+    }
+
+    /// Bounding box of a whole dataset, or `None` if no points exist.
+    pub fn of_dataset(trajectories: &[Trajectory]) -> Option<BoundingBox> {
+        let mut acc: Option<BoundingBox> = None;
+        for t in trajectories {
+            if let Some(bb) = t.bbox() {
+                acc = Some(match acc {
+                    None => bb,
+                    Some(a) => a.union(&bb),
+                });
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.squared_distance(&b), 25.0);
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(t.reversed().reversed(), t);
+        assert_eq!(t.reversed().first(), t.last());
+        assert_eq!(t.reversed().last(), t.first());
+    }
+
+    #[test]
+    fn path_length_accumulates() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (3.0, 4.0), (3.0, 10.0)]);
+        assert!((t.path_length() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_contains_all_points() {
+        let t = Trajectory::from_xy(&[(1.0, 5.0), (-2.0, 3.0), (4.0, -1.0)]);
+        let bb = t.bbox().unwrap();
+        assert_eq!(bb.min_x, -2.0);
+        assert_eq!(bb.max_y, 5.0);
+        assert!(t.points.iter().all(|&p| bb.contains(p)));
+    }
+
+    #[test]
+    fn bbox_of_empty_is_none() {
+        assert!(Trajectory::default().bbox().is_none());
+        assert!(BoundingBox::of_dataset(&[]).is_none());
+    }
+
+    #[test]
+    fn bbox_union_and_clamp() {
+        let a = BoundingBox::from_extent(10.0, 10.0);
+        let b = BoundingBox { min_x: -5.0, min_y: 2.0, max_x: 3.0, max_y: 20.0 };
+        let u = a.union(&b);
+        assert_eq!(u.min_x, -5.0);
+        assert_eq!(u.max_x, 10.0);
+        assert_eq!(u.max_y, 20.0);
+        let p = u.clamp(Point::new(100.0, -100.0));
+        assert_eq!(p, Point::new(10.0, 0.0));
+    }
+}

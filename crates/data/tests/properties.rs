@@ -1,0 +1,92 @@
+//! Property-based tests of trajectory types, normalization, and
+//! augmentations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_data::{augment, normalize::NormStats, BoundingBox, Point, Trajectory};
+
+fn trajectory_strategy() -> impl Strategy<Value = Trajectory> {
+    proptest::collection::vec((-5000.0f64..5000.0, -5000.0f64..5000.0), 2..40)
+        .prop_map(|xy| Trajectory::from_xy(&xy))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reversal_preserves_length_and_path(t in trajectory_strategy()) {
+        let r = t.reversed();
+        prop_assert_eq!(r.len(), t.len());
+        prop_assert!((r.path_length() - t.path_length()).abs() < 1e-6);
+        prop_assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn bbox_is_tight(t in trajectory_strategy()) {
+        let bb = t.bbox().unwrap();
+        for &p in &t.points {
+            prop_assert!(bb.contains(p));
+        }
+        // at least one point touches each side
+        let eps = 1e-9;
+        prop_assert!(t.points.iter().any(|p| (p.x - bb.min_x).abs() < eps));
+        prop_assert!(t.points.iter().any(|p| (p.x - bb.max_x).abs() < eps));
+        prop_assert!(t.points.iter().any(|p| (p.y - bb.min_y).abs() < eps));
+        prop_assert!(t.points.iter().any(|p| (p.y - bb.max_y).abs() < eps));
+    }
+
+    #[test]
+    fn normalization_roundtrips(t in trajectory_strategy()) {
+        let stats = NormStats::fit(std::slice::from_ref(&t));
+        let feats = stats.apply(&t);
+        prop_assert_eq!(feats.len(), t.len() * 2);
+        for (i, pair) in feats.chunks_exact(2).enumerate() {
+            let back = stats.invert(pair[0], pair[1]);
+            // f32 round-trip on +-5 km coordinates: sub-meter accuracy
+            prop_assert!((back.x - t.points[i].x).abs() < 1.0);
+            prop_assert!((back.y - t.points[i].y).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_endpooints_and_order(
+        t in trajectory_strategy(),
+        rate in 0.0f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = augment::downsample(&t, &mut rng, rate);
+        prop_assert!(d.len() >= 2);
+        prop_assert_eq!(d.first(), t.first());
+        prop_assert_eq!(d.last(), t.last());
+        // order preserved: every kept point appears in the original order
+        let mut cursor = 0usize;
+        for p in &d.points {
+            let found = t.points[cursor..].iter().position(|q| q == p);
+            prop_assert!(found.is_some(), "downsampled point not in source order");
+            cursor += found.unwrap() + 1;
+        }
+    }
+
+    #[test]
+    fn distort_moves_no_point_without_rate(
+        t in trajectory_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(augment::distort(&t, &mut rng, 0.0, 100.0), t);
+    }
+
+    #[test]
+    fn clamp_always_lands_inside(
+        x in -1e6f64..1e6,
+        y in -1e6f64..1e6,
+        w in 1.0f64..10_000.0,
+        h in 1.0f64..10_000.0,
+    ) {
+        let bb = BoundingBox::from_extent(w, h);
+        let p = bb.clamp(Point::new(x, y));
+        prop_assert!(bb.contains(p));
+    }
+}

@@ -1,0 +1,82 @@
+//! Lower bounds on trajectory distances (Lemma 1 of the paper).
+//!
+//! For DTW and the discrete Fréchet distance the first points of the two
+//! trajectories always match, as do the last points, so the pointwise
+//! Euclidean distance between either pair lower-bounds the full distance.
+//! The paper uses this to justify the lower-bound induced read-out layer
+//! (Eq. 13): the first token's embedding is used as the trajectory
+//! embedding, and reverse augmentation covers the last-point bound.
+
+use traj_data::Trajectory;
+
+/// `d(first(a), first(b))` — a lower bound of DTW and Fréchet (Lemma 1).
+pub fn first_point_bound(a: &Trajectory, b: &Trajectory) -> f64 {
+    a.first().distance(&b.first())
+}
+
+/// `d(last(a), last(b))` — also a lower bound of DTW and Fréchet.
+pub fn last_point_bound(a: &Trajectory, b: &Trajectory) -> f64 {
+    a.last().distance(&b.last())
+}
+
+/// The tighter of the two endpoint bounds.
+pub fn endpoint_bound(a: &Trajectory, b: &Trajectory) -> f64 {
+    first_point_bound(a, b).max(last_point_bound(a, b))
+}
+
+/// LB_Kim-style bound: the maximum over the four endpoint-feature
+/// distances that all lower-bound DTW with endpoint-matching, using the
+/// first and last points.
+pub fn lb_kim(a: &Trajectory, b: &Trajectory) -> f64 {
+    first_point_bound(a, b).max(last_point_bound(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw;
+    use crate::frechet::frechet;
+    use traj_data::Trajectory;
+
+    fn zigzag(seed: u64, n: usize) -> Trajectory {
+        // Simple deterministic pseudo-random polyline.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0 - 5.0
+        };
+        Trajectory::from_xy(&(0..n).map(|_| (next(), next())).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn endpoint_bounds_hold_for_dtw() {
+        for s in 0..20 {
+            let a = zigzag(s, 6 + (s % 5) as usize);
+            let b = zigzag(s + 100, 4 + (s % 7) as usize);
+            let d = dtw(&a, &b);
+            assert!(first_point_bound(&a, &b) <= d + 1e-9);
+            assert!(last_point_bound(&a, &b) <= d + 1e-9);
+            assert!(endpoint_bound(&a, &b) <= d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn endpoint_bounds_hold_for_frechet() {
+        for s in 0..20 {
+            let a = zigzag(s, 5 + (s % 4) as usize);
+            let b = zigzag(s + 77, 3 + (s % 6) as usize);
+            let f = frechet(&a, &b);
+            assert!(first_point_bound(&a, &b) <= f + 1e-9);
+            assert!(last_point_bound(&a, &b) <= f + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_for_single_points() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0)]);
+        let b = Trajectory::from_xy(&[(3.0, 4.0)]);
+        assert_eq!(endpoint_bound(&a, &b), 5.0);
+        assert_eq!(dtw(&a, &b), 5.0);
+        assert_eq!(frechet(&a, &b), 5.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Edit-based trajectory distances: ERP (Edit distance with Real Penalty,
+//! Chen & Ng 2004, cited as reference 17 in the paper) and EDR (Edit Distance on
+//! Real sequences). These round out the measure suite a downstream user
+//! of a trajectory-similarity library expects.
+
+use traj_data::{Point, Trajectory};
+
+/// Edit distance with Real Penalty against a gap reference point `g`
+/// (commonly the origin of the normalized space). ERP is a metric.
+///
+/// # Panics
+/// Panics if either trajectory is empty.
+pub fn erp(a: &Trajectory, b: &Trajectory, g: Point) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "ERP of an empty trajectory");
+    let n = a.len();
+    let m = b.len();
+    // prev[j] = cost of aligning a[..i] with b[..j]
+    let mut prev: Vec<f64> = Vec::with_capacity(m + 1);
+    prev.push(0.0);
+    for j in 0..m {
+        prev.push(prev[j] + b.points[j].distance(&g));
+    }
+    let mut cur = vec![0.0f64; m + 1];
+    for i in 0..n {
+        cur[0] = prev[0] + a.points[i].distance(&g);
+        for j in 0..m {
+            let sub = prev[j] + a.points[i].distance(&b.points[j]);
+            let del = prev[j + 1] + a.points[i].distance(&g);
+            let ins = cur[j] + b.points[j].distance(&g);
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Edit Distance on Real sequences: points match when within `eps`;
+/// insert/delete/substitute all cost 1. Returns a count in `[0,
+/// max(n, m)]`.
+///
+/// # Panics
+/// Panics if either trajectory is empty.
+pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "EDR of an empty trajectory");
+    let n = a.len();
+    let m = b.len();
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64).collect();
+    let mut cur = vec![0.0f64; m + 1];
+    for i in 0..n {
+        cur[0] = (i + 1) as f64;
+        for j in 0..m {
+            let matches = a.points[i].distance(&b.points[j]) <= eps;
+            let sub = prev[j] + if matches { 0.0 } else { 1.0 };
+            let del = prev[j + 1] + 1.0;
+            let ins = cur[j] + 1.0;
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::Trajectory;
+
+    fn t(xy: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(xy)
+    }
+
+    const G: Point = Point::new(0.0, 0.0);
+
+    #[test]
+    fn erp_identical_is_zero() {
+        let a = t(&[(1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(erp(&a, &a, G), 0.0);
+    }
+
+    #[test]
+    fn erp_gap_cost_for_extra_point() {
+        // b is a plus one extra point at (3,4): cheapest edit deletes it
+        // with penalty d((3,4), g) = 5.
+        let a = t(&[(1.0, 0.0), (2.0, 0.0)]);
+        let b = t(&[(1.0, 0.0), (2.0, 0.0), (3.0, 4.0)]);
+        assert!((erp(&a, &b, G) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erp_symmetric_and_triangle() {
+        let a = t(&[(0.0, 0.0), (2.0, 1.0)]);
+        let b = t(&[(1.0, 1.0), (3.0, 0.0), (4.0, 2.0)]);
+        let c = t(&[(0.5, 0.5)]);
+        let ab = erp(&a, &b, G);
+        let ba = erp(&b, &a, G);
+        assert!((ab - ba).abs() < 1e-12);
+        // ERP is a metric: triangle inequality must hold.
+        let ac = erp(&a, &c, G);
+        let cb = erp(&c, &b, G);
+        assert!(ab <= ac + cb + 1e-9);
+    }
+
+    #[test]
+    fn erp_reverse_symmetry() {
+        let a = t(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        let b = t(&[(0.5, 0.5), (2.0, 2.0)]);
+        assert!((erp(&a, &b, G) - erp(&a.reversed(), &b.reversed(), G)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edr_counts_mismatches() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = t(&[(0.0, 0.0), (1.0, 0.0), (50.0, 0.0)]);
+        assert_eq!(edr(&a, &b, 0.5), 1.0);
+        assert_eq!(edr(&a, &a, 0.5), 0.0);
+    }
+
+    #[test]
+    fn edr_bounded_by_max_len() {
+        let a = t(&[(0.0, 0.0); 4]);
+        let b = t(&[(100.0, 100.0); 7]);
+        assert_eq!(edr(&a, &b, 1.0), 7.0);
+    }
+
+    #[test]
+    fn edr_length_difference_is_floor() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(edr(&a, &b, 0.5), 2.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Discrete Fréchet distance (Definition 3, second recurrence of Eq. 1).
+
+use traj_data::Trajectory;
+
+/// Discrete Fréchet distance with the recurrence
+/// `F[i][j] = max(min(F[i-1][j], F[i][j-1], F[i-1][j-1]), d(p_i, q_j))`.
+///
+/// Runs in `O(n*m)` time and `O(min(n, m))` space.
+///
+/// # Panics
+/// Panics if either trajectory is empty.
+pub fn frechet(a: &Trajectory, b: &Trajectory) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "Frechet of an empty trajectory");
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let m = short.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+    for (i, p) in long.points.iter().enumerate() {
+        for (j, q) in short.points.iter().enumerate() {
+            let cost = p.distance(q);
+            let reach = if i == 0 && j == 0 {
+                cost
+            } else {
+                let up = if i > 0 { prev[j] } else { f64::INFINITY };
+                let left = if j > 0 { cur[j - 1] } else { f64::INFINITY };
+                let diag = if i > 0 && j > 0 { prev[j - 1] } else { f64::INFINITY };
+                up.min(left).min(diag).max(cost)
+            };
+            cur[j] = reach;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::Trajectory;
+
+    fn t(xy: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(xy)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(frechet(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn parallel_lines_distance_is_offset() {
+        // Two parallel, equally sampled lines: the dog leash never needs
+        // more than the vertical offset.
+        let a = t(&(0..8).map(|i| (i as f64, 0.0)).collect::<Vec<_>>());
+        let b = t(&(0..8).map(|i| (i as f64, 3.0)).collect::<Vec<_>>());
+        assert!((frechet(&a, &b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frechet_is_bottleneck_not_sum() {
+        // Unlike DTW, adding more matched points must not increase the
+        // Fréchet distance.
+        let a = t(&(0..4).map(|i| (i as f64, 0.0)).collect::<Vec<_>>());
+        let b = t(&(0..4).map(|i| (i as f64, 2.0)).collect::<Vec<_>>());
+        let short = frechet(&a, &b);
+        let a2 = t(&(0..40).map(|i| (i as f64 * 0.1, 0.0)).collect::<Vec<_>>());
+        let b2 = t(&(0..40).map(|i| (i as f64 * 0.1, 2.0)).collect::<Vec<_>>());
+        assert!((frechet(&a2, &b2) - short).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t(&[(0.0, 0.0), (4.0, 1.0), (6.0, -2.0)]);
+        let b = t(&[(1.0, 1.0), (3.0, 0.0), (7.0, 2.0), (8.0, 0.0)]);
+        assert!((frechet(&a, &b) - frechet(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_symmetry_holds() {
+        let a = t(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0), (4.0, 4.0)]);
+        let b = t(&[(0.5, 0.5), (2.0, 2.0), (5.0, 3.0)]);
+        assert!((frechet(&a, &b) - frechet(&a.reversed(), &b.reversed())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bounded_by_endpoint_distance() {
+        // In the discrete Fréchet distance the first points always match,
+        // so d(first, first) is a lower bound (the paper's Lemma 1 note).
+        let a = t(&[(0.0, 0.0), (5.0, 5.0)]);
+        let b = t(&[(3.0, 4.0), (6.0, 6.0)]);
+        assert!(frechet(&a, &b) >= a.first().distance(&b.first()) - 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Hausdorff distance between trajectories viewed as point sets.
+
+use traj_data::Trajectory;
+
+/// Directed Hausdorff distance `max_{p in a} min_{q in b} d(p, q)`.
+///
+/// # Panics
+/// Panics if either trajectory is empty.
+pub fn directed_hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "Hausdorff of an empty trajectory");
+    let mut worst = 0.0f64;
+    for p in &a.points {
+        let mut best = f64::INFINITY;
+        for q in &b.points {
+            let d = p.squared_distance(q);
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    break;
+                }
+            }
+        }
+        if best > worst {
+            worst = best;
+        }
+    }
+    worst.sqrt()
+}
+
+/// Symmetric Hausdorff distance
+/// `max(directed(a, b), directed(b, a))`.
+pub fn hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::Trajectory;
+
+    fn t(xy: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(xy)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(hausdorff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn directed_is_asymmetric() {
+        // b covers a, but a does not cover b's far point.
+        let a = t(&[(0.0, 0.0)]);
+        let b = t(&[(0.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(directed_hausdorff(&a, &b), 0.0);
+        assert_eq!(directed_hausdorff(&b, &a), 10.0);
+        assert_eq!(hausdorff(&a, &b), 10.0);
+    }
+
+    #[test]
+    fn symmetric_by_construction() {
+        let a = t(&[(0.0, 0.0), (3.0, 1.0), (6.0, 0.0)]);
+        let b = t(&[(1.0, 4.0), (5.0, 2.0)]);
+        assert_eq!(hausdorff(&a, &b), hausdorff(&b, &a));
+    }
+
+    #[test]
+    fn order_invariant() {
+        // Hausdorff treats trajectories as sets: permuting points changes
+        // nothing (this is why mean pooling fits it best, per Section V-D).
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let shuffled = t(&[(2.0, 0.0), (0.0, 0.0), (1.0, 1.0)]);
+        let b = t(&[(0.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(hausdorff(&a, &b), hausdorff(&shuffled, &b));
+    }
+
+    #[test]
+    fn reverse_symmetry_holds() {
+        let a = t(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        let b = t(&[(0.5, 0.5), (2.0, 2.0)]);
+        assert_eq!(hausdorff(&a, &b), hausdorff(&a.reversed(), &b.reversed()));
+    }
+
+    #[test]
+    fn known_value() {
+        let a = t(&[(0.0, 0.0), (4.0, 0.0)]);
+        let b = t(&[(0.0, 3.0), (4.0, 3.0)]);
+        assert!((hausdorff(&a, &b) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # traj-dist — exact trajectory distance measures
+//!
+//! Implements the ground-truth distance functions the paper approximates
+//! (DTW, discrete Fréchet, Hausdorff — Definition 3) plus ERP, EDR, and
+//! constrained DTW, their endpoint lower bounds (Lemma 1), and parallel
+//! pairwise distance matrices with the `exp(-theta * D)` similarity
+//! transform used as WMSE supervision (Section IV-F).
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dtw;
+pub mod edit;
+pub mod frechet;
+pub mod hausdorff;
+pub mod matrix;
+pub mod measure;
+
+pub use bounds::{endpoint_bound, first_point_bound, last_point_bound};
+pub use dtw::{cdtw, dtw};
+pub use edit::{edr, erp};
+pub use frechet::frechet;
+pub use hausdorff::{directed_hausdorff, hausdorff};
+pub use matrix::{auto_theta, distance_matrix, similarity_matrix, DistanceMatrix};
+pub use measure::Measure;

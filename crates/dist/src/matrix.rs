@@ -1,0 +1,260 @@
+//! Pairwise distance matrices and the distance→similarity transform used
+//! as WMSE supervision (Section IV-F).
+//!
+//! Computing the exact `N x N` matrix is the expensive step the paper
+//! complains about ("more than 5 hours ... with 20 multiprocessors"), so
+//! this module parallelizes it across all available cores with
+//! `std::thread::scope`.
+
+use crate::measure::Measure;
+use traj_data::Trajectory;
+
+/// A symmetric `n x n` matrix of pairwise distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DistanceMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets `(i, j)` and `(j, i)`.
+    #[inline]
+    pub fn set_sym(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f64 {
+        self.data.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Indices of the `k` smallest entries in row `i`, excluding the
+    /// diagonal — the exact top-k neighbours used as ground truth.
+    pub fn top_k_row(&self, i: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.n).filter(|&j| j != i).collect();
+        idx.sort_by(|&a, &b| {
+            self.get(i, a)
+                .partial_cmp(&self.get(i, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Computes the full symmetric pairwise distance matrix in parallel.
+///
+/// Work is split by strided rows so threads receive balanced loads even
+/// though row `i` only computes `n - i` cells.
+pub fn distance_matrix(trajectories: &[Trajectory], measure: Measure) -> DistanceMatrix {
+    let n = trajectories.len();
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = threads.min(n.max(1));
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+    if threads <= 1 || n < 8 {
+        for i in 0..n {
+            rows.push(upper_row(trajectories, measure, i));
+        }
+    } else {
+        let mut results: Vec<Option<Vec<f64>>> = vec![None; n];
+        std::thread::scope(|scope| {
+            // Strided row assignment balances work: row i costs n - i
+            // distance computations, so contiguous chunks would leave the
+            // last thread nearly idle.
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = t;
+                        while i < n {
+                            out.push((i, upper_row(trajectories, measure, i)));
+                            i += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, row) in h.join().expect("distance worker panicked") {
+                    results[i] = Some(row);
+                }
+            }
+        });
+        rows = results.into_iter().map(|r| r.expect("row computed")).collect();
+    }
+    let mut m = DistanceMatrix::zeros(n);
+    for (i, row) in rows.iter().enumerate() {
+        for (off, &v) in row.iter().enumerate() {
+            let j = i + 1 + off;
+            m.set_sym(i, j, v);
+        }
+    }
+    m
+}
+
+/// Distances from trajectory `i` to all `j > i`.
+fn upper_row(trajectories: &[Trajectory], measure: Measure, i: usize) -> Vec<f64> {
+    (i + 1..trajectories.len())
+        .map(|j| measure.distance(&trajectories[i], &trajectories[j]))
+        .collect()
+}
+
+/// Transforms a distance matrix into the similarity supervision matrix of
+/// the paper: `S_ij = exp(-theta * D_ij) / max(exp(-theta * D))`.
+///
+/// The denominator is the largest similarity value (attained at the
+/// smallest distance, i.e. the diagonal where `D_ii = 0`), so the output
+/// lies in `(0, 1]` with `S_ii = 1`.
+pub fn similarity_matrix(d: &DistanceMatrix, theta: f64) -> DistanceMatrix {
+    let n = d.n();
+    let mut s = DistanceMatrix::zeros(n);
+    let mut max_sim = f64::MIN;
+    for i in 0..n {
+        for j in 0..n {
+            let v = (-theta * d.get(i, j)).exp();
+            s.data[i * n + j] = v;
+            if v > max_sim {
+                max_sim = v;
+            }
+        }
+    }
+    if max_sim > 0.0 {
+        for v in &mut s.data {
+            *v /= max_sim;
+        }
+    }
+    s
+}
+
+/// Picks `theta` so that the median off-diagonal distance maps to
+/// similarity ~`target` (default 0.5 works well); this mirrors the
+/// "tunable hyper-parameter to smooth the similarity distribution".
+pub fn auto_theta(d: &DistanceMatrix, target: f64) -> f64 {
+    let n = d.n();
+    let mut vals: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            vals.push(d.get(i, j));
+        }
+    }
+    if vals.is_empty() {
+        return 1.0;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = vals[vals.len() / 2].max(1e-9);
+    -target.clamp(1e-6, 0.999_999).ln() / median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::{CityGenerator, CityParams, Trajectory};
+
+    fn small_set() -> Vec<Trajectory> {
+        CityGenerator::new(CityParams::test_city(), 5).generate(12)
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let ts = small_set();
+        let m = distance_matrix(&ts, Measure::Dtw);
+        for i in 0..ts.len() {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..ts.len() {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ts = small_set();
+        let m = distance_matrix(&ts, Measure::Frechet);
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                if i != j {
+                    let direct = Measure::Frechet.distance(&ts[i], &ts[j]);
+                    assert!((m.get(i, j) - direct).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_is_one_on_diagonal_and_monotone() {
+        let ts = small_set();
+        let d = distance_matrix(&ts, Measure::Hausdorff);
+        let s = similarity_matrix(&d, auto_theta(&d, 0.5));
+        for i in 0..ts.len() {
+            assert!((s.get(i, i) - 1.0).abs() < 1e-9);
+            for j in 0..ts.len() {
+                assert!(s.get(i, j) > 0.0 && s.get(i, j) <= 1.0 + 1e-9);
+            }
+        }
+        // larger distance => smaller similarity
+        let (mut dmax, mut dmin) = (0usize, 1usize);
+        for j in 1..ts.len() {
+            if d.get(0, j) > d.get(0, dmax) {
+                dmax = j;
+            }
+            if d.get(0, j) < d.get(0, dmin) {
+                dmin = j;
+            }
+        }
+        assert!(s.get(0, dmin) >= s.get(0, dmax));
+    }
+
+    #[test]
+    fn auto_theta_hits_target_at_median() {
+        let ts = small_set();
+        let d = distance_matrix(&ts, Measure::Dtw);
+        let theta = auto_theta(&d, 0.5);
+        // median distance should map to ~0.5 before normalization
+        let mut vals: Vec<f64> = Vec::new();
+        for i in 0..ts.len() {
+            for j in (i + 1)..ts.len() {
+                vals.push(d.get(i, j));
+            }
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        assert!(((-theta * median).exp() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_row_returns_nearest() {
+        let ts = small_set();
+        let d = distance_matrix(&ts, Measure::Dtw);
+        let top = d.top_k_row(0, 3);
+        assert_eq!(top.len(), 3);
+        // every excluded index must be at least as far as the included ones
+        let worst_included = top.iter().map(|&j| d.get(0, j)).fold(0.0, f64::max);
+        for j in 1..ts.len() {
+            if !top.contains(&j) {
+                assert!(d.get(0, j) >= worst_included - 1e-12);
+            }
+        }
+    }
+}

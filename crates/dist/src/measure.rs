@@ -1,0 +1,102 @@
+//! A unified handle over all supported trajectory distance functions.
+
+use crate::dtw::{cdtw, dtw};
+use crate::edit::{edr, erp};
+use crate::frechet::frechet;
+use crate::hausdorff::hausdorff;
+use traj_data::{Point, Trajectory};
+
+/// The trajectory distance functions supported by this library.
+///
+/// The paper's evaluation covers [`Measure::Dtw`], [`Measure::Frechet`],
+/// and [`Measure::Hausdorff`]; the rest are provided for downstream users
+/// and for the related-work comparison (cDTW).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measure {
+    /// Dynamic Time Warping.
+    Dtw,
+    /// Discrete Fréchet distance.
+    Frechet,
+    /// Symmetric Hausdorff distance.
+    Hausdorff,
+    /// Constrained DTW with the given Sakoe–Chiba half band width.
+    CDtw(usize),
+    /// Edit distance with Real Penalty, with the given gap point.
+    Erp(Point),
+    /// Edit Distance on Real sequences, with the given match threshold.
+    Edr(f64),
+}
+
+impl Measure {
+    /// Computes the distance between two trajectories.
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        match *self {
+            Measure::Dtw => dtw(a, b),
+            Measure::Frechet => frechet(a, b),
+            Measure::Hausdorff => hausdorff(a, b),
+            Measure::CDtw(band) => cdtw(a, b, band),
+            Measure::Erp(g) => erp(a, b, g),
+            Measure::Edr(eps) => edr(a, b, eps),
+        }
+    }
+
+    /// Whether the measure satisfies the reverse symmetric property
+    /// (Lemma 2). All of ours do; the flag exists so model code can gate
+    /// reverse augmentation on it.
+    pub fn is_reverse_symmetric(&self) -> bool {
+        true
+    }
+
+    /// Whether the endpoint lower bound of Lemma 1 applies (DTW and
+    /// Fréchet; also their constrained variants).
+    pub fn has_endpoint_lower_bound(&self) -> bool {
+        matches!(self, Measure::Dtw | Measure::Frechet | Measure::CDtw(_))
+    }
+
+    /// Short human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Measure::Dtw => "DTW",
+            Measure::Frechet => "Frechet",
+            Measure::Hausdorff => "Hausdorff",
+            Measure::CDtw(_) => "cDTW",
+            Measure::Erp(_) => "ERP",
+            Measure::Edr(_) => "EDR",
+        }
+    }
+
+    /// The three measures of the paper's evaluation.
+    pub fn paper_suite() -> [Measure; 3] {
+        [Measure::Frechet, Measure::Hausdorff, Measure::Dtw]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        let b = Trajectory::from_xy(&[(0.5, 0.0), (1.5, 1.5)]);
+        assert_eq!(Measure::Dtw.distance(&a, &b), dtw(&a, &b));
+        assert_eq!(Measure::Frechet.distance(&a, &b), frechet(&a, &b));
+        assert_eq!(Measure::Hausdorff.distance(&a, &b), hausdorff(&a, &b));
+        assert_eq!(Measure::CDtw(1).distance(&a, &b), cdtw(&a, &b, 1));
+    }
+
+    #[test]
+    fn lower_bound_flags() {
+        assert!(Measure::Dtw.has_endpoint_lower_bound());
+        assert!(Measure::Frechet.has_endpoint_lower_bound());
+        assert!(!Measure::Hausdorff.has_endpoint_lower_bound());
+    }
+
+    #[test]
+    fn paper_suite_is_three_distinct_measures() {
+        let suite = Measure::paper_suite();
+        assert_eq!(suite.len(), 3);
+        assert_ne!(suite[0], suite[1]);
+        assert_ne!(suite[1], suite[2]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the distance measures: the paper's lemmas
+//! must hold on arbitrary trajectories, not just examples.
+
+use proptest::prelude::*;
+use traj_data::{Point, Trajectory};
+use traj_dist::{
+    cdtw, dtw, edr, endpoint_bound, erp, frechet, hausdorff, Measure,
+};
+
+fn trajectory_strategy(max_len: usize) -> impl Strategy<Value = Trajectory> {
+    proptest::collection::vec((-1000.0f64..1000.0, -1000.0f64..1000.0), 1..max_len)
+        .prop_map(|xy| Trajectory::from_xy(&xy))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_measures_are_symmetric(
+        a in trajectory_strategy(12),
+        b in trajectory_strategy(12),
+    ) {
+        for m in [Measure::Dtw, Measure::Frechet, Measure::Hausdorff,
+                  Measure::Erp(Point::new(0.0, 0.0)), Measure::Edr(10.0)] {
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            prop_assert!((ab - ba).abs() <= 1e-6 * (1.0 + ab.abs()),
+                "{} not symmetric: {} vs {}", m.name(), ab, ba);
+        }
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(a in trajectory_strategy(12)) {
+        prop_assert_eq!(dtw(&a, &a), 0.0);
+        prop_assert_eq!(frechet(&a, &a), 0.0);
+        prop_assert_eq!(hausdorff(&a, &a), 0.0);
+        prop_assert_eq!(erp(&a, &a, Point::new(0.0, 0.0)), 0.0);
+        prop_assert_eq!(edr(&a, &a, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lemma2_reverse_symmetry(
+        a in trajectory_strategy(12),
+        b in trajectory_strategy(12),
+    ) {
+        // Lemma 2: DTW, Frechet, Hausdorff satisfy the reverse symmetric
+        // property.
+        for m in Measure::paper_suite() {
+            let fwd = m.distance(&a, &b);
+            let rev = m.distance(&a.reversed(), &b.reversed());
+            prop_assert!((fwd - rev).abs() <= 1e-6 * (1.0 + fwd.abs()),
+                "{} violates reverse symmetry: {} vs {}", m.name(), fwd, rev);
+        }
+    }
+
+    #[test]
+    fn lemma1_endpoint_lower_bound(
+        a in trajectory_strategy(12),
+        b in trajectory_strategy(12),
+    ) {
+        // Lemma 1: d(first, first) and d(last, last) lower-bound DTW and
+        // the discrete Frechet distance.
+        let lb = endpoint_bound(&a, &b);
+        prop_assert!(lb <= dtw(&a, &b) + 1e-9);
+        prop_assert!(lb <= frechet(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn frechet_lower_bounds_dtw_is_false_but_max_point_gap_holds(
+        a in trajectory_strategy(10),
+        b in trajectory_strategy(10),
+    ) {
+        // Sanity relations: Frechet >= Hausdorff (the leash must cover
+        // the worst point), and DTW >= Frechet when both trajectories
+        // have at least one point (the sum over a path >= its max term).
+        let f = frechet(&a, &b);
+        let h = hausdorff(&a, &b);
+        prop_assert!(f + 1e-9 >= h, "frechet {} < hausdorff {}", f, h);
+        prop_assert!(dtw(&a, &b) + 1e-9 >= f);
+    }
+
+    #[test]
+    fn cdtw_band_monotone_and_above_dtw(
+        a in trajectory_strategy(10),
+        b in trajectory_strategy(10),
+    ) {
+        let exact = dtw(&a, &b);
+        let mut last = f64::INFINITY;
+        for band in [1usize, 2, 4, 16] {
+            let c = cdtw(&a, &b, band);
+            prop_assert!(c + 1e-9 >= exact);
+            prop_assert!(c <= last + 1e-9);
+            last = c;
+        }
+        prop_assert!((cdtw(&a, &b, usize::MAX) - exact).abs() < 1e-6 * (1.0 + exact));
+    }
+
+    #[test]
+    fn erp_satisfies_triangle_inequality(
+        a in trajectory_strategy(8),
+        b in trajectory_strategy(8),
+        c in trajectory_strategy(8),
+    ) {
+        // ERP is a metric (Chen & Ng 2004).
+        let g = Point::new(0.0, 0.0);
+        let ab = erp(&a, &b, g);
+        let ac = erp(&a, &c, g);
+        let cb = erp(&c, &b, g);
+        prop_assert!(ab <= ac + cb + 1e-6 * (1.0 + ab));
+    }
+
+    #[test]
+    fn edr_bounded_by_max_length(
+        a in trajectory_strategy(10),
+        b in trajectory_strategy(10),
+    ) {
+        let e = edr(&a, &b, 5.0);
+        prop_assert!(e >= (a.len() as f64 - b.len() as f64).abs() - 1e-9);
+        prop_assert!(e <= a.len().max(b.len()) as f64 + 1e-9);
+    }
+
+    #[test]
+    fn translation_invariance_of_shape_measures(
+        a in trajectory_strategy(8),
+        b in trajectory_strategy(8),
+        dx in -500.0f64..500.0,
+        dy in -500.0f64..500.0,
+    ) {
+        // Translating both trajectories by the same vector must not
+        // change DTW / Frechet / Hausdorff.
+        let shift = |t: &Trajectory| {
+            Trajectory::new(t.points.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect())
+        };
+        let (a2, b2) = (shift(&a), shift(&b));
+        for m in Measure::paper_suite() {
+            let before = m.distance(&a, &b);
+            let after = m.distance(&a2, &b2);
+            prop_assert!((before - after).abs() <= 1e-6 * (1.0 + before.abs()));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Exact ground-truth top-k computation for the test protocol
+//! (Section V-A2): each query's true nearest neighbours in the database
+//! under the chosen measure, computed in parallel.
+
+use traj_data::Trajectory;
+use traj_dist::Measure;
+
+/// Computes, for every query, the indices of its `k` nearest database
+/// trajectories under `measure`. Parallelized over queries.
+pub fn ground_truth_top_k(
+    queries: &[Trajectory],
+    database: &[Trajectory],
+    measure: Measure,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = threads.min(queries.len().max(1));
+    if threads <= 1 {
+        return queries.iter().map(|q| top_k_one(q, database, measure, k)).collect();
+    }
+    let mut results: Vec<Option<Vec<usize>>> = vec![None; queries.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = t;
+                    while i < queries.len() {
+                        out.push((i, top_k_one(&queries[i], database, measure, k)));
+                        i += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("ground truth worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("row computed")).collect()
+}
+
+fn top_k_one(query: &Trajectory, database: &[Trajectory], measure: Measure, k: usize) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = database
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, measure.distance(query, t)))
+        .collect();
+    scored.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::{CityGenerator, CityParams};
+
+    #[test]
+    fn parallel_matches_serial() {
+        let trajs = CityGenerator::new(CityParams::test_city(), 3).generate(40);
+        let (queries, database) = trajs.split_at(10);
+        let par = ground_truth_top_k(queries, database, Measure::Dtw, 5);
+        let ser: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| top_k_one(q, database, Measure::Dtw, 5))
+            .collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let trajs = CityGenerator::new(CityParams::test_city(), 4).generate(30);
+        let (queries, database) = trajs.split_at(5);
+        let truth = ground_truth_top_k(queries, database, Measure::Frechet, 10);
+        for (q, t) in queries.iter().zip(&truth) {
+            assert_eq!(t.len(), 10);
+            let dists: Vec<f64> =
+                t.iter().map(|&j| Measure::Frechet.distance(q, &database[j])).collect();
+            for w in dists.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+}

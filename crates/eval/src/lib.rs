@@ -1,0 +1,17 @@
+//! # traj-eval — metrics and experiment utilities
+//!
+//! HR@k and R10@50 metrics (Section V-A4), exact parallel ground-truth
+//! top-k computation, ranking glue over embeddings/hash codes, and plain
+//! text table rendering for the experiment harnesses.
+
+#![warn(missing_docs)]
+
+pub mod groundtruth;
+pub mod metrics;
+pub mod rank;
+pub mod table;
+
+pub use groundtruth::ground_truth_top_k;
+pub use metrics::{hr_at_k, r10_at_50, recall_k1_at_k2, Metrics};
+pub use rank::{pack_codes, pack_codes_from_floats, rank_euclidean, rank_hamming};
+pub use table::{fmt4, fmt_ms, TextTable};

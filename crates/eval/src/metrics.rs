@@ -1,0 +1,139 @@
+//! Top-k search quality metrics (Section V-A4): HR@k and R10@50.
+
+/// Hitting ratio HR@k: overlap between the predicted top-k and the
+/// ground-truth top-k, divided by k.
+pub fn hr_at_k(predicted: &[usize], truth: &[usize], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let p = &predicted[..k.min(predicted.len())];
+    let t = &truth[..k.min(truth.len())];
+    if t.is_empty() {
+        return 0.0;
+    }
+    let hits = p.iter().filter(|x| t.contains(x)).count();
+    hits as f64 / t.len() as f64
+}
+
+/// R10@50: fraction of the ground-truth top-10 covered by the predicted
+/// top-50.
+pub fn r10_at_50(predicted: &[usize], truth: &[usize]) -> f64 {
+    recall_k1_at_k2(predicted, truth, 10, 50)
+}
+
+/// General top-`k2` recall of the ground-truth top-`k1`.
+pub fn recall_k1_at_k2(predicted: &[usize], truth: &[usize], k1: usize, k2: usize) -> f64 {
+    let t = &truth[..k1.min(truth.len())];
+    if t.is_empty() {
+        return 0.0;
+    }
+    let p = &predicted[..k2.min(predicted.len())];
+    let hits = t.iter().filter(|x| p.contains(x)).count();
+    hits as f64 / t.len() as f64
+}
+
+/// The metric triple the paper reports for every method.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// HR@10.
+    pub hr10: f64,
+    /// HR@50.
+    pub hr50: f64,
+    /// R10@50.
+    pub r10_50: f64,
+}
+
+impl Metrics {
+    /// Averages the per-query metrics over a whole query set. Each entry
+    /// of `predicted` must be a ranking of at least 50 database indices
+    /// (shorter rankings are handled but cap the achievable metrics);
+    /// each entry of `truth` the exact top-50 (or at least top-10).
+    pub fn evaluate(predicted: &[Vec<usize>], truth: &[Vec<usize>]) -> Metrics {
+        assert_eq!(predicted.len(), truth.len(), "query count mismatch");
+        if predicted.is_empty() {
+            return Metrics::default();
+        }
+        let n = predicted.len() as f64;
+        let mut m = Metrics::default();
+        for (p, t) in predicted.iter().zip(truth) {
+            m.hr10 += hr_at_k(p, t, 10);
+            m.hr50 += hr_at_k(p, t, 50);
+            m.r10_50 += r10_at_50(p, t);
+        }
+        m.hr10 /= n;
+        m.hr50 /= n;
+        m.r10_50 /= n;
+        m
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HR@10={:.4} HR@50={:.4} R10@50={:.4}",
+            self.hr10, self.hr50, self.r10_50
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth: Vec<usize> = (0..50).collect();
+        let m = Metrics::evaluate(std::slice::from_ref(&truth), std::slice::from_ref(&truth));
+        assert_eq!(m.hr10, 1.0);
+        assert_eq!(m.hr50, 1.0);
+        assert_eq!(m.r10_50, 1.0);
+    }
+
+    #[test]
+    fn disjoint_prediction_scores_zero() {
+        let truth: Vec<usize> = (0..50).collect();
+        let predicted: Vec<usize> = (100..150).collect();
+        let m = Metrics::evaluate(&[predicted], &[truth]);
+        assert_eq!(m.hr10, 0.0);
+        assert_eq!(m.hr50, 0.0);
+        assert_eq!(m.r10_50, 0.0);
+    }
+
+    #[test]
+    fn hr_at_k_partial_overlap() {
+        // predicted top-10 shares 4 items with truth top-10
+        let predicted = vec![0, 1, 2, 3, 90, 91, 92, 93, 94, 95];
+        let truth: Vec<usize> = (0..10).collect();
+        assert!((hr_at_k(&predicted, &truth, 10) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r10_at_50_counts_truth_coverage() {
+        // The truth top-10 all appear late in the predicted top-50.
+        let mut predicted: Vec<usize> = (100..140).collect();
+        predicted.extend(0..10);
+        let truth: Vec<usize> = (0..10).collect();
+        assert_eq!(r10_at_50(&predicted, &truth), 1.0);
+        // If only half the truth is inside the top-50:
+        let mut predicted2: Vec<usize> = (100..145).collect();
+        predicted2.extend(0..5);
+        assert_eq!(r10_at_50(&predicted2, &truth), 0.5);
+    }
+
+    #[test]
+    fn ordering_within_top_k_does_not_matter() {
+        let truth: Vec<usize> = (0..10).collect();
+        let forward: Vec<usize> = (0..10).collect();
+        let backward: Vec<usize> = (0..10).rev().collect();
+        assert_eq!(hr_at_k(&forward, &truth, 10), hr_at_k(&backward, &truth, 10));
+    }
+
+    #[test]
+    fn averaging_over_queries() {
+        let truth: Vec<usize> = (0..50).collect();
+        let wrong: Vec<usize> = (100..150).collect();
+        let m = Metrics::evaluate(&[truth.clone(), wrong], &[truth.clone(), truth]);
+        assert!((m.hr10 - 0.5).abs() < 1e-12);
+    }
+}

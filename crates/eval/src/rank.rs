@@ -1,0 +1,71 @@
+//! Glue between embeddings/codes and metric evaluation: produce the
+//! predicted rankings a method induces over a database.
+
+use traj_index::{euclidean_top_k, hamming_top_k, BinaryCode};
+
+/// Predicted top-`depth` rankings in Euclidean space for every query
+/// embedding.
+pub fn rank_euclidean(
+    database: &[Vec<f32>],
+    queries: &[Vec<f32>],
+    depth: usize,
+) -> Vec<Vec<usize>> {
+    queries
+        .iter()
+        .map(|q| euclidean_top_k(database, q, depth).into_iter().map(|h| h.index).collect())
+        .collect()
+}
+
+/// Predicted top-`depth` rankings in Hamming space for every query code.
+pub fn rank_hamming(
+    database: &[BinaryCode],
+    queries: &[BinaryCode],
+    depth: usize,
+) -> Vec<Vec<usize>> {
+    queries
+        .iter()
+        .map(|q| hamming_top_k(database, q, depth).into_iter().map(|h| h.index).collect())
+        .collect()
+}
+
+/// Packs sign vectors (`+-1`) into binary codes.
+pub fn pack_codes(signs: &[Vec<i8>]) -> Vec<BinaryCode> {
+    signs.iter().map(|s| BinaryCode::from_signs(s)).collect()
+}
+
+/// Packs float embeddings into binary codes by sign.
+pub fn pack_codes_from_floats(embeddings: &[Vec<f32>]) -> Vec<BinaryCode> {
+    embeddings.iter().map(|e| BinaryCode::from_floats(e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_ranking_orders_database() {
+        let db = vec![vec![5.0], vec![1.0], vec![3.0]];
+        let ranked = rank_euclidean(&db, &[vec![0.0]], 3);
+        assert_eq!(ranked, vec![vec![1, 2, 0]]);
+    }
+
+    #[test]
+    fn hamming_ranking_orders_database() {
+        let db = pack_codes(&[
+            vec![1, 1, 1, 1],
+            vec![-1, -1, -1, -1],
+            vec![1, 1, -1, -1],
+        ]);
+        let q = BinaryCode::from_signs(&[1, 1, 1, -1]);
+        let ranked = rank_hamming(&db, &[q], 3);
+        // distances: 1, 3, 1 -> order (0, 2 tie by index), then 1
+        assert_eq!(ranked, vec![vec![0, 2, 1]]);
+    }
+
+    #[test]
+    fn pack_variants_agree() {
+        let floats = vec![vec![0.5f32, -0.2, 0.1, -0.9]];
+        let signs = vec![vec![1i8, -1, 1, -1]];
+        assert_eq!(pack_codes(&signs), pack_codes_from_floats(&floats));
+    }
+}

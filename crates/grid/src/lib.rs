@@ -1,0 +1,19 @@
+//! # traj-grid — grid machinery for Traj2Hash
+//!
+//! Uniform grid partitioning ([`GridSpec`], Definition 2), the
+//! light-weight decomposed grid representation with NCE pre-training
+//! ([`DecomposedGridEmbedding`], Section IV-C / Eq. 5–7), the Node2vec
+//! comparator of Fig. 7, and the fast coarse-grid triplet generation of
+//! Section IV-F.
+
+#![warn(missing_docs)]
+
+pub mod embedding;
+pub mod grid;
+pub mod node2vec;
+pub mod triplets;
+
+pub use embedding::{DecomposedGridEmbedding, GridEmbedding, NceConfig};
+pub use grid::{GridSpec, GridTrajectory};
+pub use node2vec::{Node2vecConfig, Node2vecEmbedding};
+pub use triplets::{cluster_by_grid, generate_triplets, GridClusters, Triplet};

@@ -1,0 +1,98 @@
+//! Property-based tests of grid partitioning and triplet generation.
+
+use proptest::prelude::*;
+use traj_data::{BoundingBox, Point, Trajectory};
+use traj_grid::{cluster_by_grid, generate_triplets, GridSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn locate_roundtrips_through_cell_center(
+        w in 100.0f64..5000.0,
+        h in 100.0f64..5000.0,
+        cell in 10.0f64..500.0,
+    ) {
+        let spec = GridSpec::new(BoundingBox::from_extent(w, h), cell);
+        for gx in (0..spec.nx() as u32).step_by(3) {
+            for gy in (0..spec.ny() as u32).step_by(3) {
+                let center = spec.cell_center(gx, gy);
+                prop_assert_eq!(spec.locate(center), (gx, gy));
+                let id = spec.cell_id(gx, gy);
+                prop_assert_eq!(spec.cell_coords(id), (gx, gy));
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_lands_in_a_valid_cell(
+        x in -10_000.0f64..10_000.0,
+        y in -10_000.0f64..10_000.0,
+    ) {
+        let spec = GridSpec::new(BoundingBox::from_extent(1000.0, 800.0), 50.0);
+        let (gx, gy) = spec.locate(Point::new(x, y));
+        prop_assert!((gx as usize) < spec.nx());
+        prop_assert!((gy as usize) < spec.ny());
+    }
+
+    #[test]
+    fn canonical_grid_trajectory_has_no_consecutive_duplicates(
+        xy in proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 2..30),
+    ) {
+        let spec = GridSpec::new(BoundingBox::from_extent(1000.0, 1000.0), 100.0);
+        let t = Trajectory::from_xy(&xy);
+        let canon = spec.canonical_grid_trajectory(&t);
+        prop_assert!(!canon.is_empty());
+        for w in canon.windows(2) {
+            prop_assert_ne!(w[0], w[1]);
+        }
+        // the raw grid trajectory has one cell per point
+        prop_assert_eq!(spec.grid_trajectory(&t).len(), t.len());
+    }
+
+    #[test]
+    fn clusters_partition_usable_trajectories(
+        seeds in proptest::collection::vec(0u64..1_000_000, 10..60),
+    ) {
+        // build trajectories from seeds, some deliberately identical so
+        // clusters exist
+        let trajs: Vec<Trajectory> = seeds
+            .iter()
+            .map(|&s| {
+                let x = (s % 10) as f64 * 80.0;
+                let y = (s % 7) as f64 * 90.0;
+                Trajectory::from_xy(&[(x, y), (x + 400.0, y + 100.0)])
+            })
+            .collect();
+        let spec = GridSpec::new(BoundingBox::from_extent(2000.0, 2000.0), 500.0);
+        let c = cluster_by_grid(&trajs, &spec);
+        let in_clusters: usize = c.clusters.iter().map(|cl| cl.len()).sum();
+        prop_assert_eq!(in_clusters + c.singletons, trajs.len());
+        // no index appears twice
+        let mut all: Vec<usize> = c.clusters.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        prop_assert_eq!(before, all.len());
+    }
+
+    #[test]
+    fn triplets_never_pair_anchor_with_itself(
+        n in 10usize..50,
+        seed in 0u64..100,
+    ) {
+        let trajs: Vec<Trajectory> = (0..n)
+            .map(|i| {
+                let x = (i % 5) as f64 * 100.0;
+                Trajectory::from_xy(&[(x, 0.0), (x + 300.0, 50.0)])
+            })
+            .collect();
+        let spec = GridSpec::new(BoundingBox::from_extent(1000.0, 1000.0), 500.0);
+        let triplets = generate_triplets(&trajs, &spec, 100, seed);
+        for (a, p, nn) in triplets {
+            prop_assert_ne!(a, p);
+            prop_assert_ne!(a, nn);
+            prop_assert!(a < n && p < n && nn < n);
+        }
+    }
+}

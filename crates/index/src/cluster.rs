@@ -1,0 +1,218 @@
+//! DBSCAN clustering in Hamming space.
+//!
+//! The paper's first motivating application is trajectory clustering
+//! (its reference [1]); with Traj2Hash codes, density clustering becomes
+//! cheap because the ε-neighbourhood query is a Hamming range query,
+//! answered exactly by [`MultiIndexHashing::within_radius`] without
+//! scanning the database.
+
+use crate::code::BinaryCode;
+use crate::mih::MultiIndexHashing;
+
+/// Cluster assignment of one code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Noise: fewer than `min_points` codes in the ε-neighbourhood and
+    /// not density-reachable from any core point.
+    Noise,
+    /// Member of the cluster with this id.
+    Cluster(usize),
+}
+
+/// Result of a DBSCAN run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Per-code assignment, parallel to the input.
+    pub assignments: Vec<Assignment>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl Clustering {
+    /// Members of each cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (i, a) in self.assignments.iter().enumerate() {
+            if let Assignment::Cluster(c) = a {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+
+    /// Number of noise codes.
+    pub fn noise_count(&self) -> usize {
+        self.assignments.iter().filter(|a| **a == Assignment::Noise).count()
+    }
+}
+
+/// DBSCAN over binary codes with Hamming distance: `eps` is the
+/// neighbourhood radius in bits, `min_points` the core-point density
+/// threshold (including the point itself).
+///
+/// Exact and deterministic; neighbourhood queries run through a
+/// multi-index hash with `tables` substring tables.
+pub fn dbscan_hamming(
+    codes: &[BinaryCode],
+    eps: u32,
+    min_points: usize,
+    tables: usize,
+) -> Clustering {
+    let n = codes.len();
+    if n == 0 {
+        return Clustering { assignments: Vec::new(), num_clusters: 0 };
+    }
+    let index = MultiIndexHashing::build(codes.to_vec(), tables);
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut label = vec![UNVISITED; n];
+    let mut num_clusters = 0usize;
+    for start in 0..n {
+        if label[start] != UNVISITED {
+            continue;
+        }
+        let neighbours: Vec<usize> =
+            index.within_radius(&codes[start], eps).into_iter().map(|h| h.index).collect();
+        if neighbours.len() < min_points {
+            label[start] = NOISE;
+            continue;
+        }
+        let cluster = num_clusters;
+        num_clusters += 1;
+        label[start] = cluster;
+        // expand: classic seed-set growth
+        let mut queue: Vec<usize> = neighbours;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let p = queue[qi];
+            qi += 1;
+            if label[p] == NOISE {
+                label[p] = cluster; // border point
+            }
+            if label[p] != UNVISITED {
+                continue;
+            }
+            label[p] = cluster;
+            let p_neighbours: Vec<usize> =
+                index.within_radius(&codes[p], eps).into_iter().map(|h| h.index).collect();
+            if p_neighbours.len() >= min_points {
+                queue.extend(p_neighbours);
+            }
+        }
+    }
+    let assignments = label
+        .into_iter()
+        .map(|l| {
+            if l == NOISE || l == UNVISITED {
+                Assignment::Noise
+            } else {
+                Assignment::Cluster(l)
+            }
+        })
+        .collect();
+    Clustering { assignments, num_clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(bits: &[i8]) -> BinaryCode {
+        BinaryCode::from_signs(bits)
+    }
+
+    /// Two tight groups of 16-bit codes plus one outlier.
+    fn two_groups() -> Vec<BinaryCode> {
+        let a = vec![1i8; 16];
+        let mut b = vec![-1i8; 16];
+        b[0] = 1;
+        let mut out = Vec::new();
+        for flip in 0..4 {
+            let mut s = a.clone();
+            s[flip] = -1;
+            out.push(code(&s));
+        }
+        for flip in 4..8 {
+            let mut s = b.clone();
+            s[flip] = 1;
+            out.push(code(&s));
+        }
+        // outlier roughly between the groups
+        let mut o = vec![1i8; 16];
+        for i in 0..8 {
+            o[i] = -1;
+        }
+        out.push(code(&o));
+        out
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let codes = two_groups();
+        let c = dbscan_hamming(&codes, 3, 3, 2);
+        assert_eq!(c.num_clusters, 2, "assignments: {:?}", c.assignments);
+        let clusters = c.clusters();
+        let mut sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 4]);
+        assert_eq!(c.noise_count(), 1);
+        // group members share a cluster
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[4], c.assignments[7]);
+        assert_ne!(c.assignments[0], c.assignments[4]);
+    }
+
+    #[test]
+    fn everything_noise_when_radius_too_small() {
+        let codes = two_groups();
+        let c = dbscan_hamming(&codes, 0, 2, 2);
+        assert_eq!(c.num_clusters, 0);
+        assert_eq!(c.noise_count(), codes.len());
+    }
+
+    #[test]
+    fn one_cluster_when_radius_huge() {
+        let codes = two_groups();
+        let c = dbscan_hamming(&codes, 16, 2, 2);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_and_total() {
+        let codes = two_groups();
+        let a = dbscan_hamming(&codes, 3, 3, 2);
+        let b = dbscan_hamming(&codes, 3, 3, 2);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.assignments.len(), codes.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = dbscan_hamming(&[], 2, 2, 2);
+        assert_eq!(c.num_clusters, 0);
+        assert!(c.assignments.is_empty());
+    }
+
+    #[test]
+    fn within_radius_matches_linear_scan() {
+        let codes = two_groups();
+        let index = MultiIndexHashing::build(codes.clone(), 2);
+        for (qi, q) in codes.iter().enumerate() {
+            for radius in [0u32, 2, 5, 16] {
+                let via_index: Vec<usize> =
+                    index.within_radius(q, radius).into_iter().map(|h| h.index).collect();
+                let mut via_scan: Vec<usize> = codes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.hamming(q) <= radius)
+                    .map(|(i, _)| i)
+                    .collect();
+                via_scan.sort_unstable();
+                let mut sorted = via_index.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, via_scan, "query {qi} radius {radius}");
+            }
+        }
+    }
+}

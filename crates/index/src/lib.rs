@@ -1,0 +1,22 @@
+//! # traj-index — Euclidean and Hamming top-k search
+//!
+//! Packed [`BinaryCode`]s with popcount Hamming distance, brute-force
+//! Euclidean/Hamming scans, a radius-2 table-lookup index, the
+//! `Hamming-Hybrid` search strategy evaluated in Section V-E of the
+//! paper, plus two exact pruning indexes that go beyond it:
+//! [`MultiIndexHashing`] (exact Hamming k-NN without the empty-bucket
+//! problem of footnote 5) and a [`VpTree`] for the Euclidean space.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod code;
+pub mod mih;
+pub mod search;
+pub mod vptree;
+
+pub use cluster::{dbscan_hamming, Assignment, Clustering};
+pub use code::BinaryCode;
+pub use mih::MultiIndexHashing;
+pub use search::{euclidean_top_k, hamming_top_k, HammingTable, Hit};
+pub use vptree::VpTree;

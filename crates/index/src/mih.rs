@@ -1,0 +1,311 @@
+//! Multi-index hashing (Norouzi, Punjani & Fleet): exact k-NN in
+//! Hamming space without scanning the database and without the
+//! `O(bits^r)` probe blow-up of single-table lookups.
+//!
+//! The paper's footnote 5 observes that a 64-bit code space is mostly
+//! empty buckets, so pure neighbour expansion in one table is hopeless.
+//! Multi-index hashing is the canonical fix: split every code into `m`
+//! disjoint substrings and index each substring in its own table. A code
+//! within Hamming distance `r` of the query must be within distance
+//! `floor(r / m)` of the query in **at least one** substring (pigeonhole),
+//! so searching radius `r` costs `m` small-radius probes over short
+//! substrings instead of `C(bits, r)` probes over full codes.
+
+use crate::code::BinaryCode;
+use crate::search::Hit;
+use std::collections::HashMap;
+
+/// An exact Hamming k-NN index over fixed-width binary codes.
+pub struct MultiIndexHashing {
+    /// Substring tables: `tables[s]` maps a substring value to the
+    /// database ids having that substring.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    /// Substring bit ranges `(start, len)`.
+    chunks: Vec<(usize, usize)>,
+    codes: Vec<BinaryCode>,
+    bits: usize,
+}
+
+fn substring(code: &BinaryCode, start: usize, len: usize) -> u64 {
+    debug_assert!(len <= 64);
+    let mut out = 0u64;
+    for i in 0..len {
+        if code.bit(start + i) {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Enumerates all `len`-bit values within Hamming distance exactly `r`
+/// of `base`, invoking `f` on each.
+fn for_each_at_distance(base: u64, len: usize, r: usize, f: &mut impl FnMut(u64)) {
+    fn rec(base: u64, len: usize, r: usize, start: usize, acc: u64, f: &mut impl FnMut(u64)) {
+        if r == 0 {
+            f(base ^ acc);
+            return;
+        }
+        for i in start..len {
+            rec(base, len, r - 1, i + 1, acc | (1 << i), f);
+        }
+    }
+    rec(base, len, r, 0, 0, f);
+}
+
+impl MultiIndexHashing {
+    /// Builds the index with `m` substring tables.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero, exceeds the code width, if any substring
+    /// would exceed 64 bits, or if code lengths are inconsistent.
+    pub fn build(codes: Vec<BinaryCode>, m: usize) -> Self {
+        assert!(m >= 1, "need at least one substring table");
+        let bits = codes.first().map(|c| c.len()).unwrap_or(64);
+        assert!(m <= bits.max(1), "more tables than bits");
+        // Spread the bits as evenly as possible: the first `bits % m`
+        // chunks get one extra bit.
+        let base = bits / m;
+        let extra = bits % m;
+        assert!(base < 64, "substrings must fit in u64");
+        let mut chunks = Vec::with_capacity(m);
+        let mut start = 0usize;
+        for s in 0..m {
+            let len = base + usize::from(s < extra);
+            chunks.push((start, len));
+            start += len;
+        }
+        let mut tables: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); m];
+        for (id, code) in codes.iter().enumerate() {
+            assert_eq!(code.len(), bits, "inconsistent code lengths");
+            for (s, &(cs, cl)) in chunks.iter().enumerate() {
+                tables[s]
+                    .entry(substring(code, cs, cl))
+                    .or_default()
+                    .push(id as u32);
+            }
+        }
+        MultiIndexHashing { tables, chunks, codes, bits }
+    }
+
+    /// Number of indexed codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of substring tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Exact range query: every database index within Hamming distance
+    /// `radius` of the query, as `(index, distance)` pairs sorted by
+    /// distance then index.
+    ///
+    /// Probes substring radius `floor(radius/m)` in every table
+    /// (pigeonhole guarantee) and filters candidates by their true
+    /// distance.
+    pub fn within_radius(&self, query: &BinaryCode, radius: u32) -> Vec<Hit> {
+        assert_eq!(query.len(), self.bits, "query width mismatch");
+        if self.codes.is_empty() {
+            return Vec::new();
+        }
+        let m = self.tables.len();
+        let sub_r = (radius as usize / m).min(self.bits);
+        let mut seen = vec![false; self.codes.len()];
+        let mut out = Vec::new();
+        for (s, &(cs, cl)) in self.chunks.iter().enumerate() {
+            let q_sub = substring(query, cs, cl);
+            let table = &self.tables[s];
+            for probe_r in 0..=sub_r.min(cl) {
+                let mut visit = |candidate_sub: u64| {
+                    if let Some(ids) = table.get(&candidate_sub) {
+                        for &id in ids {
+                            let idx = id as usize;
+                            if !seen[idx] {
+                                seen[idx] = true;
+                                let d = self.codes[idx].hamming(query);
+                                if d <= radius {
+                                    out.push(Hit { index: idx, distance: d as f64 });
+                                }
+                            }
+                        }
+                    }
+                };
+                for_each_at_distance(q_sub, cl, probe_r, &mut visit);
+            }
+        }
+        out.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        out
+    }
+
+    /// Exact top-k by Hamming distance.
+    ///
+    /// Searches radius 0, 1, 2, … until `k` results are guaranteed
+    /// complete: after finishing radius `r` (probing substring radius
+    /// `floor(r/m)` in every table), every code at distance ≤ r has been
+    /// seen, so once `k` candidates are at distance ≤ r the search stops.
+    pub fn top_k(&self, query: &BinaryCode, k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.bits, "query width mismatch");
+        if self.codes.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let m = self.tables.len();
+        let mut seen = vec![false; self.codes.len()];
+        // candidates[d] = ids at full-code distance d
+        let mut by_distance: Vec<Vec<u32>> = vec![Vec::new(); self.bits + 1];
+        let mut found = 0usize;
+        let mut probed_sub_radius: isize = -1;
+        for r in 0..=self.bits {
+            // Pigeonhole: codes at distance <= r differ by <= floor(r/m)
+            // in some substring.
+            let sub_r = r / m;
+            if sub_r as isize > probed_sub_radius {
+                probed_sub_radius = sub_r as isize;
+                for (s, &(cs, cl)) in self.chunks.iter().enumerate() {
+                    let q_sub = substring(query, cs, cl);
+                    let table = &self.tables[s];
+                    let mut visit = |candidate_sub: u64| {
+                        if let Some(ids) = table.get(&candidate_sub) {
+                            for &id in ids {
+                                let idx = id as usize;
+                                if !seen[idx] {
+                                    seen[idx] = true;
+                                    let d = self.codes[idx].hamming(query) as usize;
+                                    by_distance[d].push(id);
+                                    found += 1;
+                                }
+                            }
+                        }
+                    };
+                    for_each_at_distance(q_sub, cl, sub_r, &mut visit);
+                }
+            }
+            // After probing substring radius floor(r/m), everything at
+            // full distance <= r is in `by_distance`.
+            let complete: usize = by_distance[..=r].iter().map(|v| v.len()).sum();
+            if complete >= k || found == self.codes.len() {
+                let mut out = Vec::with_capacity(k);
+                'outer: for (d, ids) in by_distance.iter().enumerate() {
+                    let mut ids = ids.clone();
+                    ids.sort_unstable();
+                    for id in ids {
+                        out.push(Hit { index: id as usize, distance: d as f64 });
+                        if out.len() == k {
+                            break 'outer;
+                        }
+                    }
+                }
+                return out;
+            }
+        }
+        unreachable!("search must terminate within the code width");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::hamming_top_k;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_codes(n: usize, bits: usize, seed: u64) -> Vec<BinaryCode> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let signs: Vec<i8> =
+                    (0..bits).map(|_| if rng.random::<bool>() { 1 } else { -1 }).collect();
+                BinaryCode::from_signs(&signs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn substring_extraction() {
+        let code = BinaryCode::from_signs(&[1, -1, 1, 1, -1, -1, 1, -1]);
+        assert_eq!(substring(&code, 0, 4), 0b1101);
+        assert_eq!(substring(&code, 4, 4), 0b0100);
+    }
+
+    #[test]
+    fn distance_enumeration_counts() {
+        let mut count = 0;
+        for_each_at_distance(0b1010, 6, 2, &mut |_| count += 1);
+        assert_eq!(count, 15); // C(6, 2)
+        let mut exact = Vec::new();
+        for_each_at_distance(0b111, 3, 1, &mut |v| exact.push(v));
+        exact.sort_unstable();
+        assert_eq!(exact, vec![0b011, 0b101, 0b110]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_codes() {
+        for (bits, m) in [(16usize, 2usize), (32, 4), (64, 4)] {
+            let db = random_codes(400, bits, bits as u64);
+            let mih = MultiIndexHashing::build(db.clone(), m);
+            for qi in [0usize, 17, 333] {
+                let q = &db[qi];
+                for k in [1usize, 5, 20] {
+                    let got: Vec<f64> =
+                        mih.top_k(q, k).iter().map(|h| h.distance).collect();
+                    let want: Vec<f64> =
+                        hamming_top_k(&db, q, k).iter().map(|h| h.distance).collect();
+                    assert_eq!(got, want, "bits={bits} m={m} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_query_still_exact() {
+        let db = random_codes(200, 64, 9);
+        let mih = MultiIndexHashing::build(db.clone(), 4);
+        let far = BinaryCode::from_signs(&[1i8; 64]);
+        let got: Vec<f64> = mih.top_k(&far, 10).iter().map(|h| h.distance).collect();
+        let want: Vec<f64> = hamming_top_k(&db, &far, 10).iter().map(|h| h.distance).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_larger_than_database_returns_everything() {
+        let db = random_codes(7, 16, 3);
+        let mih = MultiIndexHashing::build(db.clone(), 2);
+        let hits = mih.top_k(&db[0], 50);
+        assert_eq!(hits.len(), 7);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let mih = MultiIndexHashing::build(Vec::new(), 4);
+        assert!(mih.is_empty());
+        assert!(mih.top_k(&BinaryCode::zeros(64), 5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_codes_all_returned() {
+        let base = random_codes(1, 16, 4).pop().unwrap();
+        let db = vec![base.clone(), base.clone(), base.clone()];
+        let mih = MultiIndexHashing::build(db, 2);
+        let hits = mih.top_k(&base, 3);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_query_width_panics() {
+        let db = random_codes(3, 16, 5);
+        let mih = MultiIndexHashing::build(db, 2);
+        let _ = mih.top_k(&BinaryCode::zeros(32), 1);
+    }
+}

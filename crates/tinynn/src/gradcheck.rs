@@ -1,0 +1,210 @@
+//! Numerical gradient checking for autograd correctness tests.
+
+use crate::param::ParamSet;
+
+/// Result of a gradient check for one parameter element.
+#[derive(Debug, Clone, Copy)]
+pub struct GradMismatch {
+    /// Index of the parameter in the set.
+    pub param: usize,
+    /// Flat element index within the parameter.
+    pub element: usize,
+    /// Analytic gradient from backward().
+    pub analytic: f32,
+    /// Central-difference numerical estimate.
+    pub numeric: f32,
+}
+
+/// Compares analytic gradients against central differences.
+///
+/// `f` must run a full forward+backward pass (accumulating gradients into
+/// the parameters) and return the loss value. It is called `2 * n + 1`
+/// times where `n` is the total number of scalar parameters, so only use
+/// this with small models in tests.
+///
+/// Returns all elements whose relative error exceeds `tol`.
+pub fn check_gradients(
+    params: &ParamSet,
+    mut f: impl FnMut() -> f32,
+    eps: f32,
+    tol: f32,
+) -> Vec<GradMismatch> {
+    params.zero_grad();
+    let _ = f();
+    // Snapshot analytic gradients.
+    let analytic: Vec<Vec<f32>> = params
+        .iter()
+        .map(|p| p.borrow().grad.data().to_vec())
+        .collect();
+
+    let mut mismatches = Vec::new();
+    for (pi, p) in params.iter().enumerate() {
+        let n = p.borrow().value.len();
+        #[allow(clippy::needless_range_loop)]
+        for ei in 0..n {
+            let orig = p.borrow().value.data()[ei];
+
+            p.borrow_mut().value.data_mut()[ei] = orig + eps;
+            params.zero_grad();
+            let plus = f();
+
+            p.borrow_mut().value.data_mut()[ei] = orig - eps;
+            params.zero_grad();
+            let minus = f();
+
+            p.borrow_mut().value.data_mut()[ei] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic[pi][ei];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            if (a - numeric).abs() / denom > tol {
+                mismatches.push(GradMismatch { param: pi, element: ei, analytic: a, numeric });
+            }
+        }
+    }
+    params.zero_grad();
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{EncoderBlock, GruCell, Linear, Mlp};
+    use crate::param::Param;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+    use crate::init;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn gradcheck_linear_mse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let layer = Linear::new(&mut rng, &mut params, 3, 2);
+        let x = init::normal(&mut rng, 4, 3, 1.0);
+        let y = init::normal(&mut rng, 4, 2, 1.0);
+        let bad = check_gradients(
+            &params,
+            || {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let yv = tape.constant(y.clone());
+                let loss = layer.forward(&tape, &xv).sub(&yv).square().mean_all();
+                loss.backward();
+                loss.item()
+            },
+            1e-3,
+            2e-2,
+        );
+        assert!(bad.is_empty(), "gradient mismatches: {bad:?}");
+    }
+
+    #[test]
+    fn gradcheck_mlp_tanh_head() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = ParamSet::new();
+        let mlp = Mlp::new(&mut rng, &mut params, &[2, 5, 2]);
+        let x = init::normal(&mut rng, 3, 2, 1.0);
+        let bad = check_gradients(
+            &params,
+            || {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let loss = mlp.forward(&tape, &xv).tanh().square().mean_all();
+                loss.backward();
+                loss.item()
+            },
+            1e-3,
+            3e-2,
+        );
+        assert!(bad.is_empty(), "gradient mismatches: {bad:?}");
+    }
+
+    #[test]
+    fn gradcheck_encoder_block() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = ParamSet::new();
+        let block = EncoderBlock::new(&mut rng, &mut params, 4, 6, 2);
+        let x = init::normal(&mut rng, 3, 4, 0.5);
+        let bad = check_gradients(
+            &params,
+            || {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let loss = block.forward(&tape, &xv).select_row(0).square().mean_all();
+                loss.backward();
+                loss.item()
+            },
+            1e-3,
+            5e-2,
+        );
+        assert!(bad.is_empty(), "gradient mismatches: {bad:?}");
+    }
+
+    #[test]
+    fn gradcheck_gru() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = ParamSet::new();
+        let cell = GruCell::new(&mut rng, &mut params, 2, 3);
+        let x = init::normal(&mut rng, 3, 2, 0.5);
+        let bad = check_gradients(
+            &params,
+            || {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let loss = cell.run_final(&tape, &xv).square().mean_all();
+                loss.backward();
+                loss.item()
+            },
+            1e-3,
+            5e-2,
+        );
+        assert!(bad.is_empty(), "gradient mismatches: {bad:?}");
+    }
+
+    #[test]
+    fn gradcheck_softmax_attention_path() {
+        // exp/softmax/div composite path through a tiny attention-like score.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = ParamSet::new();
+        let w = params.register(Param::new(init::normal(&mut rng, 3, 3, 0.5)));
+        let x = init::normal(&mut rng, 2, 3, 0.5);
+        let bad = check_gradients(
+            &params,
+            || {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(&w);
+                let q = xv.matmul(&wv);
+                let scores = q.matmul(&q.transpose()).scale(0.5).softmax_rows();
+                let loss = scores.matmul(&q).square().mean_all();
+                loss.backward();
+                loss.item()
+            },
+            1e-3,
+            5e-2,
+        );
+        assert!(bad.is_empty(), "gradient mismatches: {bad:?}");
+    }
+
+    #[test]
+    fn mismatch_is_detected_for_corrupted_gradient() {
+        // Sanity check: the checker itself must fail when gradients are wrong.
+        let mut params = ParamSet::new();
+        let p = params.register(Param::new(Tensor::scalar(2.0)));
+        let bad = check_gradients(
+            &params,
+            || {
+                let tape = Tape::new();
+                let v = tape.param(&p);
+                let loss = v.square().sum_all();
+                loss.backward();
+                // corrupt the analytic gradient
+                p.borrow_mut().grad.data_mut()[0] += 10.0;
+                loss.item()
+            },
+            1e-3,
+            1e-2,
+        );
+        assert!(!bad.is_empty());
+    }
+}

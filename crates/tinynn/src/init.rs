@@ -1,0 +1,68 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Xavier/Glorot uniform initialization for a `rows x cols` weight matrix:
+/// values are drawn from `U(-a, a)` with `a = sqrt(6 / (rows + cols))`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, -a, a)
+}
+
+/// Uniform initialization on `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| lo + (hi - lo) * rng.random::<f32>())
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Approximately normal initialization with the given standard deviation,
+/// using the Box–Muller transform.
+pub fn normal<R: Rng>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Tensor {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.random::<f32>().max(1e-9);
+        let u2: f32 = rng.random::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(std * r * theta.cos());
+        if data.len() < rows * cols {
+            data.push(std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(&mut rng, 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|&x| x >= -a && x < a));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&mut rng, 100, 100, 0.5);
+        let mean = t.sum() / t.len() as f32;
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(7), 3, 3, 0.0, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(7), 3, 3, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Optimizers: SGD and Adam (the paper trains everything with Adam).
+
+use crate::param::ParamSet;
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one update and clears gradients.
+    pub fn step(&mut self, params: &ParamSet) {
+        for p in params.iter() {
+            if !p.is_trainable() {
+                p.zero_grad();
+                continue;
+            }
+            let mut d = p.borrow_mut();
+            let lr = self.lr;
+            let grad = std::mem::replace(&mut d.grad, crate::tensor::Tensor::zeros(0, 0));
+            d.value.axpy(-lr, &grad);
+            d.grad = grad;
+            d.grad.zero_out();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the conventional (0.9, 0.999, 1e-8) moments.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update and clears gradients. Frozen parameters only get
+    /// their gradients cleared.
+    pub fn step(&mut self, params: &ParamSet) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for p in params.iter() {
+            if !p.is_trainable() {
+                p.zero_grad();
+                continue;
+            }
+            let mut d = p.borrow_mut();
+            let n = d.value.len();
+            for i in 0..n {
+                let g = d.grad.data()[i];
+                let m = self.beta1 * d.m.data()[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * d.v.data()[i] + (1.0 - self.beta2) * g * g;
+                d.m.data_mut()[i] = m;
+                d.v.data_mut()[i] = v;
+                let m_hat = m / bias1;
+                let v_hat = v / bias2;
+                d.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            d.grad.zero_out();
+        }
+    }
+}
+
+/// Rescales all gradients so their global L2 norm does not exceed
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &ParamSet, max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params.iter() {
+        let d = p.borrow();
+        total += d.grad.data().iter().map(|x| x * x).sum::<f32>();
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter() {
+            p.borrow_mut().grad.scale_assign(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    fn quadratic_loss(p: &Param) -> f32 {
+        // loss = (x - 3)^2, minimized at x = 3
+        let tape = Tape::new();
+        let v = tape.param(p);
+        let target = tape.constant(Tensor::scalar(3.0));
+        let loss = v.sub(&target).square().sum_all();
+        loss.backward();
+        loss.item()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut params = ParamSet::new();
+        let p = params.register(Param::new(Tensor::scalar(0.0)));
+        let mut opt = Sgd::new(0.1);
+        let first = quadratic_loss(&p);
+        opt.step(&params);
+        for _ in 0..50 {
+            quadratic_loss(&p);
+            opt.step(&params);
+        }
+        let last = quadratic_loss(&p);
+        assert!(last < first * 1e-3, "loss did not shrink: {first} -> {last}");
+        assert!((p.value().item() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut params = ParamSet::new();
+        let p = params.register(Param::new(Tensor::scalar(10.0)));
+        let mut opt = Adam::new(0.2);
+        for _ in 0..200 {
+            quadratic_loss(&p);
+            opt.step(&params);
+        }
+        assert!((p.value().item() - 3.0).abs() < 0.05, "got {}", p.value().item());
+    }
+
+    #[test]
+    fn adam_skips_frozen_params() {
+        let mut params = ParamSet::new();
+        let p = params.register(Param::frozen(Tensor::scalar(1.0)));
+        let mut opt = Adam::new(0.5);
+        quadratic_loss(&p);
+        opt.step(&params);
+        assert_eq!(p.value().item(), 1.0);
+        // gradients must still be cleared
+        assert_eq!(p.borrow().grad.item(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_gradients() {
+        let mut params = ParamSet::new();
+        let p = params.register(Param::new(Tensor::scalar(0.0)));
+        p.borrow_mut().grad = Tensor::scalar(30.0);
+        let q = params.register(Param::new(Tensor::scalar(0.0)));
+        q.borrow_mut().grad = Tensor::scalar(40.0);
+        let pre = clip_grad_norm(&params, 5.0);
+        assert!((pre - 50.0).abs() < 1e-4);
+        let after = (p.borrow().grad.item().powi(2) + q.borrow().grad.item().powi(2)).sqrt();
+        assert!((after - 5.0).abs() < 1e-4);
+    }
+}

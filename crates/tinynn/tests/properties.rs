@@ -1,0 +1,137 @@
+//! Property-based tests of the tensor algebra and autograd engine.
+
+use proptest::prelude::*;
+use tinynn::{Param, ParamSet, Tape, Tensor};
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        // A (B + C) == A B + A C
+        let lhs = a.matmul(&b.zip(&c, |x, y| x + y));
+        let rhs = a.matmul(&b).zip(&a.matmul(&c), |x, y| x + y);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+    ) {
+        // (A B)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in tensor_strategy(5, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(4, 6)) {
+        let s = a.softmax_rows();
+        for r in 0..4 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(3, 2),
+    ) {
+        let c = a.concat_cols(&b);
+        prop_assert_eq!(c.slice_cols(0, 4), a);
+        prop_assert_eq!(c.slice_cols(4, 2), b);
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_vectors(
+        a in tensor_strategy(1, 6),
+        b in tensor_strategy(1, 6),
+        c in tensor_strategy(1, 6),
+    ) {
+        let dab = a.distance(&b) as f64;
+        let dba = b.distance(&a) as f64;
+        prop_assert!((dab - dba).abs() < 1e-4);
+        prop_assert!(a.distance(&a) < 1e-6);
+        // triangle inequality
+        let dac = a.distance(&c) as f64;
+        let dcb = c.distance(&b) as f64;
+        prop_assert!(dab <= dac + dcb + 1e-3);
+    }
+
+    #[test]
+    fn autograd_linearity_of_scale(
+        data in proptest::collection::vec(-3.0f32..3.0, 4),
+        alpha in -4.0f32..4.0,
+    ) {
+        // d/dx sum(alpha * x) == alpha everywhere
+        let mut params = ParamSet::new();
+        let p = params.register(Param::new(Tensor::from_vec(1, 4, data)));
+        let tape = Tape::new();
+        let v = tape.param(&p);
+        v.scale(alpha).sum_all().backward();
+        for &g in p.borrow().grad.data() {
+            prop_assert!((g - alpha).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn autograd_chain_rule_square_of_sum(
+        data in proptest::collection::vec(-2.0f32..2.0, 3),
+    ) {
+        // f = (sum x)^2 ; df/dx_i = 2 * sum x
+        let total: f32 = data.iter().sum();
+        let mut params = ParamSet::new();
+        let p = params.register(Param::new(Tensor::from_vec(1, 3, data)));
+        let tape = Tape::new();
+        let v = tape.param(&p);
+        v.sum_all().square().backward();
+        for &g in p.borrow().grad.data() {
+            prop_assert!((g - 2.0 * total).abs() < 1e-3,
+                "grad {} expected {}", g, 2.0 * total);
+        }
+    }
+
+    #[test]
+    fn gather_then_sum_matches_row_sums(
+        data in proptest::collection::vec(-5.0f32..5.0, 12),
+        idx in proptest::collection::vec(0usize..4, 1..6),
+    ) {
+        let t = Tensor::from_vec(4, 3, data);
+        let tape = Tape::new();
+        let v = tape.constant(t.clone());
+        let gathered = v.gather_rows(&idx).value();
+        for (r, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(gathered.row(r), t.row(i));
+        }
+    }
+
+    #[test]
+    fn param_save_load_is_identity(
+        data in proptest::collection::vec(-100.0f32..100.0, 6),
+    ) {
+        let mut set = ParamSet::new();
+        let p = set.register(Param::new(Tensor::from_vec(2, 3, data.clone())));
+        let blob = set.save_bytes();
+        p.borrow_mut().value.zero_out();
+        set.load_bytes(&blob).unwrap();
+        let restored = p.value();
+        prop_assert_eq!(restored.data(), &data[..]);
+    }
+}

@@ -1,0 +1,54 @@
+//! A tour of the exact distance measures and the structural properties
+//! the paper builds on: the endpoint lower bound (Lemma 1), reverse
+//! symmetry (Lemma 2), and the cDTW band trade-off.
+//!
+//! ```text
+//! cargo run --release --example distance_playground
+//! ```
+
+use traj_data::{CityGenerator, CityParams, Point, Trajectory};
+use traj_dist::{cdtw, dtw, endpoint_bound, erp, frechet, hausdorff, Measure};
+
+fn main() {
+    // Two hand-crafted commutes: same road, shifted in time.
+    let a = Trajectory::from_xy(&(0..12).map(|i| (100.0 * i as f64, 10.0)).collect::<Vec<_>>());
+    let b = Trajectory::from_xy(&(0..12).map(|i| (100.0 * i as f64 + 150.0, -10.0)).collect::<Vec<_>>());
+
+    println!("two parallel 1.1 km commutes, 150 m phase shift, 20 m lateral gap:");
+    println!("  DTW       = {:>8.1} m (sums per-step gaps)", dtw(&a, &b));
+    println!("  Frechet   = {:>8.1} m (bottleneck leash length)", frechet(&a, &b));
+    println!("  Hausdorff = {:>8.1} m (set distance, ignores order)", hausdorff(&a, &b));
+    println!("  ERP       = {:>8.1} m (edit distance w/ real penalty)", erp(&a, &b, Point::new(0.0, 0.0)));
+
+    // Lemma 1: the endpoint distance lower-bounds DTW and Frechet.
+    println!("\nLemma 1 (endpoint lower bound):");
+    let lb = endpoint_bound(&a, &b);
+    println!("  endpoint bound {lb:.1} <= Frechet {:.1} <= DTW {:.1}", frechet(&a, &b), dtw(&a, &b));
+
+    // Lemma 2: reverse symmetry.
+    println!("\nLemma 2 (reverse symmetry): D(T1, T2) == D(T1^r, T2^r)");
+    for m in Measure::paper_suite() {
+        let fwd = m.distance(&a, &b);
+        let rev = m.distance(&a.reversed(), &b.reversed());
+        println!("  {:<9}: {:.3} vs {:.3}", m.name(), fwd, rev);
+    }
+
+    // cDTW band sweep on realistic trips.
+    let mut generator = CityGenerator::new(CityParams::porto_like(), 3);
+    let t1 = generator.generate_one();
+    let t2 = generator.generate_one();
+    println!(
+        "\ncDTW band sweep on two synthetic taxi trips ({} and {} points):",
+        t1.len(),
+        t2.len()
+    );
+    let exact = dtw(&t1, &t2);
+    for band in [2usize, 4, 8, 16, usize::MAX] {
+        let c = cdtw(&t1, &t2, band);
+        let label = if band == usize::MAX { "inf".to_string() } else { band.to_string() };
+        println!(
+            "  band {label:>4}: cDTW = {c:>12.1}  (overestimates exact DTW {exact:.1} by {:.2}%)",
+            100.0 * (c - exact) / exact
+        );
+    }
+}

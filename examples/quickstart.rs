@@ -1,0 +1,87 @@
+//! Quickstart: train a small Traj2Hash model and run top-k similar
+//! trajectory search in both Euclidean and Hamming space.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use traj_data::{CityParams, Dataset, SplitSizes};
+use traj_dist::Measure;
+use traj_eval::{ground_truth_top_k, hr_at_k, pack_codes};
+use traj_index::{euclidean_top_k, HammingTable};
+use traj2hash::{train, ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData};
+
+fn main() {
+    // 1. A deterministic synthetic city (stand-in for the Porto taxi
+    //    corpus; see DESIGN.md).
+    let sizes = SplitSizes { seeds: 60, validation: 80, corpus: 800, query: 20, database: 400 };
+    let dataset = Dataset::generate(CityParams::porto_like(), sizes, 42);
+    println!(
+        "dataset: {} seeds / {} validation / {} corpus / {} queries / {} database",
+        dataset.seeds.len(),
+        dataset.validation.len(),
+        dataset.corpus.len(),
+        dataset.query.len(),
+        dataset.database.len()
+    );
+
+    // 2. Prepare the model context (normalization stats, fine grid, NCE
+    //    pre-trained decomposed grid embeddings) and train.
+    let mcfg = ModelConfig { dim: 32, blocks: 1, heads: 2, grid_dim: 32, ..ModelConfig::default() };
+    let tcfg = TrainConfig {
+        epochs: 6,
+        coarse_cell_m: 2000.0,
+        triplets_per_epoch: 256,
+        ..TrainConfig::default()
+    };
+    let measure = Measure::Frechet;
+    let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 42);
+    println!("grid pre-training took {:.2}s", ctx.pretrain_secs);
+    let mut model = Traj2Hash::new(mcfg, &ctx, 42);
+    let data = TrainData::prepare(&dataset, measure, &tcfg);
+    println!("supervision ready: {} generated triplets", data.triplets.len());
+    let report = train(&mut model, &data, &tcfg);
+    println!(
+        "trained {} epochs in {:.1}s; validation HR@10 per epoch: {:?}",
+        report.epoch_losses.len(),
+        report.seconds,
+        report.val_hr10.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    // 3. Encode the database once; queries are then answered in O(d).
+    let db_embeddings = model.embed_all(&dataset.database);
+    let db_codes = pack_codes(&model.hash_all(&dataset.database));
+    let table = HammingTable::build(db_codes);
+
+    // 4. Search and compare against the exact ground truth.
+    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 10);
+    let mut hr_euclid = 0.0;
+    let mut hr_hamming = 0.0;
+    for (qi, q) in dataset.query.iter().enumerate() {
+        let qe = model.embed(q).data().to_vec();
+        let euclid: Vec<usize> =
+            euclidean_top_k(&db_embeddings, &qe, 10).into_iter().map(|h| h.index).collect();
+        let qc = traj_index::BinaryCode::from_signs(&model.hash_signs(q));
+        let hamming: Vec<usize> =
+            table.hybrid_top_k(&qc, 10).into_iter().map(|h| h.index).collect();
+        hr_euclid += hr_at_k(&euclid, &truth[qi], 10);
+        hr_hamming += hr_at_k(&hamming, &truth[qi], 10);
+    }
+    let n = dataset.query.len() as f64;
+    println!("top-10 search vs exact {measure:?}: ");
+    println!("  Euclidean space HR@10 = {:.3}", hr_euclid / n);
+    println!("  Hamming space   HR@10 = {:.3}", hr_hamming / n);
+
+    // 5. Show one query's results.
+    let q = &dataset.query[0];
+    let qe = model.embed(q).data().to_vec();
+    let top = euclidean_top_k(&db_embeddings, &qe, 3);
+    println!("\nquery 0 ({} points): nearest database trajectories:", q.len());
+    for hit in top {
+        let exact = measure.distance(q, &dataset.database[hit.index]);
+        println!(
+            "  #{:<4} embedding distance {:.3}, exact Frechet {:.1} m",
+            hit.index, hit.distance, exact
+        );
+    }
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Rebuilds partial Table I/II text tables from a table12 progress log
+(used when a run is cut short)."""
+import re, sys
+
+log = sys.argv[1] if len(sys.argv) > 1 else "results/table12.log"
+rows_e, rows_h = [], []
+pat = re.compile(
+    r"\[table12\] (\S+) (\S+) (\S+):(?: euclid HR@10=(\S+) HR@50=(\S+) R10@50=(\S+) \|)?"
+    r" hamming HR@10=(\S+) HR@50=(\S+) R10@50=(\S+)")
+for line in open(log):
+    m = pat.search(line)
+    if not m:
+        continue
+    city, method, measure = m.group(1), m.group(2), m.group(3)
+    if m.group(4):
+        rows_e.append((city, method, measure, m.group(4), m.group(5), m.group(6)))
+    rows_h.append((city, method, measure, m.group(7), m.group(8), m.group(9)))
+
+def render(rows):
+    head = ("Dataset", "Method", "Measure", "HR@10", "HR@50", "R10@50")
+    w = [max(len(str(r[i])) for r in rows + [head]) for i in range(6)]
+    out = ["| " + " | ".join(h.ljust(w[i]) for i, h in enumerate(head)) + " |"]
+    out.append("|" + "|".join("-" * (w[i] + 2) for i in range(6)) + "|")
+    for r in rows:
+        out.append("| " + " | ".join(str(r[i]).ljust(w[i]) for i in range(6)) + " |")
+    return "\n".join(out) + "\n"
+
+open("results/table12.table1.txt", "w").write(render(rows_e))
+open("results/table12.table2.txt", "w").write(render(rows_h))
+print(f"reconstructed {len(rows_e)} euclidean rows, {len(rows_h)} hamming rows")

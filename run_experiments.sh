@@ -1,0 +1,32 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. Outputs land in
+# results/ (stdout = tables, .log = progress lines).
+#
+# Scales are chosen for a single-core budget of roughly an hour:
+#   - table12 (Tables I & II, each model trained once) and table3 run at
+#     the default "small" scale;
+#   - the read-out / alpha / gamma sweeps (fig4, fig8, fig9) run at
+#     "tiny", which preserves their shapes at a fraction of the cost —
+#     pass --scale small for the slower, tighter version;
+#   - the timing figures (fig5, fig6, ext_indexes) are scale-free.
+set -u
+BIN=./target/release
+run() {
+  name=$1; shift
+  echo "=== $name: $(date +%H:%M:%S) ==="
+  "$@" > "results/$name.txt" 2> "results/$name.log"
+}
+mkdir -p results
+run table12 $BIN/table12 --scale small
+run table3  $BIN/table3  --scale small
+run fig4    $BIN/fig4    --scale tiny
+run fig7    $BIN/fig7    --scale small --city porto --measure frechet
+run fig8_dtw     $BIN/fig8 --scale tiny --city porto --measure dtw
+run fig8_frechet $BIN/fig8 --scale tiny --city porto --measure frechet
+run fig9_dtw     $BIN/fig9 --scale tiny --city porto --measure dtw
+run fig9_frechet $BIN/fig9 --scale tiny --city porto --measure frechet
+run fig5    $BIN/fig5
+run fig6    $BIN/fig6
+run fresh_eval  $BIN/fresh_eval --scale small
+run ext_indexes $BIN/ext_indexes
+echo "=== all done: $(date +%H:%M:%S) ==="

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Splices measured results from results/ into EXPERIMENTS.md at the
+<!-- MARKER --> placeholders. Idempotent: reads the current file, replaces
+each marker (or previously spliced block) with a fenced block of the
+corresponding results file."""
+import re
+import sys
+
+SPLICES = {
+    "TABLE1": ["results/table12.table1.txt", "results/table12_tiny.table1.txt"],
+    "TABLE2": ["results/table12.table2.txt", "results/table12_tiny.table2.txt"],
+    "TABLE3": ["results/table3.txt"],
+    "FIG4": ["results/fig4.txt"],
+    "FIG5": ["results/fig5.txt"],
+    "FIG6": ["results/fig6.txt"],
+    "FIG7": ["results/fig7.txt"],
+    "FIG8": ["results/fig8_dtw.txt", "results/fig8_frechet.txt"],
+    "FIG9": ["results/fig9_dtw.txt", "results/fig9_frechet.txt"],
+}
+
+
+def block(paths):
+    parts = []
+    for p in paths:
+        try:
+            with open(p) as f:
+                content = f.read().strip()
+            parts.append(f"```text\n# {p}\n{content}\n```")
+        except FileNotFoundError:
+            parts.append(f"```text\n# {p}: not generated\n```")
+    return "\n\n".join(parts)
+
+
+def main():
+    with open("EXPERIMENTS.md") as f:
+        text = f.read()
+    for key, paths in SPLICES.items():
+        marker = f"<!-- {key} -->"
+        replacement = marker + "\n\n" + block(paths)
+        # replace marker plus any previously spliced fenced blocks after it
+        pattern = re.escape(marker) + r"(\n\n(```text\n.*?\n```\n?\n?)+)?"
+        text, n = re.subn(pattern, replacement + "\n", text, count=1, flags=re.S)
+        if n == 0:
+            print(f"warning: marker {marker} not found", file=sys.stderr)
+    with open("EXPERIMENTS.md", "w") as f:
+        f.write(text)
+    print("spliced")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+//! Integration tests of the exact index structures against codes and
+//! embeddings produced by a real (untrained is enough) model — the data
+//! distribution that actually matters for this library.
+
+use traj_data::{CityGenerator, CityParams};
+use traj_index::{euclidean_top_k, hamming_top_k, BinaryCode, HammingTable, MultiIndexHashing, VpTree};
+use traj2hash::{ModelConfig, ModelContext, Traj2Hash};
+
+fn model_codes_and_embeddings(n: usize) -> (Vec<BinaryCode>, Vec<Vec<f32>>) {
+    let trajs = CityGenerator::new(CityParams::test_city(), 77).generate(n);
+    let cfg = ModelConfig::tiny();
+    let ctx = ModelContext::prepare(&trajs, &cfg, 77);
+    let model = Traj2Hash::new(cfg, &ctx, 77);
+    let codes = model
+        .hash_all(&trajs)
+        .iter()
+        .map(|s| BinaryCode::from_signs(s))
+        .collect();
+    let embeddings = model.embed_all(&trajs);
+    (codes, embeddings)
+}
+
+#[test]
+fn mih_equals_brute_force_on_model_codes() {
+    let (codes, _) = model_codes_and_embeddings(250);
+    let mih = MultiIndexHashing::build(codes.clone(), 4);
+    for qi in [0usize, 50, 249] {
+        for k in [1usize, 10, 40] {
+            let got: Vec<f64> = mih.top_k(&codes[qi], k).iter().map(|h| h.distance).collect();
+            let want: Vec<f64> =
+                hamming_top_k(&codes, &codes[qi], k).iter().map(|h| h.distance).collect();
+            assert_eq!(got, want, "qi={qi} k={k}");
+        }
+    }
+}
+
+#[test]
+fn vptree_equals_brute_force_on_model_embeddings() {
+    let (_, embeddings) = model_codes_and_embeddings(250);
+    let tree = VpTree::build(embeddings.clone());
+    for qi in [0usize, 123, 200] {
+        for k in [1usize, 5, 25] {
+            let got: Vec<usize> =
+                tree.top_k(&embeddings[qi], k).iter().map(|h| h.index).collect();
+            let want: Vec<usize> =
+                euclidean_top_k(&embeddings, &embeddings[qi], k).iter().map(|h| h.index).collect();
+            assert_eq!(got, want, "qi={qi} k={k}");
+        }
+    }
+}
+
+#[test]
+fn all_hamming_structures_agree_on_distances() {
+    let (codes, _) = model_codes_and_embeddings(150);
+    let table = HammingTable::build(codes.clone());
+    let mih = MultiIndexHashing::build(codes.clone(), 2);
+    for qi in [3usize, 77] {
+        let bf: Vec<f64> =
+            hamming_top_k(&codes, &codes[qi], 15).iter().map(|h| h.distance).collect();
+        let hy: Vec<f64> =
+            table.hybrid_top_k(&codes[qi], 15).iter().map(|h| h.distance).collect();
+        let mi: Vec<f64> = mih.top_k(&codes[qi], 15).iter().map(|h| h.distance).collect();
+        assert_eq!(bf, hy);
+        assert_eq!(bf, mi);
+    }
+}
+
+#[test]
+fn vptree_prunes_on_model_embeddings() {
+    // Model embeddings of city trajectories are highly clustered, which
+    // is exactly where the VP-tree should prune well.
+    let (_, embeddings) = model_codes_and_embeddings(400);
+    let tree = VpTree::build(embeddings.clone());
+    let (_, evals) = tree.top_k_counted(&embeddings[10], 10);
+    assert!(
+        evals < embeddings.len(),
+        "VP-tree evaluated every distance ({evals}/{})",
+        embeddings.len()
+    );
+}

@@ -1,0 +1,94 @@
+//! Cross-crate property tests: the model's structural guarantees hold on
+//! arbitrary trajectories, not just the synthetic city distribution.
+
+use proptest::prelude::*;
+use traj_data::{CityGenerator, CityParams, Trajectory};
+use traj2hash::{ModelConfig, ModelContext, Traj2Hash};
+
+fn model_fixture() -> (Traj2Hash, Traj2Hash) {
+    let trajs = CityGenerator::new(CityParams::test_city(), 31).generate(12);
+    let cfg = ModelConfig::tiny();
+    let ctx = ModelContext::prepare(&trajs, &cfg, 31);
+    let with_rev = Traj2Hash::new(cfg, &ctx, 31);
+    let without_rev = Traj2Hash::new(ModelConfig::tiny().without_rev_aug(), &ctx, 31);
+    (with_rev, without_rev)
+}
+
+fn trajectory_strategy() -> impl Strategy<Value = Trajectory> {
+    // points inside the test city's extent
+    proptest::collection::vec((0.0f64..2000.0, 0.0f64..2000.0), 2..25)
+        .prop_map(|xy| Trajectory::from_xy(&xy))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lemma3_reverse_symmetry_for_arbitrary_inputs(
+        a in trajectory_strategy(),
+        b in trajectory_strategy(),
+    ) {
+        let (model, _) = model_fixture();
+        let fwd = model.approx_distance(&a, &b);
+        let rev = model.approx_distance(&a.reversed(), &b.reversed());
+        prop_assert!((fwd - rev).abs() < 1e-3 * (1.0 + fwd.abs()),
+            "Lemma 3 violated: {} vs {}", fwd, rev);
+    }
+
+    #[test]
+    fn embedding_is_finite_and_fixed_width(t in trajectory_strategy()) {
+        let (model, _) = model_fixture();
+        let e = model.embed(&t);
+        prop_assert_eq!(e.cols(), model.embedding_dim());
+        prop_assert!(e.is_finite());
+        let code = model.hash_signs(&t);
+        prop_assert_eq!(code.len(), model.embedding_dim());
+        prop_assert!(code.iter().all(|&s| s == 1 || s == -1));
+    }
+
+    #[test]
+    fn approx_distance_is_symmetric_and_zero_on_self(
+        a in trajectory_strategy(),
+        b in trajectory_strategy(),
+    ) {
+        let (model, _) = model_fixture();
+        let ab = model.approx_distance(&a, &b);
+        let ba = model.approx_distance(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-4 * (1.0 + ab.abs()));
+        prop_assert!(model.approx_distance(&a, &a) < 1e-4);
+    }
+
+    #[test]
+    fn hash_matches_embedding_signs(t in trajectory_strategy()) {
+        let (model, _) = model_fixture();
+        let e = model.embed(&t);
+        let code = model.hash_signs(&t);
+        for (&s, &x) in code.iter().zip(e.data()) {
+            prop_assert_eq!(s == 1, x > 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Footnote 1 of the paper: element-wise **sum** of forward and
+    /// reversed embeddings would force the unwanted identity
+    /// `E(h(T1), h(T2)) == E(h(T1), h(T2^r))` — a trajectory would be
+    /// exactly as close to another as to its reverse. Concatenation
+    /// (Eq. 15) must NOT have that collapse: direction information has
+    /// to survive.
+    #[test]
+    fn concatenation_preserves_direction_information(
+        a in trajectory_strategy(),
+        b in trajectory_strategy(),
+    ) {
+        // skip near-palindromic inputs where both quantities coincide
+        prop_assume!(traj_dist::dtw(&b, &b.reversed()) > 100.0);
+        let (model, _) = model_fixture();
+        let plain = model.approx_distance(&a, &b);
+        let to_reverse = model.approx_distance(&a, &b.reversed());
+        prop_assert!((plain - to_reverse).abs() > 1e-6,
+            "direction collapsed: d(a,b) == d(a,b^r) == {}", plain);
+    }
+}
