@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, all tests, lint-clean.
+# CI and pre-merge both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -60,19 +60,19 @@ fn main() {
             let hybrid = HammingTable::build(w.db_codes.clone());
             let t3 = Instant::now();
             for q in &w.query_codes {
-                std::hint::black_box(hybrid.hybrid_top_k(q, k));
+                std::hint::black_box(hybrid.hybrid_top_k(q, k).expect("matching widths"));
             }
             let hy = t3.elapsed().as_secs_f64() / n_query as f64;
 
             let mih = MultiIndexHashing::build(w.db_codes.clone(), 4);
             let t4 = Instant::now();
             for q in &w.query_codes {
-                std::hint::black_box(mih.top_k(q, k));
+                std::hint::black_box(mih.top_k(q, k).expect("matching widths"));
             }
             let mi = t4.elapsed().as_secs_f64() / n_query as f64;
 
             // sanity: MIH must agree with brute force
-            let a = mih.top_k(&w.query_codes[0], k);
+            let a = mih.top_k(&w.query_codes[0], k).expect("matching widths");
             let b = hamming_top_k(&w.db_codes, &w.query_codes[0], k);
             assert_eq!(
                 a.iter().map(|h| h.distance).collect::<Vec<_>>(),

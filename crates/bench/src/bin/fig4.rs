@@ -27,14 +27,14 @@ fn main() {
             let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
             let mut tcfg = scale.train.clone().without_triplets();
             tcfg.gamma = 0.0; // pure WMSE: only the read-out varies
-            let data = TrainData::prepare(&dataset, measure, &tcfg);
+            let data = TrainData::prepare(&dataset, measure, &tcfg).expect("failed to prepare training supervision");
             for readout in [Readout::Mean, Readout::Cls, Readout::LowerBound] {
                 let mcfg = traj2hash::ModelConfig {
                     readout,
                     ..scale.model.clone().without_rev_aug()
                 };
                 let mut model = Traj2Hash::new(mcfg, &ctx, args.seed);
-                train(&mut model, &data, &tcfg);
+                train(&mut model, &data, &tcfg).expect("training failed");
                 let db = model.embed_all(&dataset.database);
                 let q = model.embed_all(&dataset.query);
                 let m = eval_euclidean(&db, &q, &truth);

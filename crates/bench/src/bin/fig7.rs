@@ -27,7 +27,7 @@ fn main() {
     );
     let dataset = build_dataset(city, scale, args.seed);
     let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, args.seed);
-    let data = TrainData::prepare(&dataset, measure, &scale.train);
+    let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
     let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
 
     // Node2vec on the same fine grid; walk budget scaled to grid size.
@@ -78,7 +78,7 @@ fn main() {
             Some(e) => Traj2Hash::with_grid_embedding(mcfg, &ctx, e, args.seed),
             None => Traj2Hash::new(mcfg, &ctx, args.seed),
         };
-        train(&mut model, &data, &scale.train);
+        train(&mut model, &data, &scale.train).expect("training failed");
         let db_e = model.embed_all(&dataset.database);
         let q_e = model.embed_all(&dataset.query);
         let me = eval_euclidean(&db_e, &q_e, &truth);

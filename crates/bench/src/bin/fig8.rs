@@ -22,14 +22,14 @@ fn main() {
     let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, args.seed);
     for measure in args.measures() {
         let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
-        let data = TrainData::prepare(&dataset, measure, &scale.train);
+        let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
         let mut table =
             TextTable::new(vec!["Measure", "alpha", "HR@10 (Euclidean)", "HR@10 (Hamming)"]);
         for alpha in [0.0f32, 1.0, 5.0, 10.0, 25.0] {
             let mut tcfg = scale.train.clone();
             tcfg.alpha = alpha;
             let mut model = Traj2Hash::new(scale.model.clone(), &ctx, args.seed);
-            train(&mut model, &data, &tcfg);
+            train(&mut model, &data, &tcfg).expect("training failed");
             let me = eval_euclidean(
                 &model.embed_all(&dataset.database),
                 &model.embed_all(&dataset.query),

@@ -24,7 +24,7 @@ fn main() {
     let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, args.seed);
     for measure in args.measures() {
         let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
-        let data = TrainData::prepare(&dataset, measure, &scale.train);
+        let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
         let mut table =
             TextTable::new(vec!["Measure", "gamma", "HR@10 (Euclidean)", "HR@10 (Hamming)"]);
         for gamma in [0.0f32, 1.0, 3.0, 6.0, 12.0] {
@@ -35,7 +35,7 @@ fn main() {
                 tcfg.use_triplets = false;
             }
             let mut model = Traj2Hash::new(scale.model.clone(), &ctx, args.seed);
-            train(&mut model, &data, &tcfg);
+            train(&mut model, &data, &tcfg).expect("training failed");
             let me = eval_euclidean(
                 &model.embed_all(&dataset.database),
                 &model.embed_all(&dataset.query),

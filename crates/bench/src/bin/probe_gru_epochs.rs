@@ -25,7 +25,7 @@ fn main() {
     );
     let dataset = build_dataset(city, scale, args.seed);
     let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, args.seed);
-    let data = TrainData::prepare(&dataset, measure, &scale.train);
+    let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
     let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
 
     let mut table = TextTable::new(vec!["Epochs", "HR@10", "HR@50", "R10@50", "final loss"]);

@@ -33,7 +33,7 @@ fn main() {
             "Dataset", "Method", "Measure", "HR@10", "HR@50", "R10@50",
         ]);
         for (measure, truth) in &truth_cache {
-            let data = TrainData::prepare(&dataset, *measure, &scale.train);
+            let data = TrainData::prepare(&dataset, *measure, &scale.train).expect("failed to prepare training supervision");
             for method in DenseMethod::all() {
                 let enc = train_dense(method, &dataset, &ctx, &data, scale, args.seed);
                 let db = enc.embed_all(&dataset.database);

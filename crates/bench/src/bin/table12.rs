@@ -42,7 +42,7 @@ fn main() {
         let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, args.seed);
         for measure in args.measures() {
             let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
-            let data = TrainData::prepare(&dataset, measure, &scale.train);
+            let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
             let head_cfg = HashHeadConfig {
                 bits,
                 alpha: scale.train.alpha,

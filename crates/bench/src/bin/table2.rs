@@ -31,7 +31,7 @@ fn main() {
         ]);
         for measure in args.measures() {
             let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
-            let data = TrainData::prepare(&dataset, measure, &scale.train);
+            let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
             let head_cfg = HashHeadConfig {
                 bits,
                 alpha: scale.train.alpha,

@@ -33,7 +33,7 @@ fn main() {
         ]);
         for &measure in &measures {
             let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
-            let data = TrainData::prepare(&dataset, measure, &scale.train);
+            let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
 
             // (model config, train config) per cumulative ablation
             let variants = [
@@ -50,7 +50,7 @@ fn main() {
             let mut hamming = Vec::new();
             for (name, mcfg, tcfg) in &variants {
                 let mut model = Traj2Hash::new(mcfg.clone(), &ctx, args.seed);
-                let report = train(&mut model, &data, tcfg);
+                let report = train(&mut model, &data, tcfg).expect("training failed");
                 let db_e = model.embed_all(&dataset.database);
                 let q_e = model.embed_all(&dataset.query);
                 euclid.push(eval_euclidean(&db_e, &q_e, &truth));

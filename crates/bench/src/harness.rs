@@ -77,7 +77,7 @@ pub fn time_search_strategies(
     let table = HammingTable::build(db_codes.to_vec());
     let t2 = Instant::now();
     for q in query_codes {
-        std::hint::black_box(table.hybrid_top_k(q, k));
+        std::hint::black_box(table.hybrid_top_k(q, k).expect("query and database codes share a width"));
     }
     let hamming_hybrid = t2.elapsed().as_secs_f64() / query_codes.len() as f64;
 

@@ -145,6 +145,14 @@ pub fn train_traj2hash(
 ) -> (Traj2Hash, TrainReport) {
     let _ = dataset;
     let mut model = Traj2Hash::new(scale.model.clone(), ctx, seed);
-    let report = traj2hash::train(&mut model, data, &scale.train);
+    let report = traj2hash::train(&mut model, data, &scale.train)
+        .unwrap_or_else(|e| panic!("traj2hash training failed: {e}"));
+    if !report.recoveries.is_empty() {
+        eprintln!(
+            "  [traj2hash] divergence guard fired {} time(s); final lr {:.2e}",
+            report.recoveries.len(),
+            report.final_lr
+        );
+    }
     (model, report)
 }

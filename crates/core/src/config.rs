@@ -137,6 +137,26 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Compute validation HR@10 each epoch and keep the best parameters.
     pub validate: bool,
+    /// Divergence guard: an epoch loss above `divergence_factor` times
+    /// the last good epoch loss triggers a rollback (non-finite losses
+    /// always do). Must exceed 1.
+    pub divergence_factor: f32,
+    /// Maximum rollback retries of a single epoch before training gives
+    /// up with [`crate::TrainError::Diverged`].
+    pub max_rollbacks: usize,
+    /// Multiplier applied to the learning rate on each rollback
+    /// (exponential backoff); must lie in `(0, 1)`.
+    pub lr_backoff: f32,
+    /// Write a checkpoint after every `checkpoint_every` completed
+    /// epochs (0 disables periodic saves; a final checkpoint is still
+    /// written whenever `checkpoint_path` is set).
+    pub checkpoint_every: usize,
+    /// Where to persist checkpoints; `None` disables checkpointing.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// When true and `checkpoint_path` names a valid checkpoint,
+    /// training restores it and continues from the saved epoch instead
+    /// of starting over.
+    pub resume: bool,
 }
 
 impl Default for TrainConfig {
@@ -158,6 +178,12 @@ impl Default for TrainConfig {
             clip_norm: 5.0,
             seed: 7,
             validate: true,
+            divergence_factor: 4.0,
+            max_rollbacks: 3,
+            lr_backoff: 0.5,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            resume: false,
         }
     }
 }
@@ -181,6 +207,59 @@ impl TrainConfig {
         self.use_triplets = false;
         self
     }
+
+    /// Checks every field is in its valid range, so a bad config is a
+    /// typed error at the call site instead of an assert (or a silent
+    /// NaN) deep inside the training loop.
+    pub fn validate(&self) -> Result<(), crate::TrainError> {
+        let fail = |msg: String| Err(crate::TrainError::InvalidConfig(msg));
+        if self.epochs == 0 {
+            return fail("epochs must be positive".into());
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return fail(format!("lr must be positive and finite, got {}", self.lr));
+        }
+        if self.batch_size == 0 {
+            return fail("batch_size must be positive".into());
+        }
+        if self.samples_per_anchor == 0 {
+            return fail("samples_per_anchor must be positive".into());
+        }
+        if !(self.beta0.is_finite() && self.beta0 > 0.0) {
+            return fail(format!("beta0 must be positive and finite, got {}", self.beta0));
+        }
+        if !(self.beta_step.is_finite() && self.beta_step >= 0.0) {
+            return fail(format!("beta_step must be non-negative, got {}", self.beta_step));
+        }
+        if !(self.alpha.is_finite() && self.alpha >= 0.0) {
+            return fail(format!("alpha must be non-negative, got {}", self.alpha));
+        }
+        if !(self.gamma.is_finite() && self.gamma >= 0.0) {
+            return fail(format!("gamma must be non-negative, got {}", self.gamma));
+        }
+        if !(self.clip_norm.is_finite() && self.clip_norm > 0.0) {
+            return fail(format!("clip_norm must be positive, got {}", self.clip_norm));
+        }
+        if !(self.coarse_cell_m.is_finite() && self.coarse_cell_m > 0.0) {
+            return fail(format!("coarse_cell_m must be positive, got {}", self.coarse_cell_m));
+        }
+        if !(self.theta_target.is_finite() && 0.0 < self.theta_target && self.theta_target < 1.0) {
+            return fail(format!("theta_target must lie in (0, 1), got {}", self.theta_target));
+        }
+        if self.use_triplets && self.triplet_batch == 0 {
+            return fail("triplet_batch must be positive when triplets are enabled".into());
+        }
+        if !(self.divergence_factor.is_finite() && self.divergence_factor > 1.0) {
+            return fail(format!(
+                "divergence_factor must exceed 1, got {}",
+                self.divergence_factor
+            ));
+        }
+        if !(self.lr_backoff.is_finite() && 0.0 < self.lr_backoff && self.lr_backoff < 1.0) {
+            return fail(format!("lr_backoff must lie in (0, 1), got {}", self.lr_backoff));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +280,55 @@ mod tests {
         assert_eq!(t.batch_size, 20);
         assert_eq!(t.coarse_cell_m, 500.0);
         assert_eq!(t.lr, 1e-3);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(TrainConfig::default().validate().is_ok());
+        assert!(TrainConfig::tiny().validate().is_ok());
+    }
+
+    /// Every out-of-range field is rejected with a message naming it.
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let ok = TrainConfig::default;
+        let cases: Vec<(TrainConfig, &str)> = vec![
+            (TrainConfig { epochs: 0, ..ok() }, "epochs"),
+            (TrainConfig { lr: 0.0, ..ok() }, "lr"),
+            (TrainConfig { lr: -1e-3, ..ok() }, "lr"),
+            (TrainConfig { lr: f32::NAN, ..ok() }, "lr"),
+            (TrainConfig { batch_size: 0, ..ok() }, "batch_size"),
+            (TrainConfig { samples_per_anchor: 0, ..ok() }, "samples_per_anchor"),
+            (TrainConfig { beta0: 0.0, ..ok() }, "beta0"),
+            (TrainConfig { beta0: f32::INFINITY, ..ok() }, "beta0"),
+            (TrainConfig { beta_step: -0.1, ..ok() }, "beta_step"),
+            (TrainConfig { alpha: -1.0, ..ok() }, "alpha"),
+            (TrainConfig { gamma: f32::NAN, ..ok() }, "gamma"),
+            (TrainConfig { clip_norm: 0.0, ..ok() }, "clip_norm"),
+            (TrainConfig { coarse_cell_m: 0.0, ..ok() }, "coarse_cell_m"),
+            (TrainConfig { theta_target: 0.0, ..ok() }, "theta_target"),
+            (TrainConfig { theta_target: 1.0, ..ok() }, "theta_target"),
+            (TrainConfig { triplet_batch: 0, ..ok() }, "triplet_batch"),
+            (TrainConfig { divergence_factor: 1.0, ..ok() }, "divergence_factor"),
+            (TrainConfig { divergence_factor: f32::NAN, ..ok() }, "divergence_factor"),
+            (TrainConfig { lr_backoff: 0.0, ..ok() }, "lr_backoff"),
+            (TrainConfig { lr_backoff: 1.0, ..ok() }, "lr_backoff"),
+        ];
+        for (cfg, field) in cases {
+            match cfg.validate() {
+                Err(crate::TrainError::InvalidConfig(msg)) => assert!(
+                    msg.contains(field),
+                    "rejection for {field} should name the field, got: {msg}"
+                ),
+                other => panic!("expected InvalidConfig({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_batch_zero_is_fine_when_triplets_disabled() {
+        let cfg = TrainConfig { triplet_batch: 0, ..TrainConfig::default() }.without_triplets();
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Typed training errors, replacing the library-code asserts the seed
+//! used (a bad config or degenerate dataset should be handleable by
+//! the caller, not abort the process).
+
+use crate::checkpoint::CheckpointError;
+use std::fmt;
+
+/// Why training could not start or complete.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A [`crate::TrainConfig`] field is out of its valid range.
+    InvalidConfig(String),
+    /// The similarity supervision needs at least two seed trajectories.
+    TooFewSeeds {
+        /// Seeds actually supplied.
+        got: usize,
+    },
+    /// Triplet generation needs a non-empty corpus.
+    EmptyCorpus,
+    /// The divergence guard exhausted its rollback budget: the loss
+    /// kept spiking or going non-finite after every retry.
+    Diverged {
+        /// Epoch that kept failing.
+        epoch: usize,
+        /// The last offending loss value.
+        loss: f32,
+        /// How many rollbacks were attempted at this epoch.
+        retries: usize,
+    },
+    /// Reading or writing a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A checkpoint decoded cleanly but its parameter blob does not fit
+    /// this model (count or shape mismatch — usually a config drift
+    /// between the saving and resuming run).
+    IncompatibleCheckpoint(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidConfig(s) => write!(f, "invalid train config: {s}"),
+            TrainError::TooFewSeeds { got } => {
+                write!(f, "need at least two seed trajectories, got {got}")
+            }
+            TrainError::EmptyCorpus => write!(f, "triplet generation needs a non-empty corpus"),
+            TrainError::Diverged { epoch, loss, retries } => write!(
+                f,
+                "training diverged at epoch {epoch} (loss {loss}) and did not recover \
+                 after {retries} rollbacks"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            TrainError::IncompatibleCheckpoint(s) => {
+                write!(f, "checkpoint incompatible with this model: {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}

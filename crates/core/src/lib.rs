@@ -18,21 +18,39 @@
 //! let cfg = ModelConfig::small();
 //! let ctx = ModelContext::prepare(&dataset.training_visible(), &cfg, 42);
 //! let mut model = Traj2Hash::new(cfg, &ctx, 42);
-//! let data = TrainData::prepare(&dataset, Measure::Frechet, &TrainConfig::default());
-//! let report = train(&mut model, &data, &TrainConfig::default());
+//! let data = TrainData::prepare(&dataset, Measure::Frechet, &TrainConfig::default())
+//!     .expect("supervision");
+//! let report = train(&mut model, &data, &TrainConfig::default()).expect("training");
 //! println!("best epoch: {}", report.best_epoch);
 //! let code = model.hash_signs(&dataset.query[0]);
 //! assert_eq!(code.len(), model.embedding_dim());
 //! ```
+//!
+//! ## Fault tolerance
+//!
+//! Training survives the failure modes that actually occur at scale:
+//! bad hyper-parameters are rejected up front
+//! ([`TrainConfig::validate`]), diverging epochs roll back to the last
+//! good state with a reduced learning rate (recorded as
+//! [`RecoveryEvent`]s in the [`TrainReport`]), and the full training
+//! state — parameters, Adam moments, scheduler position, history — can
+//! be persisted to a checksummed [`checkpoint`] file and resumed after
+//! a crash via [`TrainConfig::resume`].
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod encoder;
+pub mod error;
 pub mod loss;
 pub mod model;
 pub mod trainer;
 
+pub use checkpoint::{Checkpoint, CheckpointError, RecoveryEvent, RecoveryKind};
 pub use config::{ModelConfig, Readout, TrainConfig};
+pub use error::TrainError;
 pub use model::{ModelContext, Traj2Hash};
-pub use trainer::{train, validation_hr10, TrainData, TrainReport};
+pub use trainer::{
+    train, train_with_hooks, validation_hr10, TrainData, TrainHooks, TrainReport,
+};

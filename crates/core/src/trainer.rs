@@ -2,8 +2,18 @@
 //! distance matrix + ranking-based hashing objective + generated-triplet
 //! objective, combined as `L = L_s + gamma * (L_r + L_t)` (Eq. 21),
 //! optimized with Adam under the HashNet `tanh(beta x)` continuation.
+//!
+//! The trainer is fault-tolerant: every completed epoch snapshots the
+//! full optimizer state in memory, a divergence guard rolls back and
+//! halves the learning rate when an epoch loss goes non-finite or
+//! spikes (the `tanh(beta x)` continuation sharpens gradients every
+//! epoch, which is exactly where late-training blow-ups live), and the
+//! whole state can be persisted to a checksummed on-disk checkpoint
+//! (see [`crate::checkpoint`]) and resumed with `TrainConfig::resume`.
 
+use crate::checkpoint::{Checkpoint, RecoveryEvent, RecoveryKind};
 use crate::config::TrainConfig;
+use crate::error::TrainError;
 use crate::loss::{
     approx_similarity, rank_pairs, rank_weights, ranking_hash_loss, sample_companions, wmse_term,
 };
@@ -41,13 +51,26 @@ impl TrainData {
     /// Computes all supervision: the parallel exact distance matrix over
     /// the seeds, its similarity transform, the coarse-grid triplets, and
     /// the validation ground truth.
-    pub fn prepare(dataset: &Dataset, measure: Measure, cfg: &TrainConfig) -> TrainData {
+    ///
+    /// Returns [`TrainError::EmptyCorpus`] when the dataset has no
+    /// corpus trajectories to generate triplets from, and
+    /// [`TrainError::TooFewSeeds`] when the similarity supervision
+    /// would be degenerate.
+    pub fn prepare(
+        dataset: &Dataset,
+        measure: Measure,
+        cfg: &TrainConfig,
+    ) -> Result<TrainData, TrainError> {
+        cfg.validate()?;
+        if dataset.seeds.len() < 2 {
+            return Err(TrainError::TooFewSeeds { got: dataset.seeds.len() });
+        }
         let dist = distance_matrix(&dataset.seeds, measure);
         let theta = auto_theta(&dist, cfg.theta_target);
         let sim = similarity_matrix(&dist, theta);
 
         let bbox = traj_data::BoundingBox::of_dataset(&dataset.corpus)
-            .expect("empty corpus");
+            .ok_or(TrainError::EmptyCorpus)?;
         let coarse = GridSpec::new(bbox, cfg.coarse_cell_m);
         let triplets = generate_triplets(&dataset.corpus, &coarse, 20_000, cfg.seed);
 
@@ -56,7 +79,7 @@ impl TrainData {
         let val_queries: Vec<usize> = (0..n_queries).collect();
         let val_truth = val_queries.iter().map(|&q| val_dist.top_k_row(q, 10)).collect();
 
-        TrainData {
+        Ok(TrainData {
             seeds: dataset.seeds.clone(),
             sim,
             dist,
@@ -65,7 +88,7 @@ impl TrainData {
             validation: dataset.validation.clone(),
             val_queries,
             val_truth,
-        }
+        })
     }
 }
 
@@ -78,10 +101,37 @@ pub struct TrainReport {
     pub val_hr10: Vec<f64>,
     /// Epoch whose parameters were kept.
     pub best_epoch: usize,
+    /// Best validation HR@10, when validation ran.
+    pub best_val: Option<f64>,
     /// Number of generated triplets available.
     pub triplet_count: usize,
     /// Total wall-clock seconds.
     pub seconds: f64,
+    /// Every divergence rollback the guard performed.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Epoch training continued from, when a checkpoint was resumed.
+    pub resumed_from_epoch: Option<usize>,
+    /// Learning rate at the end of training (lower than configured when
+    /// divergence backoffs fired).
+    pub final_lr: f32,
+}
+
+/// Optional instrumentation hooks for a training run. Used by the
+/// fault-injection tests to perturb the observed epoch loss and so
+/// exercise the divergence guard; production callers leave this empty.
+#[derive(Default)]
+pub struct TrainHooks<'a> {
+    /// Maps `(epoch, mean_epoch_loss)` to the loss value the divergence
+    /// guard should see. Identity when absent.
+    #[allow(clippy::type_complexity)]
+    pub on_epoch_loss: Option<Box<dyn FnMut(usize, f32) -> f32 + 'a>>,
+}
+
+impl<'a> TrainHooks<'a> {
+    /// Hooks that observe/transform the per-epoch loss.
+    pub fn with_loss_hook(f: impl FnMut(usize, f32) -> f32 + 'a) -> Self {
+        TrainHooks { on_epoch_loss: Some(Box::new(f)) }
+    }
 }
 
 /// Embeds the given seed indices once on a shared tape, so a trajectory
@@ -128,70 +178,106 @@ pub fn validation_hr10(model: &Traj2Hash, data: &TrainData) -> f64 {
     }
 }
 
-/// Trains the model in place and returns a report.
-pub fn train(model: &mut Traj2Hash, data: &TrainData, cfg: &TrainConfig) -> TrainReport {
-    let start = std::time::Instant::now();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut opt = Adam::new(cfg.lr);
+/// Per-epoch RNG: deterministic given the config seed and epoch index,
+/// so a resumed run and an epoch retry draw the same samples an
+/// uninterrupted run would have.
+fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs one epoch of the combined objective; returns the mean batch
+/// loss and advances the triplet cursor.
+fn run_epoch(
+    model: &Traj2Hash,
+    data: &TrainData,
+    cfg: &TrainConfig,
+    opt: &mut Adam,
+    rng: &mut StdRng,
+    triplet_cursor: &mut usize,
+) -> f32 {
     let n_seeds = data.seeds.len();
-    assert!(n_seeds >= 2, "need at least two seed trajectories");
+    let mut epoch_loss = 0.0f32;
+    let mut batches = 0usize;
 
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    let mut val_hr10 = Vec::new();
-    let mut best = (0usize, f64::MIN, model.save_bytes());
-
-    let mut triplet_cursor = 0usize;
-    for epoch in 0..cfg.epochs {
-        // HashNet continuation: increase beta each epoch so tanh(beta x)
-        // approaches sign(x).
-        model.beta = cfg.beta0 + cfg.beta_step * epoch as f32;
-        let mut epoch_loss = 0.0f32;
-        let mut batches = 0usize;
-
-        // ---- WMSE + ranking objective over seed anchors (L_s + g L_r) --
-        let mut anchors: Vec<usize> = (0..n_seeds).collect();
-        for i in (1..anchors.len()).rev() {
-            let j = rng.random_range(0..=i);
-            anchors.swap(i, j);
+    // ---- WMSE + ranking objective over seed anchors (L_s + g L_r) --
+    let mut anchors: Vec<usize> = (0..n_seeds).collect();
+    for i in (1..anchors.len()).rev() {
+        let j = rng.random_range(0..=i);
+        anchors.swap(i, j);
+    }
+    for batch in anchors.chunks(cfg.batch_size) {
+        let tape = Tape::new();
+        let mut cache: HashMap<usize, Var> = HashMap::new();
+        let mut loss: Option<Var> = None;
+        let add = |term: Var, acc: &mut Option<Var>| {
+            *acc = Some(match acc.take() {
+                None => term,
+                Some(a) => a.add(&term),
+            });
+        };
+        for &i in batch {
+            let companions =
+                sample_companions(i, data.sim.row(i), cfg.samples_per_anchor, rng);
+            if companions.is_empty() {
+                continue;
+            }
+            let weights = rank_weights(companions.len());
+            let e_i = embed_cached(model, &tape, &data.seeds, &mut cache, i);
+            for (rank, &j) in companions.iter().enumerate() {
+                let e_j = embed_cached(model, &tape, &data.seeds, &mut cache, j);
+                let g = approx_similarity(&e_i, &e_j);
+                let term = wmse_term(&tape, &g, data.sim.get(i, j), weights[rank]);
+                add(term, &mut loss);
+            }
+            // ranking hash objective on the same samples (Eq. 18/19)
+            let z_i = model.hash_of(&e_i);
+            for (p, n) in rank_pairs(&companions) {
+                let e_p = embed_cached(model, &tape, &data.seeds, &mut cache, p);
+                let e_n = embed_cached(model, &tape, &data.seeds, &mut cache, n);
+                let z_p = model.hash_of(&e_p);
+                let z_n = model.hash_of(&e_n);
+                let term =
+                    ranking_hash_loss(&z_i, &z_p, &z_n, cfg.alpha).scale(cfg.gamma);
+                add(term, &mut loss);
+            }
         }
-        for batch in anchors.chunks(cfg.batch_size) {
+        if let Some(loss) = loss {
+            let loss = loss.scale(1.0 / batch.len() as f32);
+            epoch_loss += loss.item();
+            batches += 1;
+            model.params.zero_grad();
+            loss.backward();
+            clip_grad_norm(&model.params, cfg.clip_norm);
+            opt.step(&model.params);
+        }
+    }
+
+    // ---- generated-triplet objective (L_t), Eq. 20 ------------------
+    if cfg.use_triplets && !data.triplets.is_empty() {
+        let mut used = 0usize;
+        while used < cfg.triplets_per_epoch {
+            let take = cfg.triplet_batch.min(cfg.triplets_per_epoch - used);
             let tape = Tape::new();
             let mut cache: HashMap<usize, Var> = HashMap::new();
             let mut loss: Option<Var> = None;
-            let add = |term: Var, acc: &mut Option<Var>| {
-                *acc = Some(match acc.take() {
+            for _ in 0..take {
+                let (a, p, n) = data.triplets[*triplet_cursor % data.triplets.len()];
+                *triplet_cursor += 1;
+                let z_a =
+                    model.hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, a));
+                let z_p =
+                    model.hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, p));
+                let z_n =
+                    model.hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, n));
+                let term = ranking_hash_loss(&z_a, &z_p, &z_n, cfg.alpha);
+                loss = Some(match loss {
                     None => term,
-                    Some(a) => a.add(&term),
+                    Some(acc) => acc.add(&term),
                 });
-            };
-            for &i in batch {
-                let companions =
-                    sample_companions(i, data.sim.row(i), cfg.samples_per_anchor, &mut rng);
-                if companions.is_empty() {
-                    continue;
-                }
-                let weights = rank_weights(companions.len());
-                let e_i = embed_cached(model, &tape, &data.seeds, &mut cache, i);
-                for (rank, &j) in companions.iter().enumerate() {
-                    let e_j = embed_cached(model, &tape, &data.seeds, &mut cache, j);
-                    let g = approx_similarity(&e_i, &e_j);
-                    let term = wmse_term(&tape, &g, data.sim.get(i, j), weights[rank]);
-                    add(term, &mut loss);
-                }
-                // ranking hash objective on the same samples (Eq. 18/19)
-                let z_i = model.hash_of(&e_i);
-                for (p, n) in rank_pairs(&companions) {
-                    let e_p = embed_cached(model, &tape, &data.seeds, &mut cache, p);
-                    let e_n = embed_cached(model, &tape, &data.seeds, &mut cache, n);
-                    let z_p = model.hash_of(&e_p);
-                    let z_n = model.hash_of(&e_n);
-                    let term =
-                        ranking_hash_loss(&z_i, &z_p, &z_n, cfg.alpha).scale(cfg.gamma);
-                    add(term, &mut loss);
-                }
             }
+            used += take;
             if let Some(loss) = loss {
-                let loss = loss.scale(1.0 / batch.len() as f32);
+                let loss = loss.scale(cfg.gamma / take as f32);
                 epoch_loss += loss.item();
                 batches += 1;
                 model.params.zero_grad();
@@ -200,68 +286,236 @@ pub fn train(model: &mut Traj2Hash, data: &TrainData, cfg: &TrainConfig) -> Trai
                 opt.step(&model.params);
             }
         }
+    }
 
-        // ---- generated-triplet objective (L_t), Eq. 20 ------------------
-        if cfg.use_triplets && !data.triplets.is_empty() {
-            let mut used = 0usize;
-            while used < cfg.triplets_per_epoch {
-                let take = cfg.triplet_batch.min(cfg.triplets_per_epoch - used);
-                let tape = Tape::new();
-                let mut cache: HashMap<usize, Var> = HashMap::new();
-                let mut loss: Option<Var> = None;
-                for _ in 0..take {
-                    let (a, p, n) = data.triplets[triplet_cursor % data.triplets.len()];
-                    triplet_cursor += 1;
-                    let z_a = model
-                        .hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, a));
-                    let z_p = model
-                        .hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, p));
-                    let z_n = model
-                        .hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, n));
-                    let term = ranking_hash_loss(&z_a, &z_p, &z_n, cfg.alpha);
-                    loss = Some(match loss {
-                        None => term,
-                        Some(acc) => acc.add(&term),
-                    });
-                }
-                used += take;
-                if let Some(loss) = loss {
-                    let loss = loss.scale(cfg.gamma / take as f32);
-                    epoch_loss += loss.item();
-                    batches += 1;
-                    model.params.zero_grad();
-                    loss.backward();
-                    clip_grad_norm(&model.params, cfg.clip_norm);
-                    opt.step(&model.params);
-                }
+    if batches > 0 {
+        epoch_loss / batches as f32
+    } else {
+        0.0
+    }
+}
+
+/// The last state known to be healthy; the divergence guard restores
+/// this when an epoch blows up.
+struct GoodState {
+    /// `TNS1` blob: parameter values + Adam moments.
+    params_state: Vec<u8>,
+    /// Adam step counter at the snapshot.
+    adam_steps: u64,
+    /// Triplet cursor at the snapshot.
+    triplet_cursor: usize,
+    /// Number of completed epochs the snapshot covers.
+    epoch: usize,
+    /// Loss of the last completed epoch, the spike reference.
+    loss: Option<f32>,
+}
+
+/// Trains the model in place and returns a report.
+///
+/// Equivalent to [`train_with_hooks`] with no hooks installed.
+pub fn train(
+    model: &mut Traj2Hash,
+    data: &TrainData,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    train_with_hooks(model, data, cfg, TrainHooks::default())
+}
+
+/// Trains the model in place with instrumentation hooks.
+///
+/// Fault tolerance, in order of engagement:
+/// 1. `cfg.validate()` rejects bad hyper-parameters up front.
+/// 2. With `cfg.resume` and an existing checkpoint at
+///    `cfg.checkpoint_path`, training restores parameters, optimizer
+///    moments, scheduler position, and history, then continues.
+/// 3. After every epoch, the divergence guard inspects the mean loss
+///    (as transformed by the hook, if any): a non-finite value or a
+///    spike beyond `cfg.divergence_factor` times the last good epoch
+///    loss rolls parameters and optimizer back to the last good
+///    snapshot, multiplies the learning rate by `cfg.lr_backoff`, and
+///    retries the epoch — at most `cfg.max_rollbacks` times before
+///    giving up with [`TrainError::Diverged`]. Every rollback is
+///    recorded in `TrainReport::recoveries`.
+/// 4. Every `cfg.checkpoint_every` epochs (and once at the end) the
+///    full state is written atomically to `cfg.checkpoint_path`.
+pub fn train_with_hooks(
+    model: &mut Traj2Hash,
+    data: &TrainData,
+    cfg: &TrainConfig,
+    mut hooks: TrainHooks<'_>,
+) -> Result<TrainReport, TrainError> {
+    cfg.validate()?;
+    let start = std::time::Instant::now();
+    let n_seeds = data.seeds.len();
+    if n_seeds < 2 {
+        return Err(TrainError::TooFewSeeds { got: n_seeds });
+    }
+
+    let mut opt = Adam::new(cfg.lr);
+    let mut epoch_losses: Vec<f32> = Vec::with_capacity(cfg.epochs);
+    let mut val_hr10: Vec<f64> = Vec::new();
+    let mut best: (usize, Option<f64>, Vec<u8>) = (0, None, model.save_bytes());
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut triplet_cursor = 0usize;
+    let mut start_epoch = 0usize;
+    let mut resumed_from_epoch = None;
+
+    // ---- resume from checkpoint ------------------------------------
+    if cfg.resume {
+        if let Some(path) = &cfg.checkpoint_path {
+            if path.exists() {
+                let ckpt = Checkpoint::read_from_file(path)?;
+                model
+                    .params
+                    .load_state_bytes(&ckpt.params_state)
+                    .map_err(TrainError::IncompatibleCheckpoint)?;
+                opt.lr = ckpt.lr;
+                opt.set_steps(ckpt.adam_steps);
+                triplet_cursor = ckpt.triplet_cursor;
+                start_epoch = ckpt.epoch;
+                best = (ckpt.best_epoch, ckpt.best_val, ckpt.best_params);
+                epoch_losses = ckpt.epoch_losses;
+                val_hr10 = ckpt.val_hr10;
+                recoveries = ckpt.recoveries;
+                resumed_from_epoch = Some(start_epoch);
             }
         }
+    }
 
-        epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+    let mut good = GoodState {
+        params_state: model.params.save_state_bytes(),
+        adam_steps: opt.steps(),
+        triplet_cursor,
+        epoch: start_epoch,
+        loss: epoch_losses.last().copied().filter(|l| l.is_finite()),
+    };
 
-        // ---- model selection on validation HR@10 ------------------------
+    let save_checkpoint = |path: &std::path::Path,
+                           good: &GoodState,
+                           opt: &Adam,
+                           best: &(usize, Option<f64>, Vec<u8>),
+                           epoch_losses: &[f32],
+                           val_hr10: &[f64],
+                           recoveries: &[RecoveryEvent]|
+     -> Result<(), TrainError> {
+        Checkpoint {
+            epoch: good.epoch,
+            adam_steps: good.adam_steps,
+            triplet_cursor: good.triplet_cursor,
+            lr: opt.lr,
+            best_epoch: best.0,
+            best_val: best.1,
+            params_state: good.params_state.clone(),
+            best_params: best.2.clone(),
+            epoch_losses: epoch_losses.to_vec(),
+            val_hr10: val_hr10.to_vec(),
+            recoveries: recoveries.to_vec(),
+        }
+        .write_to_file(path)?;
+        Ok(())
+    };
+
+    let mut epoch = start_epoch;
+    let mut retries_this_epoch = 0usize;
+    while epoch < cfg.epochs {
+        // HashNet continuation: increase beta each epoch so tanh(beta x)
+        // approaches sign(x).
+        model.beta = cfg.beta0 + cfg.beta_step * epoch as f32;
+        let mut rng = epoch_rng(cfg.seed, epoch);
+        let mut cursor = good.triplet_cursor;
+        let raw_loss = run_epoch(model, data, cfg, &mut opt, &mut rng, &mut cursor);
+        let loss = match hooks.on_epoch_loss.as_mut() {
+            Some(h) => h(epoch, raw_loss),
+            None => raw_loss,
+        };
+
+        // ---- divergence guard ---------------------------------------
+        let spiked = match good.loss {
+            Some(g) => loss.is_finite() && loss > cfg.divergence_factor * g.abs().max(1e-6),
+            None => false,
+        };
+        if !loss.is_finite() || spiked {
+            retries_this_epoch += 1;
+            if retries_this_epoch > cfg.max_rollbacks {
+                return Err(TrainError::Diverged { epoch, loss, retries: cfg.max_rollbacks });
+            }
+            let lr_after = opt.lr * cfg.lr_backoff;
+            recoveries.push(RecoveryEvent {
+                epoch,
+                kind: if loss.is_finite() {
+                    RecoveryKind::LossSpike
+                } else {
+                    RecoveryKind::NonFiniteLoss
+                },
+                loss,
+                restored_epoch: good.epoch,
+                lr_after,
+            });
+            model
+                .params
+                .load_state_bytes(&good.params_state)
+                .map_err(TrainError::IncompatibleCheckpoint)?;
+            opt.set_steps(good.adam_steps);
+            opt.lr = lr_after;
+            // Retry the same epoch with the reduced learning rate.
+            continue;
+        }
+        retries_this_epoch = 0;
+
+        epoch_losses.push(loss);
+
+        // ---- model selection on validation HR@10 --------------------
         if cfg.validate {
             let hr = validation_hr10(model, data);
             val_hr10.push(hr);
-            if hr > best.1 {
-                best = (epoch, hr, model.save_bytes());
+            if best.1.is_none_or(|b| hr > b) {
+                best = (epoch, Some(hr), model.save_bytes());
             }
         }
+
+        triplet_cursor = cursor;
+        good = GoodState {
+            params_state: model.params.save_state_bytes(),
+            adam_steps: opt.steps(),
+            triplet_cursor,
+            epoch: epoch + 1,
+            loss: Some(loss),
+        };
+
+        // ---- periodic checkpoint ------------------------------------
+        if let Some(path) = &cfg.checkpoint_path {
+            if cfg.checkpoint_every > 0 && (epoch + 1).is_multiple_of(cfg.checkpoint_every) {
+                save_checkpoint(path, &good, &opt, &best, &epoch_losses, &val_hr10, &recoveries)?;
+            }
+        }
+
+        epoch += 1;
     }
 
-    if cfg.validate && best.1 > f64::MIN {
+    // ---- final checkpoint -------------------------------------------
+    if let Some(path) = &cfg.checkpoint_path {
+        save_checkpoint(path, &good, &opt, &best, &epoch_losses, &val_hr10, &recoveries)?;
+    }
+
+    // "Restore best" is explicit: only when validation actually
+    // produced a best score (no `f64::MIN` sentinel).
+    if cfg.validate && best.1.is_some() {
         model
             .load_bytes(&best.2)
-            .expect("restoring best parameters cannot fail");
+            .map_err(TrainError::IncompatibleCheckpoint)?;
     }
 
-    TrainReport {
+    Ok(TrainReport {
         epoch_losses,
         val_hr10,
         best_epoch: best.0,
+        best_val: best.1,
         triplet_count: data.triplets.len(),
         seconds: start.elapsed().as_secs_f64(),
-    }
+        recoveries,
+        resumed_from_epoch,
+        final_lr: opt.lr,
+    })
 }
 
 #[cfg(test)]
@@ -292,9 +546,9 @@ mod tests {
             triplet_batch: 16,
             ..TrainConfig::default()
         };
-        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg);
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
         let hr_before = validation_hr10(&model, &data);
-        let report = train(&mut model, &data, &tcfg);
+        let report = train(&mut model, &data, &tcfg).unwrap();
         assert_eq!(report.epoch_losses.len(), 4);
         assert!(
             report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
@@ -306,13 +560,15 @@ mod tests {
             hr_after >= hr_before,
             "training should not hurt validation HR@10 ({hr_before} -> {hr_after})"
         );
+        assert!(report.recoveries.is_empty(), "healthy run must not roll back");
+        assert_eq!(report.best_val, report.val_hr10.iter().copied().reduce(f64::max));
     }
 
     #[test]
     fn train_data_prepare_produces_consistent_supervision() {
         let dataset = tiny_dataset();
         let tcfg = TrainConfig::tiny();
-        let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg);
+        let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg).unwrap();
         assert_eq!(data.sim.n(), dataset.seeds.len());
         // similarity diagonal is 1, distances diagonal is 0
         for i in 0..data.sim.n() {
@@ -333,9 +589,173 @@ mod tests {
         let mut model = Traj2Hash::new(mcfg, &ctx, 2);
         let tcfg = TrainConfig { epochs: 2, validate: false, ..TrainConfig::tiny() }
             .without_triplets();
-        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg);
-        let report = train(&mut model, &data, &tcfg);
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+        let report = train(&mut model, &data, &tcfg).unwrap();
         assert_eq!(report.epoch_losses.len(), 2);
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn too_few_seeds_is_a_typed_error_not_an_abort() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let tcfg = TrainConfig::tiny();
+        let mut data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+        data.seeds.truncate(1);
+        match train(&mut model, &data, &tcfg) {
+            Err(TrainError::TooFewSeeds { got: 1 }) => {}
+            other => panic!("expected TooFewSeeds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_training() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let good = TrainConfig::tiny();
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &good).unwrap();
+        let bad = TrainConfig { lr: 0.0, ..good };
+        assert!(matches!(
+            train(&mut model, &data, &bad),
+            Err(TrainError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn nan_loss_rolls_back_and_training_completes() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let tcfg = TrainConfig { epochs: 3, ..TrainConfig::tiny() };
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+        // Inject a NaN the first time epoch 1 reports its loss.
+        let mut injected = false;
+        let hooks = TrainHooks::with_loss_hook(move |epoch, loss| {
+            if epoch == 1 && !injected {
+                injected = true;
+                f32::NAN
+            } else {
+                loss
+            }
+        });
+        let report = train_with_hooks(&mut model, &data, &tcfg, hooks).unwrap();
+        assert_eq!(report.epoch_losses.len(), 3, "all epochs completed");
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert_eq!(report.recoveries.len(), 1);
+        let ev = &report.recoveries[0];
+        assert_eq!(ev.epoch, 1);
+        assert_eq!(ev.kind, RecoveryKind::NonFiniteLoss);
+        assert!(ev.loss.is_nan());
+        assert_eq!(ev.restored_epoch, 1, "rolled back to the end of epoch 0");
+        assert!((ev.lr_after - tcfg.lr * tcfg.lr_backoff).abs() < 1e-12);
+        assert!((report.final_lr - tcfg.lr * tcfg.lr_backoff).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistent_divergence_exhausts_retries_with_typed_error() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let tcfg = TrainConfig { epochs: 3, max_rollbacks: 2, ..TrainConfig::tiny() };
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+        let hooks = TrainHooks::with_loss_hook(|_, _| f32::INFINITY);
+        match train_with_hooks(&mut model, &data, &tcfg, hooks) {
+            Err(TrainError::Diverged { epoch: 0, retries: 2, .. }) => {}
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_spike_triggers_rollback_too() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let tcfg = TrainConfig { epochs: 3, divergence_factor: 2.0, ..TrainConfig::tiny() };
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+        let mut injected = false;
+        let hooks = TrainHooks::with_loss_hook(move |epoch, loss| {
+            if epoch == 2 && !injected {
+                injected = true;
+                loss * 100.0
+            } else {
+                loss
+            }
+        });
+        let report = train_with_hooks(&mut model, &data, &tcfg, hooks).unwrap();
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(report.recoveries[0].kind, RecoveryKind::LossSpike);
+        assert_eq!(report.epoch_losses.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_from_saved_epoch() {
+        let dir = std::env::temp_dir().join("traj2hash_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let tcfg = TrainConfig {
+            epochs: 4,
+            validate: true,
+            checkpoint_every: 1,
+            checkpoint_path: Some(path.clone()),
+            ..TrainConfig::tiny()
+        };
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+
+        // Full uninterrupted run for reference.
+        let mut reference = Traj2Hash::new(ModelConfig::tiny(), &ctx, 2);
+        let ref_cfg = TrainConfig { checkpoint_path: None, checkpoint_every: 0, ..tcfg.clone() };
+        let ref_report = train(&mut reference, &data, &ref_cfg).unwrap();
+
+        // Interrupted run: stop after 2 epochs (checkpoint written),
+        // then resume in a fresh model.
+        let mut first = Traj2Hash::new(ModelConfig::tiny(), &ctx, 2);
+        let part_cfg = TrainConfig { epochs: 2, ..tcfg.clone() };
+        train(&mut first, &data, &part_cfg).unwrap();
+
+        let mut resumed = Traj2Hash::new(ModelConfig::tiny(), &ctx, 999);
+        let resume_cfg = TrainConfig { resume: true, ..tcfg.clone() };
+        let report = train(&mut resumed, &data, &resume_cfg).unwrap();
+        assert_eq!(report.resumed_from_epoch, Some(2));
+        assert_eq!(report.epoch_losses.len(), 4, "history spans both runs");
+        // The resumed run must match the uninterrupted run exactly:
+        // same per-epoch RNG, same parameters, same optimizer moments.
+        for (a, b) in report.epoch_losses.iter().zip(&ref_report.epoch_losses) {
+            assert!((a - b).abs() < 1e-5, "resumed losses diverge: {a} vs {b}");
+        }
+
+        let _ = std::fs::remove_file(&path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_missing_checkpoint_starts_fresh() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let mut model = Traj2Hash::new(mcfg, &ctx, 2);
+        let tcfg = TrainConfig {
+            epochs: 2,
+            resume: true,
+            checkpoint_path: Some(std::env::temp_dir().join("traj2hash_missing.ckpt.nope")),
+            ..TrainConfig::tiny()
+        };
+        let _ = std::fs::remove_file(tcfg.checkpoint_path.as_ref().unwrap());
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+        let report = train(&mut model, &data, &tcfg).unwrap();
+        assert_eq!(report.resumed_from_epoch, None);
+        assert_eq!(report.epoch_losses.len(), 2);
+        let _ = std::fs::remove_file(tcfg.checkpoint_path.as_ref().unwrap());
     }
 }

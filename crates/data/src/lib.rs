@@ -17,7 +17,10 @@ pub mod synthetic;
 pub mod types;
 
 pub use normalize::NormStats;
-pub use porto_csv::{load_porto_csv, parse_polyline, project_lonlat, PORTO_ORIGIN};
+pub use porto_csv::{
+    load_porto_csv, parse_polyline, project_lonlat, LoadError, LoadPolicy, LoadReport,
+    PolylineError, PORTO_ORIGIN,
+};
 pub use simplify::douglas_peucker;
 pub use splits::{Dataset, SplitSizes};
 pub use synthetic::{CityGenerator, CityParams};

@@ -72,7 +72,12 @@ pub fn dbscan_hamming(
             continue;
         }
         let neighbours: Vec<usize> =
-            index.within_radius(&codes[start], eps).into_iter().map(|h| h.index).collect();
+            index
+            .within_radius(&codes[start], eps)
+            .expect("queries are the indexed codes, widths always match")
+            .into_iter()
+            .map(|h| h.index)
+            .collect();
         if neighbours.len() < min_points {
             label[start] = NOISE;
             continue;
@@ -94,7 +99,12 @@ pub fn dbscan_hamming(
             }
             label[p] = cluster;
             let p_neighbours: Vec<usize> =
-                index.within_radius(&codes[p], eps).into_iter().map(|h| h.index).collect();
+                index
+                .within_radius(&codes[p], eps)
+                .expect("queries are the indexed codes, widths always match")
+                .into_iter()
+                .map(|h| h.index)
+                .collect();
             if p_neighbours.len() >= min_points {
                 queue.extend(p_neighbours);
             }
@@ -139,9 +149,7 @@ mod tests {
         }
         // outlier roughly between the groups
         let mut o = vec![1i8; 16];
-        for i in 0..8 {
-            o[i] = -1;
-        }
+        o[..8].fill(-1);
         out.push(code(&o));
         out
     }
@@ -201,7 +209,7 @@ mod tests {
         for (qi, q) in codes.iter().enumerate() {
             for radius in [0u32, 2, 5, 16] {
                 let via_index: Vec<usize> =
-                    index.within_radius(q, radius).into_iter().map(|h| h.index).collect();
+                    index.within_radius(q, radius).unwrap().into_iter().map(|h| h.index).collect();
                 let mut via_scan: Vec<usize> = codes
                     .iter()
                     .enumerate()

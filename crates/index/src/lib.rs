@@ -11,12 +11,14 @@
 
 pub mod cluster;
 pub mod code;
+pub mod error;
 pub mod mih;
 pub mod search;
 pub mod vptree;
 
 pub use cluster::{dbscan_hamming, Assignment, Clustering};
 pub use code::BinaryCode;
+pub use error::SearchError;
 pub use mih::MultiIndexHashing;
 pub use search::{euclidean_top_k, hamming_top_k, HammingTable, Hit};
 pub use vptree::VpTree;

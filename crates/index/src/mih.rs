@@ -12,6 +12,7 @@
 //! substrings instead of `C(bits, r)` probes over full codes.
 
 use crate::code::BinaryCode;
+use crate::error::SearchError;
 use crate::search::Hit;
 use std::collections::HashMap;
 
@@ -53,20 +54,39 @@ fn for_each_at_distance(base: u64, len: usize, r: usize, f: &mut impl FnMut(u64)
 }
 
 impl MultiIndexHashing {
-    /// Builds the index with `m` substring tables.
+    /// Builds the index with `m` substring tables, panicking on misuse.
+    ///
+    /// Convenience wrapper over [`MultiIndexHashing::try_build`] for
+    /// callers that construct codes themselves and treat failure as a
+    /// programming error.
     ///
     /// # Panics
-    /// Panics if `m` is zero, exceeds the code width, if any substring
-    /// would exceed 64 bits, or if code lengths are inconsistent.
+    /// Panics where `try_build` would return an error.
     pub fn build(codes: Vec<BinaryCode>, m: usize) -> Self {
-        assert!(m >= 1, "need at least one substring table");
+        Self::try_build(codes, m).unwrap_or_else(|e| panic!("MultiIndexHashing::build: {e}"))
+    }
+
+    /// Builds the index with `m` substring tables.
+    ///
+    /// An `m` that does not fit the code width degrades gracefully
+    /// instead of failing: it is clamped so no table covers more than
+    /// 64 bits (queries stay exact, just with different constants) and
+    /// so there are never more tables than bits. The hard errors are
+    /// `m == 0` ([`SearchError::NoTables`]) and databases mixing code
+    /// widths ([`SearchError::InconsistentCodes`]) — an index built
+    /// over those would silently answer queries wrongly.
+    pub fn try_build(codes: Vec<BinaryCode>, m: usize) -> Result<Self, SearchError> {
+        if m == 0 {
+            return Err(SearchError::NoTables);
+        }
         let bits = codes.first().map(|c| c.len()).unwrap_or(64);
-        assert!(m <= bits.max(1), "more tables than bits");
+        // Graceful clamping: at least div_ceil(bits, 64) tables so every
+        // substring fits in a u64, at most one table per bit.
+        let m = m.clamp(bits.div_ceil(64).max(1), bits.max(1));
         // Spread the bits as evenly as possible: the first `bits % m`
         // chunks get one extra bit.
         let base = bits / m;
         let extra = bits % m;
-        assert!(base < 64, "substrings must fit in u64");
         let mut chunks = Vec::with_capacity(m);
         let mut start = 0usize;
         for s in 0..m {
@@ -76,7 +96,13 @@ impl MultiIndexHashing {
         }
         let mut tables: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); m];
         for (id, code) in codes.iter().enumerate() {
-            assert_eq!(code.len(), bits, "inconsistent code lengths");
+            if code.len() != bits {
+                return Err(SearchError::InconsistentCodes {
+                    position: id,
+                    expected: bits,
+                    got: code.len(),
+                });
+            }
             for (s, &(cs, cl)) in chunks.iter().enumerate() {
                 tables[s]
                     .entry(substring(code, cs, cl))
@@ -84,7 +110,7 @@ impl MultiIndexHashing {
                     .push(id as u32);
             }
         }
-        MultiIndexHashing { tables, chunks, codes, bits }
+        Ok(MultiIndexHashing { tables, chunks, codes, bits })
     }
 
     /// Number of indexed codes.
@@ -109,10 +135,21 @@ impl MultiIndexHashing {
     /// Probes substring radius `floor(radius/m)` in every table
     /// (pigeonhole guarantee) and filters candidates by their true
     /// distance.
-    pub fn within_radius(&self, query: &BinaryCode, radius: u32) -> Vec<Hit> {
-        assert_eq!(query.len(), self.bits, "query width mismatch");
+    ///
+    /// An empty index answers any query with no hits; a non-empty index
+    /// rejects width-mismatched queries with
+    /// [`SearchError::WidthMismatch`] (Hamming distance across widths
+    /// is undefined, so there is no correct fallback).
+    pub fn within_radius(
+        &self,
+        query: &BinaryCode,
+        radius: u32,
+    ) -> Result<Vec<Hit>, SearchError> {
         if self.codes.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if query.len() != self.bits {
+            return Err(SearchError::WidthMismatch { query: query.len(), index: self.bits });
         }
         let m = self.tables.len();
         let sub_r = (radius as usize / m).min(self.bits);
@@ -145,7 +182,7 @@ impl MultiIndexHashing {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.index.cmp(&b.index))
         });
-        out
+        Ok(out)
     }
 
     /// Exact top-k by Hamming distance.
@@ -154,10 +191,18 @@ impl MultiIndexHashing {
     /// complete: after finishing radius `r` (probing substring radius
     /// `floor(r/m)` in every table), every code at distance ≤ r has been
     /// seen, so once `k` candidates are at distance ≤ r the search stops.
-    pub fn top_k(&self, query: &BinaryCode, k: usize) -> Vec<Hit> {
-        assert_eq!(query.len(), self.bits, "query width mismatch");
+    ///
+    /// Degraded inputs degrade gracefully: an empty index or `k == 0`
+    /// yields no hits, `k` beyond the database size returns everything.
+    /// Width-mismatched queries are the one typed error
+    /// ([`SearchError::WidthMismatch`]) — there is no correct answer
+    /// for them.
+    pub fn top_k(&self, query: &BinaryCode, k: usize) -> Result<Vec<Hit>, SearchError> {
         if self.codes.is_empty() || k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if query.len() != self.bits {
+            return Err(SearchError::WidthMismatch { query: query.len(), index: self.bits });
         }
         let m = self.tables.len();
         let mut seen = vec![false; self.codes.len()];
@@ -205,7 +250,7 @@ impl MultiIndexHashing {
                         }
                     }
                 }
-                return out;
+                return Ok(out);
             }
         }
         unreachable!("search must terminate within the code width");
@@ -257,7 +302,7 @@ mod tests {
                 let q = &db[qi];
                 for k in [1usize, 5, 20] {
                     let got: Vec<f64> =
-                        mih.top_k(q, k).iter().map(|h| h.distance).collect();
+                        mih.top_k(q, k).unwrap().iter().map(|h| h.distance).collect();
                     let want: Vec<f64> =
                         hamming_top_k(&db, q, k).iter().map(|h| h.distance).collect();
                     assert_eq!(got, want, "bits={bits} m={m} k={k}");
@@ -271,7 +316,7 @@ mod tests {
         let db = random_codes(200, 64, 9);
         let mih = MultiIndexHashing::build(db.clone(), 4);
         let far = BinaryCode::from_signs(&[1i8; 64]);
-        let got: Vec<f64> = mih.top_k(&far, 10).iter().map(|h| h.distance).collect();
+        let got: Vec<f64> = mih.top_k(&far, 10).unwrap().iter().map(|h| h.distance).collect();
         let want: Vec<f64> = hamming_top_k(&db, &far, 10).iter().map(|h| h.distance).collect();
         assert_eq!(got, want);
     }
@@ -280,7 +325,7 @@ mod tests {
     fn k_larger_than_database_returns_everything() {
         let db = random_codes(7, 16, 3);
         let mih = MultiIndexHashing::build(db.clone(), 2);
-        let hits = mih.top_k(&db[0], 50);
+        let hits = mih.top_k(&db[0], 50).unwrap();
         assert_eq!(hits.len(), 7);
     }
 
@@ -288,7 +333,7 @@ mod tests {
     fn empty_index_returns_nothing() {
         let mih = MultiIndexHashing::build(Vec::new(), 4);
         assert!(mih.is_empty());
-        assert!(mih.top_k(&BinaryCode::zeros(64), 5).is_empty());
+        assert!(mih.top_k(&BinaryCode::zeros(64), 5).unwrap().is_empty());
     }
 
     #[test]
@@ -296,16 +341,71 @@ mod tests {
         let base = random_codes(1, 16, 4).pop().unwrap();
         let db = vec![base.clone(), base.clone(), base.clone()];
         let mih = MultiIndexHashing::build(db, 2);
-        let hits = mih.top_k(&base, 3);
+        let hits = mih.top_k(&base, 3).unwrap();
         assert_eq!(hits.len(), 3);
         assert!(hits.iter().all(|h| h.distance == 0.0));
     }
 
     #[test]
-    #[should_panic(expected = "width mismatch")]
-    fn mismatched_query_width_panics() {
+    fn mismatched_query_width_is_a_typed_error() {
         let db = random_codes(3, 16, 5);
         let mih = MultiIndexHashing::build(db, 2);
-        let _ = mih.top_k(&BinaryCode::zeros(32), 1);
+        assert_eq!(
+            mih.top_k(&BinaryCode::zeros(32), 1),
+            Err(SearchError::WidthMismatch { query: 32, index: 16 })
+        );
+        assert_eq!(
+            mih.within_radius(&BinaryCode::zeros(32), 2),
+            Err(SearchError::WidthMismatch { query: 32, index: 16 })
+        );
+    }
+
+    #[test]
+    fn zero_tables_is_a_typed_error_and_oversized_m_clamps() {
+        let db = random_codes(10, 16, 6);
+        assert_eq!(
+            MultiIndexHashing::try_build(db.clone(), 0).err(),
+            Some(SearchError::NoTables)
+        );
+        // m = 100 over 16-bit codes clamps to 16 tables and stays exact.
+        let mih = MultiIndexHashing::try_build(db.clone(), 100).unwrap();
+        assert_eq!(mih.num_tables(), 16);
+        let got: Vec<f64> = mih.top_k(&db[0], 5).unwrap().iter().map(|h| h.distance).collect();
+        let want: Vec<f64> = hamming_top_k(&db, &db[0], 5).iter().map(|h| h.distance).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wide_codes_get_enough_tables_even_for_m_1() {
+        // 128-bit codes cannot use a single 128-bit substring table; the
+        // builder clamps up to two tables and remains exact. The codes
+        // are kept within a few bit flips of each other so the radius-
+        // growing search terminates quickly (random 128-bit codes would
+        // push the substring radius into infeasible probe counts).
+        let base = random_codes(1, 128, 7).pop().unwrap();
+        let db: Vec<BinaryCode> = (0..20)
+            .map(|i| {
+                let mut c = base.clone();
+                for b in 0..(i % 4) {
+                    c = c.with_flipped(i * 3 + b);
+                }
+                c
+            })
+            .collect();
+        let mih = MultiIndexHashing::try_build(db.clone(), 1).unwrap();
+        assert!(mih.num_tables() >= 2);
+        let got: Vec<f64> = mih.top_k(&db[3], 5).unwrap().iter().map(|h| h.distance).collect();
+        let want: Vec<f64> = hamming_top_k(&db, &db[3], 5).iter().map(|h| h.distance).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mixed_width_database_is_a_typed_error() {
+        let mut db = random_codes(3, 16, 8);
+        db.push(BinaryCode::zeros(32));
+        assert_eq!(
+            MultiIndexHashing::try_build(db, 2).err(),
+            Some(SearchError::InconsistentCodes { position: 3, expected: 16, got: 32 })
+        );
     }
 }

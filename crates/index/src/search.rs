@@ -3,6 +3,7 @@
 //! strategy.
 
 use crate::code::BinaryCode;
+use crate::error::SearchError;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
@@ -63,18 +64,32 @@ pub struct HammingTable {
 }
 
 impl HammingTable {
-    /// Builds the table from database codes.
+    /// Builds the table from database codes, panicking on misuse.
+    ///
+    /// Convenience wrapper over [`HammingTable::try_build`].
     ///
     /// # Panics
-    /// Panics if codes have inconsistent lengths.
+    /// Panics where `try_build` would return an error.
     pub fn build(codes: Vec<BinaryCode>) -> Self {
+        Self::try_build(codes).unwrap_or_else(|e| panic!("HammingTable::build: {e}"))
+    }
+
+    /// Builds the table from database codes, rejecting databases that
+    /// mix code widths with [`SearchError::InconsistentCodes`].
+    pub fn try_build(codes: Vec<BinaryCode>) -> Result<Self, SearchError> {
         let bits = codes.first().map(|c| c.len()).unwrap_or(0);
         let mut buckets: HashMap<BinaryCode, Vec<usize>> = HashMap::new();
         for (i, c) in codes.iter().enumerate() {
-            assert_eq!(c.len(), bits, "inconsistent code lengths");
+            if c.len() != bits {
+                return Err(SearchError::InconsistentCodes {
+                    position: i,
+                    expected: bits,
+                    got: c.len(),
+                });
+            }
             buckets.entry(c.clone()).or_default().push(i);
         }
-        HammingTable { buckets, codes, bits }
+        Ok(HammingTable { buckets, codes, bits })
     }
 
     /// Number of indexed codes.
@@ -99,11 +114,25 @@ impl HammingTable {
     /// Results come back grouped as `(distance, indices)` in increasing
     /// distance order.
     ///
-    /// # Panics
-    /// Panics if `r > 2` — larger radii would need `O(bits^r)` probes and
-    /// the paper's hybrid strategy never exceeds 2.
-    pub fn lookup_within(&self, query: &BinaryCode, r: u32) -> Vec<(u32, Vec<usize>)> {
-        assert!(r <= 2, "table lookup supports radius <= 2");
+    /// Returns [`SearchError::RadiusUnsupported`] for `r > 2` (larger
+    /// radii would need `O(bits^r)` probes; the paper's hybrid strategy
+    /// never exceeds 2) and [`SearchError::WidthMismatch`] for a query
+    /// whose width differs from the indexed codes (an empty table
+    /// accepts any query and finds nothing).
+    pub fn lookup_within(
+        &self,
+        query: &BinaryCode,
+        r: u32,
+    ) -> Result<Vec<(u32, Vec<usize>)>, SearchError> {
+        if r > 2 {
+            return Err(SearchError::RadiusUnsupported { radius: r, max: 2 });
+        }
+        if self.codes.is_empty() {
+            return Ok(Vec::new());
+        }
+        if query.len() != self.bits {
+            return Err(SearchError::WidthMismatch { query: query.len(), index: self.bits });
+        }
         let mut out = Vec::new();
         let probe = |code: &BinaryCode, dist: u32, out: &mut Vec<(u32, Vec<usize>)>| {
             if let Some(members) = self.buckets.get(code) {
@@ -128,15 +157,20 @@ impl HammingTable {
             }
         }
         out.sort_by_key(|&(d, _)| d);
-        out
+        Ok(out)
     }
 
     /// The `Hamming-Hybrid` strategy (Section V-E): search within radius
     /// 2 via table lookup; if that already yields at least `k`
     /// trajectories return the `k` nearest of them, otherwise fall back
-    /// to brute-force Hamming search.
-    pub fn hybrid_top_k(&self, query: &BinaryCode, k: usize) -> Vec<Hit> {
-        let grouped = self.lookup_within(query, 2);
+    /// to brute-force Hamming search (which also covers the degraded
+    /// cases: an empty table and `k` beyond the database size).
+    ///
+    /// The only error is a width-mismatched query against a non-empty
+    /// table ([`SearchError::WidthMismatch`]); even the linear-scan
+    /// fallback cannot compare codes of different widths.
+    pub fn hybrid_top_k(&self, query: &BinaryCode, k: usize) -> Result<Vec<Hit>, SearchError> {
+        let grouped = self.lookup_within(query, 2)?;
         let found: usize = grouped.iter().map(|(_, v)| v.len()).sum();
         if found >= k {
             let hits = grouped
@@ -145,9 +179,9 @@ impl HammingTable {
                     v.into_iter().map(move |i| Hit { index: i, distance: d as f64 })
                 })
                 .collect();
-            top_k_from_scores(hits, k)
+            Ok(top_k_from_scores(hits, k))
         } else {
-            hamming_top_k(&self.codes, query, k)
+            Ok(hamming_top_k(&self.codes, query, k))
         }
     }
 }
@@ -196,7 +230,7 @@ mod tests {
         let db = random_codes(300, 16, 2); // 16 bits => plenty of collisions
         let table = HammingTable::build(db.clone());
         let q = db[0].clone();
-        let grouped = table.lookup_within(&q, 2);
+        let grouped = table.lookup_within(&q, 2).unwrap();
         let mut via_table: Vec<(usize, u32)> = grouped
             .iter()
             .flat_map(|(d, v)| v.iter().map(move |&i| (i, *d)))
@@ -216,7 +250,7 @@ mod tests {
     fn lookup_has_no_duplicate_indices() {
         let db = random_codes(100, 12, 3);
         let table = HammingTable::build(db.clone());
-        let grouped = table.lookup_within(&db[5], 2);
+        let grouped = table.lookup_within(&db[5], 2).unwrap();
         let mut all: Vec<usize> = grouped.iter().flat_map(|(_, v)| v.clone()).collect();
         let before = all.len();
         all.sort();
@@ -230,7 +264,7 @@ mod tests {
         let table = HammingTable::build(db.clone());
         for qi in [0, 13, 77] {
             let q = &db[qi];
-            let hybrid = table.hybrid_top_k(q, 10);
+            let hybrid = table.hybrid_top_k(q, 10).unwrap();
             let bf = hamming_top_k(&db, q, 10);
             // Indices may differ under distance ties; the distances must
             // agree exactly.
@@ -248,13 +282,58 @@ mod tests {
         let db = random_codes(100, 64, 5);
         let table = HammingTable::build(db.clone());
         let far = BinaryCode::from_signs(&[1i8; 64]);
-        let hits = table.hybrid_top_k(&far, 7);
+        let hits = table.hybrid_top_k(&far, 7).unwrap();
         assert_eq!(hits.len(), 7);
         let bf = hamming_top_k(&db, &far, 7);
         assert_eq!(
             hits.iter().map(|h| h.distance).collect::<Vec<_>>(),
             bf.iter().map(|h| h.distance).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn lookup_radius_above_two_is_a_typed_error() {
+        let db = random_codes(10, 8, 6);
+        let table = HammingTable::build(db.clone());
+        assert_eq!(
+            table.lookup_within(&db[0], 3).err(),
+            Some(SearchError::RadiusUnsupported { radius: 3, max: 2 })
+        );
+    }
+
+    #[test]
+    fn hybrid_rejects_width_mismatched_queries() {
+        let db = random_codes(10, 16, 7);
+        let table = HammingTable::build(db);
+        assert_eq!(
+            table.hybrid_top_k(&BinaryCode::zeros(64), 3),
+            Err(SearchError::WidthMismatch { query: 64, index: 16 })
+        );
+    }
+
+    #[test]
+    fn empty_table_answers_any_query_with_nothing() {
+        let table = HammingTable::build(Vec::new());
+        assert!(table.hybrid_top_k(&BinaryCode::zeros(64), 3).unwrap().is_empty());
+        assert!(table.lookup_within(&BinaryCode::zeros(16), 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mixed_width_database_is_rejected_at_build() {
+        let mut db = random_codes(4, 16, 8);
+        db.push(BinaryCode::zeros(8));
+        assert_eq!(
+            HammingTable::try_build(db).err(),
+            Some(SearchError::InconsistentCodes { position: 4, expected: 16, got: 8 })
+        );
+    }
+
+    #[test]
+    fn k_beyond_database_returns_everything() {
+        let db = random_codes(5, 16, 9);
+        let table = HammingTable::build(db.clone());
+        let hits = table.hybrid_top_k(&db[0], 50).unwrap();
+        assert_eq!(hits.len(), 5);
     }
 
     #[test]

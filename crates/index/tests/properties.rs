@@ -66,7 +66,7 @@ proptest! {
         let query = BinaryCode::from_signs(&q);
         let table = HammingTable::build(codes.clone());
         let hybrid: Vec<f64> =
-            table.hybrid_top_k(&query, k).iter().map(|h| h.distance).collect();
+            table.hybrid_top_k(&query, k).unwrap().iter().map(|h| h.distance).collect();
         let bf: Vec<f64> =
             hamming_top_k(&codes, &query, k).iter().map(|h| h.distance).collect();
         prop_assert_eq!(hybrid, bf);
@@ -83,6 +83,7 @@ proptest! {
         let table = HammingTable::build(codes.clone());
         let mut found: Vec<usize> = table
             .lookup_within(&query, r)
+            .unwrap()
             .into_iter()
             .flat_map(|(_, v)| v)
             .collect();

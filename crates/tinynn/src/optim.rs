@@ -55,6 +55,12 @@ impl Adam {
         self.t
     }
 
+    /// Restores the step counter, so bias correction continues where a
+    /// checkpoint left off when training resumes or rolls back.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Applies one update and clears gradients. Frozen parameters only get
     /// their gradients cleared.
     pub fn step(&mut self, params: &ParamSet) {

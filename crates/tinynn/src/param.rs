@@ -173,6 +173,41 @@ impl ParamSet {
     /// Returns an error string when the header, count, or any shape does
     /// not match the currently registered parameters.
     pub fn load_bytes(&self, bytes: &[u8]) -> Result<(), String> {
+        self.load_impl(bytes, b"TNN1", false)
+    }
+
+    /// Serializes parameter values **and** optimizer state (the Adam
+    /// first/second moments stored on each parameter), so training can
+    /// roll back or resume without losing adaptive-learning-rate
+    /// history. Layout mirrors [`ParamSet::save_bytes`] with a `TNS1`
+    /// magic and three tensors (value, m, v) per parameter.
+    pub fn save_state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"TNS1");
+        out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        for p in &self.params {
+            let d = p.borrow();
+            let (r, c) = d.value.shape();
+            out.extend_from_slice(&(r as u32).to_le_bytes());
+            out.extend_from_slice(&(c as u32).to_le_bytes());
+            for t in [&d.value, &d.m, &d.v] {
+                for &x in t.data() {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores values and optimizer moments saved by
+    /// [`ParamSet::save_state_bytes`]. All-or-nothing per parameter
+    /// blob: any header/shape/length mismatch is reported before any
+    /// tensor of that parameter is only partially overwritten.
+    pub fn load_state_bytes(&self, bytes: &[u8]) -> Result<(), String> {
+        self.load_impl(bytes, b"TNS1", true)
+    }
+
+    fn load_impl(&self, bytes: &[u8], magic: &[u8; 4], with_moments: bool) -> Result<(), String> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
             if *pos + n > bytes.len() {
@@ -182,7 +217,7 @@ impl ParamSet {
             *pos += n;
             Ok(s)
         };
-        if take(&mut pos, 4)? != b"TNN1" {
+        if take(&mut pos, 4)? != magic {
             return Err("bad magic in parameter blob".into());
         }
         let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
@@ -192,23 +227,43 @@ impl ParamSet {
                 self.params.len()
             ));
         }
+        let tensors_per_param = if with_moments { 3usize } else { 1 };
+        // Validate the whole blob before mutating anything, so a
+        // truncated or corrupt blob can never leave the model in a
+        // half-restored state.
+        let mut scan = pos;
         for p in &self.params {
-            let r = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-            let c = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-            let mut d = p.borrow_mut();
+            let r = u32::from_le_bytes(take(&mut scan, 4)?.try_into().unwrap()) as usize;
+            let c = u32::from_le_bytes(take(&mut scan, 4)?.try_into().unwrap()) as usize;
+            let d = p.borrow();
             if d.value.shape() != (r, c) {
                 return Err(format!(
                     "shape mismatch: blob has {r}x{c}, model has {:?}",
                     d.value.shape()
                 ));
             }
-            let raw = take(&mut pos, r * c * 4)?;
-            for (i, chunk) in raw.chunks_exact(4).enumerate() {
-                d.value.data_mut()[i] = f32::from_le_bytes(chunk.try_into().unwrap());
-            }
+            take(&mut scan, r * c * 4 * tensors_per_param)?;
         }
-        if pos != bytes.len() {
+        if scan != bytes.len() {
             return Err("trailing bytes in parameter blob".into());
+        }
+        for p in &self.params {
+            let r = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let c = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let mut d = p.borrow_mut();
+            let fill = |t: &mut crate::tensor::Tensor, raw: &[u8]| {
+                for (i, chunk) in raw.chunks_exact(4).enumerate() {
+                    t.data_mut()[i] = f32::from_le_bytes(chunk.try_into().unwrap());
+                }
+            };
+            let raw = take(&mut pos, r * c * 4)?;
+            fill(&mut d.value, raw);
+            if with_moments {
+                let raw = take(&mut pos, r * c * 4)?;
+                fill(&mut d.m, raw);
+                let raw = take(&mut pos, r * c * 4)?;
+                fill(&mut d.v, raw);
+            }
         }
         Ok(())
     }

@@ -31,8 +31,8 @@ fn main() {
     };
     let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 7);
     let mut model = Traj2Hash::new(mcfg, &ctx, 7);
-    let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg);
-    let report = train(&mut model, &data, &tcfg);
+    let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg).expect("failed to prepare training supervision");
+    let report = train(&mut model, &data, &tcfg).expect("training failed");
     println!("model trained in {:.1}s", report.seconds);
 
     // Second dataset: every 3rd database trip re-observed by a different

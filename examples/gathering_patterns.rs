@@ -28,8 +28,8 @@ fn main() {
     let measure = Measure::Frechet;
     let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 13);
     let mut model = Traj2Hash::new(mcfg, &ctx, 13);
-    let data = TrainData::prepare(&dataset, measure, &tcfg);
-    train(&mut model, &data, &tcfg);
+    let data = TrainData::prepare(&dataset, measure, &tcfg).expect("failed to prepare training supervision");
+    train(&mut model, &data, &tcfg).expect("training failed");
     println!("model trained; hashing {} trips", dataset.database.len());
 
     // Density-cluster the database directly in Hamming space: DBSCAN

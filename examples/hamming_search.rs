@@ -40,12 +40,12 @@ fn main() {
             .query_codes
             .iter()
             .filter(|q| {
-                table.lookup_within(q, 2).iter().map(|(_, v)| v.len()).sum::<usize>() >= k
+                table.lookup_within(q, 2).expect("radius 2, matching widths").iter().map(|(_, v)| v.len()).sum::<usize>() >= k
             })
             .count();
         let t2 = Instant::now();
         for q in &w.query_codes {
-            std::hint::black_box(table.hybrid_top_k(q, k));
+            std::hint::black_box(table.hybrid_top_k(q, k).expect("matching widths"));
         }
         let hybrid = t2.elapsed().as_secs_f64() / n_query as f64;
 

@@ -38,9 +38,9 @@ fn main() {
     let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 42);
     println!("grid pre-training took {:.2}s", ctx.pretrain_secs);
     let mut model = Traj2Hash::new(mcfg, &ctx, 42);
-    let data = TrainData::prepare(&dataset, measure, &tcfg);
+    let data = TrainData::prepare(&dataset, measure, &tcfg).expect("failed to prepare training supervision");
     println!("supervision ready: {} generated triplets", data.triplets.len());
-    let report = train(&mut model, &data, &tcfg);
+    let report = train(&mut model, &data, &tcfg).expect("training failed");
     println!(
         "trained {} epochs in {:.1}s; validation HR@10 per epoch: {:?}",
         report.epoch_losses.len(),
@@ -63,7 +63,7 @@ fn main() {
             euclidean_top_k(&db_embeddings, &qe, 10).into_iter().map(|h| h.index).collect();
         let qc = traj_index::BinaryCode::from_signs(&model.hash_signs(q));
         let hamming: Vec<usize> =
-            table.hybrid_top_k(&qc, 10).into_iter().map(|h| h.index).collect();
+            table.hybrid_top_k(&qc, 10).expect("query and database codes share a width").into_iter().map(|h| h.index).collect();
         hr_euclid += hr_at_k(&euclid, &truth[qi], 10);
         hr_hamming += hr_at_k(&hamming, &truth[qi], 10);
     }

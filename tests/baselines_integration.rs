@@ -81,7 +81,7 @@ fn fresh_codes_work_with_the_hamming_table() {
     // hybrid search returns k results and agrees with brute force
     for q in dataset.query.iter().take(5) {
         let code = traj_index::BinaryCode::from_signs(&fresh.hash_signs(q));
-        let hybrid = table.hybrid_top_k(&code, 5);
+        let hybrid = table.hybrid_top_k(&code, 5).unwrap();
         let bf = traj_index::hamming_top_k(&db_codes, &code, 5);
         assert_eq!(hybrid.len(), 5);
         let hd: Vec<f64> = hybrid.iter().map(|h| h.distance).collect();

@@ -44,9 +44,9 @@ fn training_improves_over_untrained_in_both_spaces() {
     let before_e = euclidean_metrics(&model, &dataset, &truth);
     let before_h = hamming_metrics(&model, &dataset, &truth);
 
-    let data = TrainData::prepare(&dataset, measure, &tcfg);
+    let data = TrainData::prepare(&dataset, measure, &tcfg).expect("failed to prepare training supervision");
     assert!(!data.triplets.is_empty(), "triplet generation found no clusters");
-    train(&mut model, &data, &tcfg);
+    train(&mut model, &data, &tcfg).expect("training failed");
 
     let after_e = euclidean_metrics(&model, &dataset, &truth);
     let after_h = hamming_metrics(&model, &dataset, &truth);
@@ -80,8 +80,8 @@ fn training_improves_over_untrained_in_both_spaces() {
 fn trained_model_keeps_reverse_symmetry() {
     let (dataset, ctx, tcfg) = tiny_world();
     let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 7);
-    let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg);
-    train(&mut model, &data, &tcfg);
+    let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg).expect("failed to prepare training supervision");
+    train(&mut model, &data, &tcfg).expect("training failed");
     // Lemma 3 is structural: it must survive training.
     for i in 0..4 {
         let a = &dataset.query[i];
@@ -99,8 +99,8 @@ fn trained_model_keeps_reverse_symmetry() {
 fn model_roundtrips_through_save_load() {
     let (dataset, ctx, tcfg) = tiny_world();
     let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 8);
-    let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg);
-    train(&mut model, &data, &tcfg);
+    let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).expect("failed to prepare training supervision");
+    train(&mut model, &data, &tcfg).expect("training failed");
     let blob = model.save_bytes();
 
     let clone = Traj2Hash::new(ModelConfig::tiny(), &ctx, 12345);
@@ -119,8 +119,8 @@ fn hash_codes_beat_random_codes() {
     let measure = Measure::Frechet;
     let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50);
     let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 9);
-    let data = TrainData::prepare(&dataset, measure, &tcfg);
-    train(&mut model, &data, &tcfg);
+    let data = TrainData::prepare(&dataset, measure, &tcfg).expect("failed to prepare training supervision");
+    train(&mut model, &data, &tcfg).expect("training failed");
     let trained = hamming_metrics(&model, &dataset, &truth);
 
     let mut rng = StdRng::seed_from_u64(1);
@@ -148,8 +148,8 @@ fn validation_model_selection_restores_best_epoch() {
     tcfg.validate = true;
     tcfg.epochs = 3;
     let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 10);
-    let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg);
-    let report = train(&mut model, &data, &tcfg);
+    let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).expect("failed to prepare training supervision");
+    let report = train(&mut model, &data, &tcfg).expect("training failed");
     assert_eq!(report.val_hr10.len(), 3);
     let best = report.val_hr10[report.best_epoch];
     for &v in &report.val_hr10 {

@@ -26,7 +26,7 @@ fn mih_equals_brute_force_on_model_codes() {
     let mih = MultiIndexHashing::build(codes.clone(), 4);
     for qi in [0usize, 50, 249] {
         for k in [1usize, 10, 40] {
-            let got: Vec<f64> = mih.top_k(&codes[qi], k).iter().map(|h| h.distance).collect();
+            let got: Vec<f64> = mih.top_k(&codes[qi], k).unwrap().iter().map(|h| h.distance).collect();
             let want: Vec<f64> =
                 hamming_top_k(&codes, &codes[qi], k).iter().map(|h| h.distance).collect();
             assert_eq!(got, want, "qi={qi} k={k}");
@@ -58,8 +58,8 @@ fn all_hamming_structures_agree_on_distances() {
         let bf: Vec<f64> =
             hamming_top_k(&codes, &codes[qi], 15).iter().map(|h| h.distance).collect();
         let hy: Vec<f64> =
-            table.hybrid_top_k(&codes[qi], 15).iter().map(|h| h.distance).collect();
-        let mi: Vec<f64> = mih.top_k(&codes[qi], 15).iter().map(|h| h.distance).collect();
+            table.hybrid_top_k(&codes[qi], 15).unwrap().iter().map(|h| h.distance).collect();
+        let mi: Vec<f64> = mih.top_k(&codes[qi], 15).unwrap().iter().map(|h| h.distance).collect();
         assert_eq!(bf, hy);
         assert_eq!(bf, mi);
     }
