@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
 # Full verification gate: release build, all tests, lint-clean.
 # CI and pre-merge both run exactly this.
+#
+#   ./check.sh         full gate
+#   ./check.sh bench   perf smoke only: times the training hot paths and
+#                      regenerates BENCH_pr2.json for commit-to-commit
+#                      perf comparison
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "bench" ]]; then
+    echo "==> perf smoke (writes BENCH_pr2.json)"
+    cargo run --release -p traj-bench --bin perf_smoke
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release

@@ -8,6 +8,7 @@
 //! cargo run -p traj-bench --release --bin fig7 -- --city porto --measure frechet
 //! ```
 
+use std::sync::Arc;
 use traj_bench::{build_dataset, eval_euclidean, eval_hamming, test_ground_truth, CommonArgs};
 use traj_eval::{fmt4, TextTable};
 use traj_grid::{GridEmbedding, Node2vecConfig, Node2vecEmbedding};
@@ -53,17 +54,17 @@ fn main() {
     let mut table = TextTable::new(vec![
         "Variant", "Space", "HR@10", "R10@50", "Pretrain (s)", "Params",
     ]);
-    type Variant<'a> = (&'a str, Option<Box<dyn GridEmbedding>>, f64, usize);
+    type Variant<'a> = (&'a str, Option<Arc<dyn GridEmbedding + Send + Sync>>, f64, usize);
     let variants: Vec<Variant> = vec![
         (
             "Decomposed+NCE",
-            Some(Box::new(ctx.grid_emb.clone())),
+            Some(Arc::new(ctx.grid_emb.clone())),
             ctx.pretrain_secs,
             ctx.grid_emb.num_parameters(),
         ),
         (
             "Node2vec",
-            Some(Box::new(n2v.clone())),
+            Some(Arc::new(n2v.clone())),
             n2v_secs,
             GridEmbedding::num_parameters(&n2v),
         ),

@@ -1,0 +1,95 @@
+//! Microprofile of the embed forward/backward path: attributes
+//! per-stage cost (positional encoding, matmul shapes, softmax,
+//! attention kernels, a full encoder block) so perf work can target the
+//! actual hot spots. Diagnostic only — `perf_smoke` is the gate.
+
+use std::time::Instant;
+use tinynn::layers::positional_encoding;
+use tinynn::{Tape, Tensor};
+use traj_bench::build_dataset;
+use traj_data::{CityParams, SplitSizes};
+use traj2hash::{ModelConfig, ModelContext, Traj2Hash};
+
+fn time<F: FnMut()>(label: &str, iters: usize, mut f: F) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{label:26} {:>10.2} us/op", per * 1e6);
+}
+
+fn main() {
+    let mut scale = traj_bench::Scale::tiny();
+    scale.sizes = SplitSizes { seeds: 40, validation: 48, corpus: 600, query: 12, database: 200 };
+    scale.model = ModelConfig::small();
+    let _ = CityParams::porto_like();
+    let dataset = build_dataset(traj_bench::City::Porto, &scale, 42);
+    let ctx = ModelContext::prepare(&dataset.training_visible(), &scale.model, 42);
+    let model = Traj2Hash::new(scale.model.clone(), &ctx, 7);
+    let t = &dataset.corpus[0];
+    let n = t.len();
+    let d = scale.model.dim;
+    println!("trajectory len = {n}, dim = {d}");
+
+    time("embed (full, fwd only)", 200, || {
+        let tape = Tape::new();
+        let _ = model.embed_var(&tape, t).value();
+    });
+    time("embed fwd+bwd", 200, || {
+        let tape = Tape::new();
+        let v = model.embed_var(&tape, t);
+        v.square().mean_all().backward();
+    });
+    time("positional_encoding", 1000, || {
+        let _ = positional_encoding(n, d);
+    });
+    let a = Tensor::from_vec(n, d, (0..n * d).map(|i| i as f32 * 0.001).collect());
+    let w = Tensor::from_vec(d, d, (0..d * d).map(|i| i as f32 * 0.001).collect());
+    time("matmul n*d x d*d", 1000, || {
+        let _ = a.matmul(&w);
+    });
+    let q = a.clone();
+    time("matmul_transposed nxn", 1000, || {
+        let _ = q.matmul_transposed(&a);
+    });
+    let tape = Tape::new();
+    let av = tape.constant(a.clone());
+    time("softmax_rows fwd", 1000, || {
+        let _ = av.slice_cols(0, d).softmax_rows().value();
+    });
+    time("tape constant+slice", 1000, || {
+        let _ = av.slice_cols(0, d).value();
+    });
+
+    // attention-shaped kernels: n x n scores with dh = d / heads
+    let dh = d / 2;
+    let qh = Tensor::from_vec(n, dh, (0..n * dh).map(|i| (i as f32 * 0.1).sin()).collect());
+    let scores = qh.matmul_transposed(&qh);
+    time("scores n*dh nt", 1000, || {
+        let _ = qh.matmul_transposed(&qh);
+    });
+    time("softmax n*n", 1000, || {
+        let _ = scores.softmax_rows();
+    });
+    time("attn*v n*n x n*dh", 1000, || {
+        let _ = scores.matmul(&qh);
+    });
+    // one full encoder-block forward on tape
+    {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let mut ps = tinynn::ParamSet::new();
+        let block = tinynn::EncoderBlock::new(&mut rng, &mut ps, d, 2 * d, 2);
+        let x = Tensor::from_vec(n, d, (0..n * d).map(|i| (i as f32 * 0.01).sin()).collect());
+        time("encoder block fwd", 500, || {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let _ = block.forward(&tape, &xv).value();
+        });
+        time("encoder block fwd+bwd", 500, || {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            block.forward(&tape, &xv).square().mean_all().backward();
+        });
+    }
+}

@@ -157,6 +157,12 @@ pub struct TrainConfig {
     /// training restores it and continues from the saved epoch instead
     /// of starting over.
     pub resume: bool,
+    /// Worker threads for batch-gradient computation and corpus
+    /// encoding. `0` means "use the available parallelism"; `1` stays
+    /// single-threaded. Results are bit-identical for every setting —
+    /// the batch is partitioned into thread-count-independent shards
+    /// whose gradients are reduced in a fixed order.
+    pub num_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -184,6 +190,7 @@ impl Default for TrainConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             resume: false,
+            num_threads: 1,
         }
     }
 }
@@ -197,6 +204,15 @@ impl TrainConfig {
             triplet_batch: 32,
             validate: false,
             ..Default::default()
+        }
+    }
+
+    /// Resolves [`TrainConfig::num_threads`] to a concrete worker count:
+    /// `0` maps to the machine's available parallelism (at least 1).
+    pub fn resolved_threads(&self) -> usize {
+        match self.num_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
         }
     }
 

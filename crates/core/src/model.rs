@@ -1,12 +1,13 @@
 //! The Traj2Hash model: two-channel encoder + hash layer (Section IV).
 
 use crate::config::ModelConfig;
-use crate::encoder::{GpsChannelEncoder, GridChannelEncoder};
+use crate::encoder::{GpsChannelEncoder, GridChannelEncoder, GridInputCache};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use tinynn::{Mlp, Param, ParamSet, Tape, Tensor, Var};
 use traj_data::{NormStats, Trajectory};
-use traj_grid::{DecomposedGridEmbedding, GridSpec, NceConfig};
+use traj_grid::{DecomposedGridEmbedding, GridEmbedding, GridSpec, NceConfig};
 
 /// Everything the model needs to know about the dataset before training:
 /// normalization statistics, the fine grid, and the pre-trained frozen
@@ -56,11 +57,29 @@ pub struct Traj2Hash {
     pub beta: f32,
 }
 
+/// A `Send + Sync` description of a model from which worker threads can
+/// rebuild byte-identical replicas: configuration, normalization stats,
+/// the frozen grid channel (spec + embedding + shared input cache), and
+/// the current relaxation scale. Parameter *values* travel separately as
+/// the snapshot from [`tinynn::ParamSet::clone_values`].
+#[derive(Clone)]
+pub struct ModelSpec {
+    /// Model configuration.
+    pub cfg: ModelConfig,
+    /// Normalization statistics.
+    pub norm: NormStats,
+    /// Grid channel pieces when `cfg.use_grids`: spec, frozen embedding,
+    /// and the input cache shared by every replica.
+    pub grid: Option<(GridSpec, Arc<dyn GridEmbedding + Send + Sync>, GridInputCache)>,
+    /// Current `tanh(beta x)` relaxation scale.
+    pub beta: f32,
+}
+
 impl Traj2Hash {
     /// Builds a model with freshly initialized parameters, using the
     /// context's decomposed grid embedding for the grid channel.
     pub fn new(cfg: ModelConfig, ctx: &ModelContext, seed: u64) -> Self {
-        let emb: Box<dyn traj_grid::GridEmbedding> = Box::new(ctx.grid_emb.clone());
+        let emb: Arc<dyn GridEmbedding + Send + Sync> = Arc::new(ctx.grid_emb.clone());
         Self::with_grid_embedding(cfg, ctx, emb, seed)
     }
 
@@ -70,20 +89,56 @@ impl Traj2Hash {
     pub fn with_grid_embedding(
         cfg: ModelConfig,
         ctx: &ModelContext,
-        grid_embedding: Box<dyn traj_grid::GridEmbedding>,
+        grid_embedding: Arc<dyn GridEmbedding + Send + Sync>,
         seed: u64,
     ) -> Self {
+        let grid = cfg.use_grids.then(|| {
+            (ctx.fine_spec.clone(), grid_embedding, GridInputCache::default())
+        });
+        Self::build(cfg, ctx.norm, grid, 1.0, seed)
+    }
+
+    /// Rebuilds a replica from a [`ModelSpec`] plus a parameter-value
+    /// snapshot. The replica has the same architecture, the same values,
+    /// and *shares* the frozen grid-input cache with the original, so
+    /// worker threads never recompute a cached trajectory.
+    pub fn from_spec(spec: &ModelSpec, values: &[Tensor]) -> Self {
+        let model = Self::build(spec.cfg.clone(), spec.norm, spec.grid.clone(), spec.beta, 0);
+        model.params.load_values(values);
+        model
+    }
+
+    /// The `Send + Sync` replication spec for this model (see
+    /// [`Traj2Hash::from_spec`]).
+    pub fn spec(&self) -> ModelSpec {
+        ModelSpec {
+            cfg: self.cfg.clone(),
+            norm: *self.gps.norm(),
+            grid: self
+                .grid
+                .as_ref()
+                .map(|g| (g.spec().clone(), g.embedding(), g.cache())),
+            beta: self.beta,
+        }
+    }
+
+    fn build(
+        cfg: ModelConfig,
+        norm: NormStats,
+        grid_parts: Option<(GridSpec, Arc<dyn GridEmbedding + Send + Sync>, GridInputCache)>,
+        beta: f32,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            cfg.use_grids,
+            grid_parts.is_some(),
+            "grid channel pieces must match cfg.use_grids"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut params = ParamSet::new();
-        let gps = GpsChannelEncoder::new(&mut rng, &mut params, &cfg, ctx.norm);
-        let grid = cfg.use_grids.then(|| {
-            GridChannelEncoder::new(
-                &mut rng,
-                &mut params,
-                ctx.fine_spec.clone(),
-                grid_embedding,
-                cfg.dim,
-            )
+        let gps = GpsChannelEncoder::new(&mut rng, &mut params, &cfg, norm);
+        let grid = grid_parts.map(|(spec, emb, cache)| {
+            GridChannelEncoder::new(&mut rng, &mut params, spec, emb, cache, cfg.dim)
         });
         let fuse_in = if cfg.use_grids { 2 * cfg.dim } else { cfg.dim };
         let fuse = Mlp::new(&mut rng, &mut params, &[fuse_in, cfg.dim]);
@@ -96,7 +151,7 @@ impl Traj2Hash {
             cfg.dim,
             proj_out,
         )));
-        Traj2Hash { cfg, params, gps, grid, fuse, projector, beta: 1.0 }
+        Traj2Hash { cfg, params, gps, grid, fuse, projector, beta }
     }
 
     /// Model configuration.
@@ -165,6 +220,39 @@ impl Traj2Hash {
     /// Batch embedding of many trajectories into row vectors.
     pub fn embed_all(&self, ts: &[Trajectory]) -> Vec<Vec<f32>> {
         ts.iter().map(|t| self.embed(t).data().to_vec()).collect()
+    }
+
+    /// Batch embedding across `threads` scoped worker threads. Each
+    /// worker rebuilds a replica from [`Traj2Hash::spec`] and encodes a
+    /// contiguous slice of the corpus; results keep input order and are
+    /// bit-identical to [`Traj2Hash::embed_all`] (every embed is an
+    /// independent forward pass). `threads <= 1` stays on this thread.
+    pub fn embed_all_with_threads(&self, ts: &[Trajectory], threads: usize) -> Vec<Vec<f32>> {
+        let threads = threads.max(1).min(ts.len().max(1));
+        if threads == 1 {
+            return self.embed_all(ts);
+        }
+        let spec = self.spec();
+        let values = self.params.clone_values();
+        let chunk = ts.len().div_ceil(threads);
+        let mut out: Vec<Vec<Vec<f32>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ts
+                .chunks(chunk)
+                .map(|slice| {
+                    let spec = &spec;
+                    let values = &values;
+                    scope.spawn(move || {
+                        let replica = Traj2Hash::from_spec(spec, values);
+                        replica.embed_all(slice)
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("encoder worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
     }
 
     /// Batch hashing of many trajectories.

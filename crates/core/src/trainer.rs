@@ -21,7 +21,8 @@ use crate::model::Traj2Hash;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
-use tinynn::{clip_grad_norm, Adam, Tape, Var};
+use std::sync::mpsc;
+use tinynn::{clip_grad_norm, Adam, Param, Tape, Tensor, Var};
 use traj_data::{Dataset, Trajectory};
 use traj_dist::{auto_theta, distance_matrix, similarity_matrix, DistanceMatrix, Measure};
 use traj_grid::{generate_triplets, GridSpec, Triplet};
@@ -114,6 +115,9 @@ pub struct TrainReport {
     /// Learning rate at the end of training (lower than configured when
     /// divergence backoffs fired).
     pub final_lr: f32,
+    /// Worker threads actually used for batch gradients and validation
+    /// encoding (the resolution of `TrainConfig::num_threads`).
+    pub threads_used: usize,
 }
 
 /// Optional instrumentation hooks for a training run. Used by the
@@ -134,24 +138,16 @@ impl<'a> TrainHooks<'a> {
     }
 }
 
-/// Embeds the given seed indices once on a shared tape, so a trajectory
-/// appearing in several loss terms of a batch is only encoded once.
-fn embed_cached(
-    model: &Traj2Hash,
-    tape: &Tape,
-    trajs: &[Trajectory],
-    cache: &mut HashMap<usize, Var>,
-    idx: usize,
-) -> Var {
-    cache
-        .entry(idx)
-        .or_insert_with(|| model.embed_var(tape, &trajs[idx]))
-        .clone()
-}
-
 /// Validation HR@10 in Euclidean space over the prepared validation set.
 pub fn validation_hr10(model: &Traj2Hash, data: &TrainData) -> f64 {
-    let embeddings = model.embed_all(&data.validation);
+    validation_hr10_with_threads(model, data, 1)
+}
+
+/// [`validation_hr10`] with the validation set encoded across `threads`
+/// worker threads. Bit-identical to the single-threaded path (each
+/// embedding is an independent forward pass).
+pub fn validation_hr10_with_threads(model: &Traj2Hash, data: &TrainData, threads: usize) -> f64 {
+    let embeddings = model.embed_all_with_threads(&data.validation, threads);
     let mut hits = 0usize;
     let mut total = 0usize;
     for (qi, &q) in data.val_queries.iter().enumerate() {
@@ -185,8 +181,316 @@ fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
     StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// One WMSE anchor's loss terms, expressed over *slots* — indices into
+/// the batch's deduplicated trajectory list.
+struct AnchorTerm {
+    /// Slot of the anchor embedding.
+    anchor: usize,
+    /// `(companion slot, target similarity, rank weight)` per companion,
+    /// in sampling order (Eq. 17's targets and weights, precomputed so
+    /// the loss graph needs no access to the similarity matrix).
+    companions: Vec<(usize, f64, f32)>,
+    /// Ranking pairs `(positive slot, negative slot)` from Eq. 18/19.
+    pairs: Vec<(usize, usize)>,
+}
+
+/// One loss term of a [`BatchPlan`].
+enum LossTerm {
+    /// WMSE + ranking objective for one seed anchor (`L_s + gamma L_r`).
+    Anchor(AnchorTerm),
+    /// One generated corpus triplet (`L_t`), as slots.
+    Triplet { a: usize, p: usize, n: usize },
+}
+
+/// A mini-batch compiled to slot form: every distinct trajectory of the
+/// batch appears exactly once in `trajs` (first-appearance order) and
+/// the loss terms reference embeddings by slot. The trajectory list is
+/// the batch's unit of parallelism — each slot is one independent
+/// forward/backward — and it is fixed by the batch *content*, never by
+/// the thread count, so the embedding work list and the floating-point
+/// gradient reduction order are identical for every `num_threads`.
+struct BatchPlan<'a> {
+    /// Slot → trajectory, deduplicated in first-appearance order.
+    trajs: Vec<&'a Trajectory>,
+    /// Loss terms in batch order.
+    terms: Vec<LossTerm>,
+    /// Batch normalizer applied once to the summed loss.
+    scale: f32,
+}
+
+/// Interns trajectory `idx` of `pool` into the plan's slot list.
+fn slot_for<'a>(
+    idx: usize,
+    pool: &'a [Trajectory],
+    slot_of: &mut HashMap<usize, usize>,
+    trajs: &mut Vec<&'a Trajectory>,
+) -> usize {
+    *slot_of.entry(idx).or_insert_with(|| {
+        trajs.push(&pool[idx]);
+        trajs.len() - 1
+    })
+}
+
+/// Compiles one WMSE/ranking batch of seed anchors into a plan. Draws
+/// companion samples from `rng` in anchor order (the RNG stream is the
+/// same for every thread count). Returns `None` when no anchor in the
+/// batch has companions.
+fn wmse_plan<'a>(
+    data: &'a TrainData,
+    cfg: &TrainConfig,
+    batch: &[usize],
+    rng: &mut StdRng,
+) -> Option<BatchPlan<'a>> {
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    let mut trajs: Vec<&Trajectory> = Vec::new();
+    let mut terms: Vec<LossTerm> = Vec::new();
+    for &i in batch {
+        let companions = sample_companions(i, data.sim.row(i), cfg.samples_per_anchor, rng);
+        if companions.is_empty() {
+            continue;
+        }
+        let anchor = slot_for(i, &data.seeds, &mut slot_of, &mut trajs);
+        let weights = rank_weights(companions.len());
+        let comp = companions
+            .iter()
+            .enumerate()
+            .map(|(rank, &j)| {
+                (slot_for(j, &data.seeds, &mut slot_of, &mut trajs), data.sim.get(i, j), weights[rank])
+            })
+            .collect();
+        let pairs = rank_pairs(&companions)
+            .into_iter()
+            .map(|(p, n)| {
+                (
+                    slot_for(p, &data.seeds, &mut slot_of, &mut trajs),
+                    slot_for(n, &data.seeds, &mut slot_of, &mut trajs),
+                )
+            })
+            .collect();
+        terms.push(LossTerm::Anchor(AnchorTerm { anchor, companions: comp, pairs }));
+    }
+    if terms.is_empty() {
+        return None;
+    }
+    Some(BatchPlan { trajs, terms, scale: 1.0 / batch.len() as f32 })
+}
+
+/// Compiles one generated-triplet batch into a plan (Eq. 20; the
+/// `gamma` weight of Eq. 21 is folded into the scale).
+fn triplet_plan<'a>(
+    data: &'a TrainData,
+    cfg: &TrainConfig,
+    batch: &[Triplet],
+) -> BatchPlan<'a> {
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    let mut trajs: Vec<&Trajectory> = Vec::new();
+    let terms = batch
+        .iter()
+        .map(|&(a, p, n)| LossTerm::Triplet {
+            a: slot_for(a, &data.corpus, &mut slot_of, &mut trajs),
+            p: slot_for(p, &data.corpus, &mut slot_of, &mut trajs),
+            n: slot_for(n, &data.corpus, &mut slot_of, &mut trajs),
+        })
+        .collect();
+    BatchPlan { trajs, terms, scale: cfg.gamma / batch.len() as f32 }
+}
+
+/// Builds the batch loss on `tape` over the *detached* embedding proxies
+/// (one [`Param`] per slot, holding that trajectory's embedding value).
+/// The graph contains no model parameters — `hash_of`, the approximate
+/// similarity, and the hinge terms are all parameter-free functions of
+/// the embeddings — so `loss.backward()` deposits exactly the upstream
+/// gradient of each embedding into its proxy's `grad`.
+fn batch_loss(
+    model: &Traj2Hash,
+    tape: &Tape,
+    cfg: &TrainConfig,
+    plan: &BatchPlan<'_>,
+    proxies: &[Param],
+) -> Var {
+    let evars: Vec<Var> = proxies.iter().map(|p| tape.param(p)).collect();
+    let mut loss: Option<Var> = None;
+    let mut add = |term: Var| {
+        loss = Some(match loss.take() {
+            None => term,
+            Some(a) => a.add(&term),
+        });
+    };
+    for term in &plan.terms {
+        match term {
+            LossTerm::Anchor(t) => {
+                let e_i = &evars[t.anchor];
+                for &(j, s, w) in &t.companions {
+                    let g = approx_similarity(e_i, &evars[j]);
+                    add(wmse_term(tape, &g, s, w));
+                }
+                // ranking hash objective on the same samples (Eq. 18/19)
+                let z_i = model.hash_of(e_i);
+                for &(p, n) in &t.pairs {
+                    let z_p = model.hash_of(&evars[p]);
+                    let z_n = model.hash_of(&evars[n]);
+                    add(ranking_hash_loss(&z_i, &z_p, &z_n, cfg.alpha).scale(cfg.gamma));
+                }
+            }
+            LossTerm::Triplet { a, p, n } => {
+                let z_a = model.hash_of(&evars[*a]);
+                let z_p = model.hash_of(&evars[*p]);
+                let z_n = model.hash_of(&evars[*n]);
+                add(ranking_hash_loss(&z_a, &z_p, &z_n, cfg.alpha));
+            }
+        }
+    }
+    loss.expect("batch plan with no loss terms").scale(plan.scale)
+}
+
+/// Runs one mini-batch: forward each distinct trajectory once on its own
+/// tape, build the (parameter-free) loss graph over the embedding values
+/// on the calling thread, hand each embedding its upstream gradient via
+/// [`Var::backward_with`], reduce the per-trajectory parameter gradients
+/// **in slot order**, clip, and take one optimizer step. Returns the
+/// batch loss.
+///
+/// With `threads > 1`, slots are distributed in contiguous chunks over a
+/// `std::thread::scope` pool. Each worker rebuilds a read-only replica
+/// from the model spec + value snapshot (the `Rc`-based tape never
+/// crosses a thread), keeps its tapes alive across the values → upstream-
+/// gradients barrier via channels, and returns per-slot gradients. The
+/// single-threaded path runs the identical forward/loss/harvest/reduce
+/// arithmetic, which is what makes `num_threads = 1` and `num_threads
+/// = N` agree bit-for-bit.
+fn run_batch(
+    model: &Traj2Hash,
+    cfg: &TrainConfig,
+    opt: &mut Adam,
+    plan: &BatchPlan<'_>,
+    threads: usize,
+) -> f32 {
+    let n = plan.trajs.len();
+    assert!(n > 0, "run_batch needs at least one trajectory");
+    let threads = threads.clamp(1, n);
+    let mut per_slot: Vec<Option<Vec<Tensor>>> = (0..n).map(|_| None).collect();
+    let item: f32;
+
+    if threads == 1 {
+        let forwards: Vec<(Tape, Var)> = plan
+            .trajs
+            .iter()
+            .map(|t| {
+                let tape = Tape::new();
+                let v = model.embed_var(&tape, t);
+                (tape, v)
+            })
+            .collect();
+        let proxies: Vec<Param> =
+            forwards.iter().map(|(_, v)| Param::new(v.value())).collect();
+        let loss_tape = Tape::new();
+        let loss = batch_loss(model, &loss_tape, cfg, plan, &proxies);
+        item = loss.item();
+        loss.backward();
+        for (k, (_tape, v)) in forwards.iter().enumerate() {
+            model.params.zero_grad();
+            v.backward_with(proxies[k].borrow().grad.clone());
+            per_slot[k] = Some(model.params.take_grads());
+        }
+    } else {
+        let spec = model.spec();
+        let values = model.params.clone_values();
+        let chunk = n.div_ceil(threads);
+        let (val_tx, val_rx) = mpsc::channel::<(usize, Tensor)>();
+        let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<Tensor>)>();
+        item = std::thread::scope(|scope| {
+            let mut grad_txs: Vec<mpsc::Sender<Vec<Tensor>>> = Vec::new();
+            for start in (0..n).step_by(chunk) {
+                let end = (start + chunk).min(n);
+                let my_trajs = &plan.trajs[start..end];
+                let val_tx = val_tx.clone();
+                let res_tx = res_tx.clone();
+                let (grad_tx, grad_rx) = mpsc::channel::<Vec<Tensor>>();
+                grad_txs.push(grad_tx);
+                let spec = &spec;
+                let values = &values;
+                scope.spawn(move || {
+                    let replica = Traj2Hash::from_spec(spec, values);
+                    let forwards: Vec<(Tape, Var)> = my_trajs
+                        .iter()
+                        .map(|t| {
+                            let tape = Tape::new();
+                            let v = replica.embed_var(&tape, t);
+                            (tape, v)
+                        })
+                        .collect();
+                    for (off, (_, v)) in forwards.iter().enumerate() {
+                        val_tx
+                            .send((start + off, v.value()))
+                            .expect("embedding value channel closed");
+                    }
+                    drop(val_tx);
+                    // Barrier: the upstream gradients only exist once the
+                    // main thread has run the loss graph.
+                    let Ok(upstream) = grad_rx.recv() else { return };
+                    for (off, ((_tape, v), g)) in forwards.iter().zip(upstream).enumerate() {
+                        replica.params.zero_grad();
+                        v.backward_with(g);
+                        res_tx
+                            .send((start + off, replica.params.take_grads()))
+                            .expect("gradient result channel closed");
+                    }
+                });
+            }
+            drop(val_tx);
+            drop(res_tx);
+
+            let mut vals: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let (k, v) = val_rx.recv().expect("embedding worker died");
+                vals[k] = Some(v);
+            }
+            let proxies: Vec<Param> = vals
+                .into_iter()
+                .map(|v| Param::new(v.expect("worker delivered no embedding for a slot")))
+                .collect();
+            let loss_tape = Tape::new();
+            let loss = batch_loss(model, &loss_tape, cfg, plan, &proxies);
+            let item = loss.item();
+            loss.backward();
+            for (wi, start) in (0..n).step_by(chunk).enumerate() {
+                let end = (start + chunk).min(n);
+                let upstream: Vec<Tensor> =
+                    (start..end).map(|k| proxies[k].borrow().grad.clone()).collect();
+                grad_txs[wi].send(upstream).expect("gradient channel closed");
+            }
+            for _ in 0..n {
+                let (k, g) = res_rx.recv().expect("gradient worker died");
+                per_slot[k] = Some(g);
+            }
+            item
+        });
+    }
+
+    // Fixed-order reduction: whatever the thread layout, slot 0 seeds
+    // the accumulator and slots 1..n add in index order.
+    let mut acc: Option<Vec<Tensor>> = None;
+    for g in per_slot {
+        let g = g.expect("worker delivered no gradient for a slot");
+        match &mut acc {
+            None => acc = Some(g),
+            Some(a) => {
+                for (t, s) in a.iter_mut().zip(&g) {
+                    t.add_assign(s);
+                }
+            }
+        }
+    }
+    model.params.load_grads(acc.expect("batch reduced to no gradients"));
+    clip_grad_norm(&model.params, cfg.clip_norm);
+    opt.step(&model.params);
+    item
+}
+
 /// Runs one epoch of the combined objective; returns the mean batch
-/// loss and advances the triplet cursor.
+/// loss and advances the triplet cursor. All companion/shuffle sampling
+/// happens here on the calling thread, in the same order regardless of
+/// `threads`, so the RNG stream is thread-count independent.
 fn run_epoch(
     model: &Traj2Hash,
     data: &TrainData,
@@ -194,6 +498,7 @@ fn run_epoch(
     opt: &mut Adam,
     rng: &mut StdRng,
     triplet_cursor: &mut usize,
+    threads: usize,
 ) -> f32 {
     let n_seeds = data.seeds.len();
     let mut epoch_loss = 0.0f32;
@@ -206,50 +511,9 @@ fn run_epoch(
         anchors.swap(i, j);
     }
     for batch in anchors.chunks(cfg.batch_size) {
-        let tape = Tape::new();
-        let mut cache: HashMap<usize, Var> = HashMap::new();
-        let mut loss: Option<Var> = None;
-        let add = |term: Var, acc: &mut Option<Var>| {
-            *acc = Some(match acc.take() {
-                None => term,
-                Some(a) => a.add(&term),
-            });
-        };
-        for &i in batch {
-            let companions =
-                sample_companions(i, data.sim.row(i), cfg.samples_per_anchor, rng);
-            if companions.is_empty() {
-                continue;
-            }
-            let weights = rank_weights(companions.len());
-            let e_i = embed_cached(model, &tape, &data.seeds, &mut cache, i);
-            for (rank, &j) in companions.iter().enumerate() {
-                let e_j = embed_cached(model, &tape, &data.seeds, &mut cache, j);
-                let g = approx_similarity(&e_i, &e_j);
-                let term = wmse_term(&tape, &g, data.sim.get(i, j), weights[rank]);
-                add(term, &mut loss);
-            }
-            // ranking hash objective on the same samples (Eq. 18/19)
-            let z_i = model.hash_of(&e_i);
-            for (p, n) in rank_pairs(&companions) {
-                let e_p = embed_cached(model, &tape, &data.seeds, &mut cache, p);
-                let e_n = embed_cached(model, &tape, &data.seeds, &mut cache, n);
-                let z_p = model.hash_of(&e_p);
-                let z_n = model.hash_of(&e_n);
-                let term =
-                    ranking_hash_loss(&z_i, &z_p, &z_n, cfg.alpha).scale(cfg.gamma);
-                add(term, &mut loss);
-            }
-        }
-        if let Some(loss) = loss {
-            let loss = loss.scale(1.0 / batch.len() as f32);
-            epoch_loss += loss.item();
-            batches += 1;
-            model.params.zero_grad();
-            loss.backward();
-            clip_grad_norm(&model.params, cfg.clip_norm);
-            opt.step(&model.params);
-        }
+        let Some(plan) = wmse_plan(data, cfg, batch, rng) else { continue };
+        epoch_loss += run_batch(model, cfg, opt, &plan, threads);
+        batches += 1;
     }
 
     // ---- generated-triplet objective (L_t), Eq. 20 ------------------
@@ -257,34 +521,17 @@ fn run_epoch(
         let mut used = 0usize;
         while used < cfg.triplets_per_epoch {
             let take = cfg.triplet_batch.min(cfg.triplets_per_epoch - used);
-            let tape = Tape::new();
-            let mut cache: HashMap<usize, Var> = HashMap::new();
-            let mut loss: Option<Var> = None;
-            for _ in 0..take {
-                let (a, p, n) = data.triplets[*triplet_cursor % data.triplets.len()];
-                *triplet_cursor += 1;
-                let z_a =
-                    model.hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, a));
-                let z_p =
-                    model.hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, p));
-                let z_n =
-                    model.hash_of(&embed_cached(model, &tape, &data.corpus, &mut cache, n));
-                let term = ranking_hash_loss(&z_a, &z_p, &z_n, cfg.alpha);
-                loss = Some(match loss {
-                    None => term,
-                    Some(acc) => acc.add(&term),
-                });
-            }
+            let batch_triplets: Vec<Triplet> = (0..take)
+                .map(|_| {
+                    let t = data.triplets[*triplet_cursor % data.triplets.len()];
+                    *triplet_cursor += 1;
+                    t
+                })
+                .collect();
             used += take;
-            if let Some(loss) = loss {
-                let loss = loss.scale(cfg.gamma / take as f32);
-                epoch_loss += loss.item();
-                batches += 1;
-                model.params.zero_grad();
-                loss.backward();
-                clip_grad_norm(&model.params, cfg.clip_norm);
-                opt.step(&model.params);
-            }
+            let plan = triplet_plan(data, cfg, &batch_triplets);
+            epoch_loss += run_batch(model, cfg, opt, &plan, threads);
+            batches += 1;
         }
     }
 
@@ -346,6 +593,7 @@ pub fn train_with_hooks(
 ) -> Result<TrainReport, TrainError> {
     cfg.validate()?;
     let start = std::time::Instant::now();
+    let threads = cfg.resolved_threads();
     let n_seeds = data.seeds.len();
     if n_seeds < 2 {
         return Err(TrainError::TooFewSeeds { got: n_seeds });
@@ -423,7 +671,7 @@ pub fn train_with_hooks(
         model.beta = cfg.beta0 + cfg.beta_step * epoch as f32;
         let mut rng = epoch_rng(cfg.seed, epoch);
         let mut cursor = good.triplet_cursor;
-        let raw_loss = run_epoch(model, data, cfg, &mut opt, &mut rng, &mut cursor);
+        let raw_loss = run_epoch(model, data, cfg, &mut opt, &mut rng, &mut cursor, threads);
         let loss = match hooks.on_epoch_loss.as_mut() {
             Some(h) => h(epoch, raw_loss),
             None => raw_loss,
@@ -466,7 +714,7 @@ pub fn train_with_hooks(
 
         // ---- model selection on validation HR@10 --------------------
         if cfg.validate {
-            let hr = validation_hr10(model, data);
+            let hr = validation_hr10_with_threads(model, data, threads);
             val_hr10.push(hr);
             if best.1.is_none_or(|b| hr > b) {
                 best = (epoch, Some(hr), model.save_bytes());
@@ -515,6 +763,7 @@ pub fn train_with_hooks(
         recoveries,
         resumed_from_epoch,
         final_lr: opt.lr,
+        threads_used: threads,
     })
 }
 
@@ -562,6 +811,52 @@ mod tests {
         );
         assert!(report.recoveries.is_empty(), "healthy run must not roll back");
         assert_eq!(report.best_val, report.val_hr10.iter().copied().reduce(f64::max));
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        // The tentpole guarantee: the shard partition and the gradient
+        // reduction order depend only on the batch content, so the same
+        // seed must yield the same losses and the same final parameters
+        // EXACTLY, whether the shards ran on 1 thread or 4.
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let base = TrainConfig {
+            epochs: 2,
+            validate: true,
+            triplets_per_epoch: 32,
+            triplet_batch: 16,
+            ..TrainConfig::default()
+        };
+        let data = TrainData::prepare(&dataset, Measure::Frechet, &base).unwrap();
+        let run = |threads: usize| {
+            let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 2);
+            let cfg = TrainConfig { num_threads: threads, ..base.clone() };
+            let report = train(&mut model, &data, &cfg).unwrap();
+            (report, model.params.clone_values())
+        };
+        let (r1, p1) = run(1);
+        let (r4, p4) = run(4);
+        assert_eq!(r1.threads_used, 1);
+        assert_eq!(r4.threads_used, 4);
+        assert_eq!(r1.epoch_losses, r4.epoch_losses, "epoch losses must match exactly");
+        assert_eq!(r1.val_hr10, r4.val_hr10, "validation scores must match exactly");
+        assert_eq!(p1.len(), p4.len());
+        for (a, b) in p1.iter().zip(&p4) {
+            assert_eq!(a.data(), b.data(), "final parameters must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn parallel_corpus_encoding_matches_serial() {
+        let dataset = tiny_dataset();
+        let mcfg = ModelConfig::tiny();
+        let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+        let model = Traj2Hash::new(mcfg, &ctx, 2);
+        let serial = model.embed_all(&dataset.corpus);
+        let parallel = model.embed_all_with_threads(&dataset.corpus, 4);
+        assert_eq!(serial, parallel, "threaded encoding must be bit-identical");
     }
 
     #[test]

@@ -45,21 +45,42 @@ impl DistanceMatrix {
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
-    /// Maximum element.
-    pub fn max(&self) -> f64 {
-        self.data.iter().cloned().fold(0.0, f64::max)
+    /// Maximum element, or `None` for an empty (0-trajectory) matrix.
+    ///
+    /// Folds from `f64::NEG_INFINITY`, not `0.0`, so a matrix whose
+    /// entries are all negative reports its true maximum instead of
+    /// silently clamping to zero. (Distance matrices are non-negative by
+    /// construction, but nothing in this type enforces that, and the
+    /// similarity transform produces values below 1.)
+    pub fn max(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            return None;
+        }
+        Some(self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Indices of the `k` smallest entries in row `i`, excluding the
-    /// diagonal — the exact top-k neighbours used as ground truth.
+    /// diagonal — the exact top-k neighbours used as ground truth,
+    /// ordered nearest first.
+    ///
+    /// Uses `select_nth_unstable_by` for O(n) selection instead of a
+    /// full O(n log n) sort, then orders only the selected prefix.
+    /// Comparisons use `f64::total_cmp`, which is a total order even in
+    /// the presence of NaN (NaN sorts after every number, so poisoned
+    /// distances can never be ranked "nearest" the way the previous
+    /// `partial_cmp().unwrap_or(Equal)` comparator allowed).
     pub fn top_k_row(&self, i: usize, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.n).filter(|&j| j != i).collect();
-        idx.sort_by(|&a, &b| {
-            self.get(i, a)
-                .partial_cmp(&self.get(i, b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        idx.truncate(k);
+        let cmp = |&a: &usize, &b: &usize| self.get(i, a).total_cmp(&self.get(i, b));
+        if k == 0 || idx.is_empty() {
+            idx.clear();
+            return idx;
+        }
+        if k < idx.len() {
+            idx.select_nth_unstable_by(k - 1, cmp);
+            idx.truncate(k);
+        }
+        idx.sort_unstable_by(cmp);
         idx
     }
 }
@@ -249,6 +270,10 @@ mod tests {
         let d = distance_matrix(&ts, Measure::Dtw);
         let top = d.top_k_row(0, 3);
         assert_eq!(top.len(), 3);
+        // results come back nearest-first
+        for w in top.windows(2) {
+            assert!(d.get(0, w[0]) <= d.get(0, w[1]));
+        }
         // every excluded index must be at least as far as the included ones
         let worst_included = top.iter().map(|&j| d.get(0, j)).fold(0.0, f64::max);
         for j in 1..ts.len() {
@@ -256,5 +281,29 @@ mod tests {
                 assert!(d.get(0, j) >= worst_included - 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn top_k_row_handles_edges_and_nan() {
+        let mut d = DistanceMatrix::zeros(4);
+        d.set_sym(0, 1, 3.0);
+        d.set_sym(0, 2, 1.0);
+        d.set_sym(0, 3, f64::NAN);
+        // NaN sorts last under total_cmp — it is never ranked "nearest"
+        assert_eq!(d.top_k_row(0, 2), vec![2, 1]);
+        assert_eq!(d.top_k_row(0, 3), vec![2, 1, 3]);
+        // k = 0 and k >= n-1 work
+        assert!(d.top_k_row(0, 0).is_empty());
+        assert_eq!(d.top_k_row(0, 10).len(), 3);
+    }
+
+    #[test]
+    fn max_reports_negative_maxima_and_empty() {
+        assert_eq!(DistanceMatrix::zeros(0).max(), None);
+        let mut d = DistanceMatrix::zeros(2);
+        d.set_sym(0, 1, -2.0);
+        d.data[0] = -5.0;
+        d.data[3] = -4.0;
+        assert_eq!(d.max(), Some(-2.0), "all-negative matrix must not clamp to 0");
     }
 }

@@ -92,6 +92,12 @@ impl Param {
     pub fn ptr_eq(&self, other: &Param) -> bool {
         Rc::ptr_eq(&self.0, &other.0)
     }
+
+    /// Stable identity key for this parameter (the address of its shared
+    /// state). Used by the tape to deduplicate leaf nodes.
+    pub fn key(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
 }
 
 /// An ordered collection of parameters, used by optimizers and for
@@ -148,6 +154,57 @@ impl ParamSet {
         for p in &self.params {
             p.zero_grad();
         }
+    }
+
+    /// Snapshot of every parameter value, in registration order. The
+    /// snapshot is `Send`, so worker threads can rebuild a model replica
+    /// from it (see `load_values`).
+    pub fn clone_values(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value()).collect()
+    }
+
+    /// Overwrites every parameter value from a snapshot produced by
+    /// [`ParamSet::clone_values`] on an identically constructed set.
+    ///
+    /// # Panics
+    /// Panics on length or shape mismatch — replicas must be built from
+    /// the same model configuration.
+    pub fn load_values(&self, values: &[Tensor]) {
+        assert_eq!(values.len(), self.params.len(), "parameter count mismatch");
+        for (p, v) in self.params.iter().zip(values) {
+            let mut d = p.borrow_mut();
+            assert_eq!(d.value.shape(), v.shape(), "parameter shape mismatch");
+            d.value = v.clone();
+        }
+    }
+
+    /// Overwrites every gradient with the given tensors (registration
+    /// order) — the receiving end of the reduction that
+    /// [`ParamSet::take_grads`] feeds.
+    ///
+    /// # Panics
+    /// Panics on length or shape mismatch.
+    pub fn load_grads(&self, grads: Vec<Tensor>) {
+        assert_eq!(grads.len(), self.params.len(), "gradient count mismatch");
+        for (p, g) in self.params.iter().zip(grads) {
+            let mut d = p.borrow_mut();
+            assert_eq!(d.value.shape(), g.shape(), "gradient shape mismatch");
+            d.grad = g;
+        }
+    }
+
+    /// Moves the accumulated gradients out, leaving zeros behind, in
+    /// registration order. This is how a worker's replica hands its batch
+    /// gradient back to the main thread for the deterministic reduction.
+    pub fn take_grads(&self) -> Vec<Tensor> {
+        self.params
+            .iter()
+            .map(|p| {
+                let mut d = p.borrow_mut();
+                let (r, c) = d.value.shape();
+                std::mem::replace(&mut d.grad, Tensor::zeros(r, c))
+            })
+            .collect()
     }
 
     /// Serializes all parameter values (little-endian f32) preceded by a

@@ -6,8 +6,17 @@
 //! every node and accumulating them into the [`Param`]s that participated
 //! in the computation.
 //!
+//! The implementation is allocation-lean: node values are shared
+//! (`Arc<Tensor>`) instead of cloned into every backward closure, the
+//! upstream gradient is passed to each closure **by value** so unary ops
+//! rewrite it in place and binary ops move it into their last child
+//! instead of cloning, repeated [`Tape::param`] calls for the same
+//! parameter reuse one leaf node, and the gradient scratch vector is
+//! recycled across [`Var::backward`] calls on the same tape.
+//!
 //! Tapes are cheap to create; the intended pattern is one tape per
-//! training step:
+//! training step (or [`Tape::reset`] to reuse one tape's allocations
+//! across steps):
 //!
 //! ```
 //! use tinynn::{Tape, Tensor, Param};
@@ -27,11 +36,15 @@ use crate::tensor::Tensor;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
-type BackwardFn = Box<dyn Fn(&Tensor, &mut [Option<Tensor>])>;
+/// Backward closures receive the upstream gradient **by value** and may
+/// consume it: mutate it in place and forward it to a child, or split it
+/// into freshly computed child gradients.
+type BackwardFn = Box<dyn Fn(Tensor, &mut [Option<Tensor>])>;
 
 struct Node {
-    value: Tensor,
+    value: Arc<Tensor>,
     backward: Option<BackwardFn>,
 }
 
@@ -40,6 +53,12 @@ struct TapeInner {
     nodes: RefCell<Vec<Node>>,
     /// Leaf node id -> parameter whose gradient receives that node's grad.
     param_hooks: RefCell<HashMap<usize, Param>>,
+    /// Parameter identity -> existing leaf node, so repeated
+    /// `tape.param(&p)` calls share one node (and one value snapshot).
+    param_ids: RefCell<HashMap<usize, usize>>,
+    /// Recycled gradient buffer for `backward`, so repeated backward
+    /// passes on a (reset) tape do not reallocate the slot vector.
+    scratch: RefCell<Vec<Option<Tensor>>>,
 }
 
 /// A recording of one forward computation.
@@ -78,11 +97,25 @@ impl Tape {
         self.len() == 0
     }
 
-    fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
+    /// Clears all recorded nodes and parameter hooks while keeping the
+    /// backing allocations, so a worker can reuse one tape across many
+    /// training steps. Any [`Var`] created before the reset must not be
+    /// used afterwards — its node id now refers to a fresh recording.
+    pub fn reset(&self) {
+        self.inner.nodes.borrow_mut().clear();
+        self.inner.param_hooks.borrow_mut().clear();
+        self.inner.param_ids.borrow_mut().clear();
+    }
+
+    fn push_arc(&self, value: Arc<Tensor>, backward: Option<BackwardFn>) -> Var {
         let mut nodes = self.inner.nodes.borrow_mut();
         let id = nodes.len();
         nodes.push(Node { value, backward });
         Var { id, tape: Rc::clone(&self.inner) }
+    }
+
+    fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
+        self.push_arc(Arc::new(value), backward)
     }
 
     /// Records a constant leaf: gradients flow into it but go nowhere.
@@ -90,11 +123,26 @@ impl Tape {
         self.push(value, None)
     }
 
+    /// Records a shared constant leaf without copying it — the zero-copy
+    /// entry point for cached tensors (e.g. the frozen grid-channel
+    /// inputs, which many tapes reference per run).
+    pub fn constant_arc(&self, value: Arc<Tensor>) -> Var {
+        self.push_arc(value, None)
+    }
+
     /// Records a parameter leaf; after `backward`, the gradient of this
-    /// node is accumulated into `p.grad`.
+    /// node is accumulated into `p.grad`. Calling this repeatedly with
+    /// the same parameter on one tape returns the same node, so a weight
+    /// used by many forward passes is snapshotted (and its gradient
+    /// accumulated) once.
     pub fn param(&self, p: &Param) -> Var {
+        let key = p.key();
+        if let Some(&id) = self.inner.param_ids.borrow().get(&key) {
+            return Var { id, tape: Rc::clone(&self.inner) };
+        }
         let var = self.push(p.value(), None);
         self.inner.param_hooks.borrow_mut().insert(var.id, p.clone());
+        self.inner.param_ids.borrow_mut().insert(key, var.id);
         var
     }
 }
@@ -102,7 +150,12 @@ impl Tape {
 impl Var {
     /// Clone of the value stored at this node.
     pub fn value(&self) -> Tensor {
-        self.tape.nodes.borrow()[self.id].value.clone()
+        (*self.tape.nodes.borrow()[self.id].value).clone()
+    }
+
+    /// Shared handle to the value stored at this node (no tensor copy).
+    pub fn value_arc(&self) -> Arc<Tensor> {
+        Arc::clone(&self.tape.nodes.borrow()[self.id].value)
     }
 
     /// Shape of the value at this node.
@@ -136,17 +189,33 @@ impl Var {
             (1, 1),
             "backward() must start from a scalar (1x1) node"
         );
+        self.backward_with(Tensor::scalar(1.0));
+    }
+
+    /// Reverse pass seeded with an arbitrary upstream gradient for this
+    /// node (vector-Jacobian product). `backward()` is the special case
+    /// `backward_with(1.0)` from a scalar. This is what lets a loss graph
+    /// built over *detached* embedding values hand each embedding's
+    /// gradient back to the tape that produced it.
+    pub fn backward_with(&self, seed: Tensor) {
+        assert_eq!(
+            self.shape(),
+            seed.shape(),
+            "backward_with seed must match the node's shape"
+        );
         let nodes = self.tape.nodes.borrow();
         let hooks = self.tape.param_hooks.borrow();
-        let mut grads: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
-        grads[self.id] = Some(Tensor::scalar(1.0));
+        let mut grads = self.tape.scratch.borrow_mut();
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
+        grads[self.id] = Some(seed);
         for id in (0..=self.id).rev() {
             let Some(g) = grads[id].take() else { continue };
-            if let Some(bw) = &nodes[id].backward {
-                bw(&g, &mut grads);
-            }
             if let Some(p) = hooks.get(&id) {
                 p.accumulate_grad(&g);
+            }
+            if let Some(bw) = &nodes[id].backward {
+                bw(g, &mut grads);
             }
         }
     }
@@ -156,15 +225,15 @@ impl Var {
     /// Elementwise addition (identical shapes).
     pub fn add(&self, other: &Var) -> Var {
         self.same_tape(other);
-        let a = self.value();
-        let b = other.value();
+        let a = self.value_arc();
+        let b = other.value_arc();
         let out = a.zip(&b, |x, y| x + y);
         let (ia, ib) = (self.id, other.id);
         self.tape().push(
             out,
             Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.clone());
                 accumulate(grads, ib, g.clone());
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -172,15 +241,15 @@ impl Var {
     /// Elementwise subtraction (identical shapes).
     pub fn sub(&self, other: &Var) -> Var {
         self.same_tape(other);
-        let a = self.value();
-        let b = other.value();
+        let a = self.value_arc();
+        let b = other.value_arc();
         let out = a.zip(&b, |x, y| x - y);
         let (ia, ib) = (self.id, other.id);
         self.tape().push(
             out,
             Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.clone());
                 accumulate(grads, ib, g.map(|x| -x));
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -188,15 +257,18 @@ impl Var {
     /// Elementwise (Hadamard) product (identical shapes).
     pub fn mul(&self, other: &Var) -> Var {
         self.same_tape(other);
-        let a = self.value();
-        let b = other.value();
+        let a = self.value_arc();
+        let b = other.value_arc();
         let out = a.zip(&b, |x, y| x * y);
         let (ia, ib) = (self.id, other.id);
         self.tape().push(
             out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&b, |gg, y| gg * y));
+            Some(Box::new(move |mut g, grads| {
                 accumulate(grads, ib, g.zip(&a, |gg, x| gg * x));
+                for (gg, &y) in g.data_mut().iter_mut().zip(b.data()) {
+                    *gg *= y;
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -204,17 +276,21 @@ impl Var {
     /// Elementwise division (identical shapes).
     pub fn div(&self, other: &Var) -> Var {
         self.same_tape(other);
-        let a = self.value();
-        let b = other.value();
+        let a = self.value_arc();
+        let b = other.value_arc();
         let out = a.zip(&b, |x, y| x / y);
         let (ia, ib) = (self.id, other.id);
         self.tape().push(
             out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&b, |gg, y| gg / y));
+            Some(Box::new(move |mut g, grads| {
+                // d/db (a/b) = -a / b^2, computed in one pass
                 let mut gb = g.zip(&a, |gg, x| gg * x);
                 gb = gb.zip(&b, |t, y| -t / (y * y));
                 accumulate(grads, ib, gb);
+                for (gg, &y) in g.data_mut().iter_mut().zip(b.data()) {
+                    *gg /= y;
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -222,11 +298,11 @@ impl Var {
     /// Adds a `1 x d` row vector to every row of an `n x d` matrix.
     pub fn add_row(&self, row: &Var) -> Var {
         self.same_tape(row);
-        let a = self.value();
-        let b = row.value();
+        let a = self.value_arc();
+        let b = row.value_arc();
         assert_eq!(b.rows(), 1, "add_row expects a 1xd right operand");
         assert_eq!(a.cols(), b.cols(), "add_row width mismatch");
-        let mut out = a.clone();
+        let mut out = (*a).clone();
         for r in 0..out.rows() {
             for (o, &x) in out.row_mut(r).iter_mut().zip(b.row(0)) {
                 *o += x;
@@ -236,7 +312,6 @@ impl Var {
         self.tape().push(
             out,
             Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.clone());
                 // bias grad: sum over rows
                 let mut gb = Tensor::zeros(1, g.cols());
                 for r in 0..g.rows() {
@@ -245,6 +320,47 @@ impl Var {
                     }
                 }
                 accumulate(grads, ib, gb);
+                accumulate(grads, ia, g);
+            })),
+        )
+    }
+
+    /// Fused `relu(self + row)` over an `n x d` matrix and a `1 x d` bias
+    /// row — the bias-add + activation of a hidden [`crate::Linear`]
+    /// layer in one tape node, one output buffer, and one backward pass.
+    pub fn add_row_relu(&self, row: &Var) -> Var {
+        self.same_tape(row);
+        let a = self.value_arc();
+        let b = row.value_arc();
+        assert_eq!(b.rows(), 1, "add_row_relu expects a 1xd right operand");
+        assert_eq!(a.cols(), b.cols(), "add_row_relu width mismatch");
+        let mut out = (*a).clone();
+        for r in 0..out.rows() {
+            for (o, &x) in out.row_mut(r).iter_mut().zip(b.row(0)) {
+                *o = (*o + x).max(0.0);
+            }
+        }
+        let y = Arc::new(out);
+        let y_bw = Arc::clone(&y);
+        let (ia, ib) = (self.id, row.id);
+        self.tape().push_arc(
+            y,
+            Some(Box::new(move |mut g, grads| {
+                // gate the upstream gradient in place (y > 0 <=> pre-act > 0),
+                // then both children read the already-masked gradient
+                for (gg, &yy) in g.data_mut().iter_mut().zip(y_bw.data()) {
+                    if yy <= 0.0 {
+                        *gg = 0.0;
+                    }
+                }
+                let mut gb = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &x) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += x;
+                    }
+                }
+                accumulate(grads, ib, gb);
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -253,24 +369,27 @@ impl Var {
 
     /// Multiplies every element by a constant.
     pub fn scale(&self, c: f32) -> Var {
-        let out = self.value().map(|x| x * c);
+        let out = self.tape.nodes.borrow()[self.id].value.map(|x| x * c);
         let ia = self.id;
         self.tape().push(
             out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.map(|x| x * c));
+            Some(Box::new(move |mut g, grads| {
+                for x in g.data_mut() {
+                    *x *= c;
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, c: f32) -> Var {
-        let out = self.value().map(|x| x + c);
+        let out = self.tape.nodes.borrow()[self.id].value.map(|x| x + c);
         let ia = self.id;
         self.tape().push(
             out,
             Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.clone());
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -285,13 +404,18 @@ impl Var {
     /// Rectified linear unit, `max(x, 0)`. Also the hinge `[x]_+` of
     /// Eq. 18–20 in the paper.
     pub fn relu(&self) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let out = a.map(|x| x.max(0.0));
         let ia = self.id;
         self.tape().push(
             out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&a, |gg, x| if x > 0.0 { gg } else { 0.0 }));
+            Some(Box::new(move |mut g, grads| {
+                for (gg, &x) in g.data_mut().iter_mut().zip(a.data()) {
+                    if x <= 0.0 {
+                        *gg = 0.0;
+                    }
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -299,78 +423,100 @@ impl Var {
     /// Hyperbolic tangent. With a scale, this is the HashNet relaxation
     /// `tanh(beta * x)` of the sign function (Section IV-F).
     pub fn tanh(&self) -> Var {
-        let out = self.value().map(f32::tanh);
-        let y = out.clone();
+        let out = self.tape.nodes.borrow()[self.id].value.map(f32::tanh);
+        let y = Arc::new(out);
+        let y_bw = Arc::clone(&y);
         let ia = self.id;
-        self.tape().push(
-            out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&y, |gg, t| gg * (1.0 - t * t)));
+        self.tape().push_arc(
+            y,
+            Some(Box::new(move |mut g, grads| {
+                for (gg, &t) in g.data_mut().iter_mut().zip(y_bw.data()) {
+                    *gg *= 1.0 - t * t;
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
-        let out = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
-        let y = out.clone();
+        let out = self.tape.nodes.borrow()[self.id].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let y = Arc::new(out);
+        let y_bw = Arc::clone(&y);
         let ia = self.id;
-        self.tape().push(
-            out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&y, |gg, s| gg * s * (1.0 - s)));
+        self.tape().push_arc(
+            y,
+            Some(Box::new(move |mut g, grads| {
+                for (gg, &s) in g.data_mut().iter_mut().zip(y_bw.data()) {
+                    *gg *= s * (1.0 - s);
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var {
-        let out = self.value().map(f32::exp);
-        let y = out.clone();
+        let out = self.tape.nodes.borrow()[self.id].value.map(f32::exp);
+        let y = Arc::new(out);
+        let y_bw = Arc::clone(&y);
         let ia = self.id;
-        self.tape().push(
-            out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&y, |gg, e| gg * e));
+        self.tape().push_arc(
+            y,
+            Some(Box::new(move |mut g, grads| {
+                for (gg, &e) in g.data_mut().iter_mut().zip(y_bw.data()) {
+                    *gg *= e;
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let out = a.map(f32::ln);
         let ia = self.id;
         self.tape().push(
             out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&a, |gg, x| gg / x));
+            Some(Box::new(move |mut g, grads| {
+                for (gg, &x) in g.data_mut().iter_mut().zip(a.data()) {
+                    *gg /= x;
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
 
     /// Elementwise square root (stabilized gradient at 0).
     pub fn sqrt(&self) -> Var {
-        let out = self.value().map(f32::sqrt);
-        let y = out.clone();
+        let out = self.tape.nodes.borrow()[self.id].value.map(f32::sqrt);
+        let y = Arc::new(out);
+        let y_bw = Arc::clone(&y);
         let ia = self.id;
-        self.tape().push(
-            out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&y, |gg, s| gg * 0.5 / s.max(1e-12)));
+        self.tape().push_arc(
+            y,
+            Some(Box::new(move |mut g, grads| {
+                for (gg, &s) in g.data_mut().iter_mut().zip(y_bw.data()) {
+                    *gg *= 0.5 / s.max(1e-12);
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let out = a.map(|x| x * x);
         let ia = self.id;
         self.tape().push(
             out,
-            Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.zip(&a, |gg, x| gg * 2.0 * x));
+            Some(Box::new(move |mut g, grads| {
+                for (gg, &x) in g.data_mut().iter_mut().zip(a.data()) {
+                    *gg *= 2.0 * x;
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -380,22 +526,53 @@ impl Var {
     /// Matrix product.
     pub fn matmul(&self, other: &Var) -> Var {
         self.same_tape(other);
-        let a = self.value();
-        let b = other.value();
+        let a = self.value_arc();
+        let b = other.value_arc();
         let out = a.matmul(&b);
         let (ia, ib) = (self.id, other.id);
         self.tape().push(
             out,
             Some(Box::new(move |g, grads| {
-                accumulate(grads, ia, g.matmul(&b.transpose()));
-                accumulate(grads, ib, a.transpose().matmul(g));
+                // dA = G B^T and dB = A^T G via the packed kernels, so no
+                // transpose is materialized in the backward pass.
+                accumulate(grads, ia, g.matmul_transposed(&b));
+                accumulate(grads, ib, a.transposed_matmul(&g));
+            })),
+        )
+    }
+
+    /// `self * other^T` without materializing the transpose — the
+    /// attention-score op `Q K^T`. Forward uses the packed dot-product
+    /// kernel; backward is `dQ = G K` and `dK = G^T Q`, again without
+    /// building a transposed copy.
+    pub fn matmul_nt(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let a = self.value_arc();
+        let b = other.value_arc();
+        // Shape-adaptive forward: with a short shared dimension (the
+        // per-head attention case, dh << n) the dot-product kernel's
+        // horizontal reductions dominate, and materializing `B^T` once
+        // to run the wide ikj kernel is faster. The choice depends only
+        // on shapes, so results stay deterministic.
+        let (p, m) = b.shape();
+        let out = if p >= 4 * m {
+            a.matmul(&b.transpose())
+        } else {
+            a.matmul_transposed(&b)
+        };
+        let (ia, ib) = (self.id, other.id);
+        self.tape().push(
+            out,
+            Some(Box::new(move |g, grads| {
+                accumulate(grads, ia, g.matmul(&b));
+                accumulate(grads, ib, g.transposed_matmul(&a));
             })),
         )
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Var {
-        let out = self.value().transpose();
+        let out = self.tape.nodes.borrow()[self.id].value.transpose();
         let ia = self.id;
         self.tape().push(
             out,
@@ -407,21 +584,22 @@ impl Var {
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Var {
-        let out = self.value().softmax_rows();
-        let y = out.clone();
+        let out = self.tape.nodes.borrow()[self.id].value.softmax_rows();
+        let y = Arc::new(out);
+        let y_bw = Arc::clone(&y);
         let ia = self.id;
-        self.tape().push(
-            out,
-            Some(Box::new(move |g, grads| {
-                // dL/dx_i = y_i * (g_i - sum_j g_j y_j), per row.
-                let mut gx = Tensor::zeros(y.rows(), y.cols());
-                for r in 0..y.rows() {
-                    let dot: f32 = g.row(r).iter().zip(y.row(r)).map(|(&gg, &yy)| gg * yy).sum();
-                    for c in 0..y.cols() {
-                        gx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+        self.tape().push_arc(
+            y,
+            Some(Box::new(move |mut g, grads| {
+                // dL/dx_i = y_i * (g_i - sum_j g_j y_j), per row, in place.
+                for r in 0..y_bw.rows() {
+                    let dot: f32 =
+                        g.row(r).iter().zip(y_bw.row(r)).map(|(&gg, &yy)| gg * yy).sum();
+                    for (gg, &yy) in g.row_mut(r).iter_mut().zip(y_bw.row(r)) {
+                        *gg = yy * (*gg - dot);
                     }
                 }
-                accumulate(grads, ia, gx);
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -430,7 +608,7 @@ impl Var {
 
     /// Sum of all elements, producing a `1 x 1` scalar.
     pub fn sum_all(&self) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let out = Tensor::scalar(a.sum());
         let (rows, cols) = a.shape();
         let ia = self.id;
@@ -453,7 +631,7 @@ impl Var {
 
     /// Column-wise sum: `n x d` -> `1 x d`.
     pub fn sum_rows(&self) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let mut out = Tensor::zeros(1, a.cols());
         for r in 0..a.rows() {
             for (o, &x) in out.row_mut(0).iter_mut().zip(a.row(r)) {
@@ -487,8 +665,8 @@ impl Var {
     /// reverse-symmetric embedding `[W_p h, W_p h_r]` (Eq. 15).
     pub fn concat_cols(&self, other: &Var) -> Var {
         self.same_tape(other);
-        let a = self.value();
-        let b = other.value();
+        let a = self.value_arc();
+        let b = other.value_arc();
         let out = a.concat_cols(&b);
         let (ia, ib) = (self.id, other.id);
         let split = a.cols();
@@ -504,8 +682,8 @@ impl Var {
     /// Vertical concatenation `a x d ++ b x d -> (a+b) x d`.
     pub fn concat_rows(&self, other: &Var) -> Var {
         self.same_tape(other);
-        let a = self.value();
-        let b = other.value();
+        let a = self.value_arc();
+        let b = other.value_arc();
         let out = a.concat_rows(&b);
         let (ia, ib) = (self.id, other.id);
         let split = a.rows();
@@ -520,7 +698,7 @@ impl Var {
 
     /// Copy of rows `[start, start+len)` with zero-padded gradient.
     pub fn slice_rows(&self, start: usize, len: usize) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let out = a.slice_rows(start, len);
         let (rows, cols) = a.shape();
         let ia = self.id;
@@ -538,7 +716,7 @@ impl Var {
 
     /// Copy of columns `[start, start+len)` with zero-padded gradient.
     pub fn slice_cols(&self, start: usize, len: usize) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let out = a.slice_cols(start, len);
         let (rows, cols) = a.shape();
         let ia = self.id;
@@ -564,7 +742,7 @@ impl Var {
     /// pass scatter-adds gradients into the embedding matrix, so repeated
     /// indices accumulate correctly.
     pub fn gather_rows(&self, indices: &[usize]) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let mut out = Tensor::zeros(indices.len(), a.cols());
         for (r, &ix) in indices.iter().enumerate() {
             assert!(ix < a.rows(), "gather index {ix} out of range {}", a.rows());
@@ -591,11 +769,11 @@ impl Var {
     /// row vector (the scale step of layer normalization).
     pub fn mul_row(&self, row: &Var) -> Var {
         self.same_tape(row);
-        let a = self.value();
-        let b = row.value();
+        let a = self.value_arc();
+        let b = row.value_arc();
         assert_eq!(b.rows(), 1, "mul_row expects a 1xd right operand");
         assert_eq!(a.cols(), b.cols(), "mul_row width mismatch");
-        let mut out = a.clone();
+        let mut out = (*a).clone();
         for r in 0..out.rows() {
             for (o, &x) in out.row_mut(r).iter_mut().zip(b.row(0)) {
                 *o *= x;
@@ -604,14 +782,7 @@ impl Var {
         let (ia, ib) = (self.id, row.id);
         self.tape().push(
             out,
-            Some(Box::new(move |g, grads| {
-                let mut ga = g.clone();
-                for r in 0..ga.rows() {
-                    for (o, &x) in ga.row_mut(r).iter_mut().zip(b.row(0)) {
-                        *o *= x;
-                    }
-                }
-                accumulate(grads, ia, ga);
+            Some(Box::new(move |mut g, grads| {
                 let mut gb = Tensor::zeros(1, g.cols());
                 for r in 0..g.rows() {
                     for c in 0..g.cols() {
@@ -619,6 +790,12 @@ impl Var {
                     }
                 }
                 accumulate(grads, ib, gb);
+                for r in 0..g.rows() {
+                    for (gg, &x) in g.row_mut(r).iter_mut().zip(b.row(0)) {
+                        *gg *= x;
+                    }
+                }
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -627,7 +804,7 @@ impl Var {
     /// `y = (x - mu) / sqrt(var + eps)` — the normalization core of
     /// LayerNorm, with the exact fused backward pass.
     pub fn standardize_rows(&self, eps: f32) -> Var {
-        let a = self.value();
+        let a = self.value_arc();
         let (rows, cols) = a.shape();
         assert!(cols > 0, "standardize_rows on zero-width input");
         let mut out = Tensor::zeros(rows, cols);
@@ -643,30 +820,25 @@ impl Var {
                 *o = (x - mu) * inv;
             }
         }
-        let y = out.clone();
+        let y = Arc::new(out);
+        let y_bw = Arc::clone(&y);
         let ia = self.id;
-        self.tape().push(
-            out,
-            Some(Box::new(move |g, grads| {
+        self.tape().push_arc(
+            y,
+            Some(Box::new(move |mut g, grads| {
                 // dx = inv_sigma * (g - mean(g) - y * mean(g * y)) per row
-                let mut gx = Tensor::zeros(g.rows(), g.cols());
                 let n = g.cols() as f32;
-                #[allow(clippy::needless_range_loop)]
-                for r in 0..g.rows() {
+                for (r, &inv) in inv_sigma.iter().enumerate() {
+                    let y_row = y_bw.row(r);
                     let g_row = g.row(r);
-                    let y_row = y.row(r);
                     let mean_g: f32 = g_row.iter().sum::<f32>() / n;
                     let mean_gy: f32 =
                         g_row.iter().zip(y_row).map(|(&gg, &yy)| gg * yy).sum::<f32>() / n;
-                    for c in 0..g.cols() {
-                        gx.set(
-                            r,
-                            c,
-                            inv_sigma[r] * (g_row[c] - mean_g - y_row[c] * mean_gy),
-                        );
+                    for (gg, &yy) in g.row_mut(r).iter_mut().zip(y_row) {
+                        *gg = inv * (*gg - mean_g - yy * mean_gy);
                     }
                 }
-                accumulate(grads, ia, gx);
+                accumulate(grads, ia, g);
             })),
         )
     }
@@ -738,6 +910,27 @@ mod tests {
     }
 
     #[test]
+    fn fused_add_row_relu_matches_unfused() {
+        let run = |fused: bool| -> (Tensor, Tensor, Tensor) {
+            let tape = Tape::new();
+            let px = Param::new(Tensor::from_vec(2, 3, vec![1.0, -2.0, 0.5, -0.5, 2.0, -3.0]));
+            let pb = Param::new(Tensor::row_vector(&[0.25, 1.0, -1.0]));
+            let x = tape.param(&px);
+            let b = tape.param(&pb);
+            let y = if fused { x.add_row_relu(&b) } else { x.add_row(&b).relu() };
+            let out = y.value();
+            y.sum_all().backward();
+            let grads = (out, px.borrow().grad.clone(), pb.borrow().grad.clone());
+            grads
+        };
+        let (yf, gxf, gbf) = run(true);
+        let (yu, gxu, gbu) = run(false);
+        assert_eq!(yf, yu);
+        assert_eq!(gxf, gxu);
+        assert_eq!(gbf, gbu);
+    }
+
+    #[test]
     fn tanh_gradient_matches_identity() {
         let tape = Tape::new();
         let p = Param::new(Tensor::scalar(0.5));
@@ -803,6 +996,43 @@ mod tests {
         let (p, v) = scalar_var(&tape, 1.5);
         // f = v + v  => df/dv = 2
         v.add(&v).backward();
+        assert!((p.borrow().grad.item() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_param_lookups_share_one_node() {
+        let tape = Tape::new();
+        let p = Param::new(Tensor::scalar(2.0));
+        let a = tape.param(&p);
+        let before = tape.len();
+        let b = tape.param(&p);
+        assert_eq!(tape.len(), before, "second lookup must not add a node");
+        // gradient still accumulates across both uses: f = p * p
+        a.mul(&b).backward();
+        assert!((p.borrow().grad.item() - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_arc_shares_the_buffer() {
+        let tape = Tape::new();
+        let t = Arc::new(Tensor::row_vector(&[1.0, 2.0]));
+        let v = tape.constant_arc(Arc::clone(&t));
+        assert!(Arc::ptr_eq(&t, &v.value_arc()));
+    }
+
+    #[test]
+    fn reset_clears_nodes_and_hooks() {
+        let tape = Tape::new();
+        let p = Param::new(Tensor::scalar(1.0));
+        let v = tape.param(&p);
+        v.square().sum_all().backward();
+        assert!(!tape.is_empty());
+        tape.reset();
+        assert!(tape.is_empty());
+        // a fresh recording on the same tape works and re-hooks the param
+        p.zero_grad();
+        let v2 = tape.param(&p);
+        v2.square().sum_all().backward(); // d/dp p^2 = 2
         assert!((p.borrow().grad.item() - 2.0).abs() < 1e-6);
     }
 

@@ -8,6 +8,79 @@
 
 use std::fmt;
 
+/// Dot product of two equal-length slices over eight independent
+/// accumulator lanes. A single-accumulator reduction is a serial
+/// dependency chain the compiler must not reorder (float addition is not
+/// associative), so it executes one scalar FMA per cycle at best; eight
+/// explicit lanes give the auto-vectorizer a legal width-8 reduction.
+/// The lane combination order is fixed, so results are deterministic.
+#[inline]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let av = &a[c * 8..c * 8 + 8];
+        let bv = &b[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            lanes[l] += av[l] * bv[l];
+        }
+    }
+    let mut sum = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+    for k in chunks * 8..a.len() {
+        sum += a[k] * b[k];
+    }
+    sum
+}
+
+/// Maximum of a slice over eight independent lanes (serial `fold` with
+/// `f32::max` is a latency chain; max is order-independent so laning is
+/// exact, not just deterministic).
+#[inline]
+fn max_lanes(v: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    let chunks = v.len() / 8;
+    for c in 0..chunks {
+        let cv = &v[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            lanes[l] = lanes[l].max(cv[l]);
+        }
+    }
+    let mut m = lanes.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    for &x in &v[chunks * 8..] {
+        m = m.max(x);
+    }
+    m
+}
+
+/// Branch-free `exp` with ~3e-7 relative error, written so the
+/// auto-vectorizer can apply it lane-wise across a row (`f32::exp` calls
+/// into libm and keeps softmax scalar). Splits `x = k ln2 + f` with
+/// `|f| <= ln2 / 2` and evaluates a degree-5 Taylor polynomial for
+/// `e^f`, then scales by `2^k` through the exponent bits. Deterministic;
+/// inputs are clamped to the finite range so the bit shift cannot
+/// overflow.
+#[inline]
+fn exp_approx(x: f32) -> f32 {
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    const LN_2: f32 = std::f32::consts::LN_2;
+    // Round-to-nearest without `floor()`: on baseline x86-64 (SSE2)
+    // `f32::floor` is a libm call, which would block vectorization of
+    // every caller loop. Adding and subtracting 1.5 * 2^23 snaps the
+    // value to an integer via the float rounding mode; exact for
+    // |t| < 2^22, and t = x log2(e) is within [-126, 127] here.
+    const MAGIC: f32 = 12_582_912.0;
+    let x = x.clamp(-87.0, 88.0);
+    let k = (x * LOG2_E + MAGIC) - MAGIC;
+    let f = x - k * LN_2;
+    // e^f for |f| <= ln2/2 ~ 0.347: degree-5 Taylor, max rel. err ~2e-7.
+    let p = 1.0
+        + f * (1.0 + f * (0.5 + f * (1.0 / 6.0 + f * (1.0 / 24.0 + f * (1.0 / 120.0)))));
+    let scale = f32::from_bits(((k as i32 + 127) as u32) << 23);
+    scale * p
+}
+
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
@@ -196,31 +269,95 @@ impl Tensor {
 
     /// Matrix multiplication `self (n x m) * other (m x p) -> n x p`.
     ///
-    /// A straightforward ikj-ordered kernel; the inner loop is over
-    /// contiguous memory in both the right operand and the output, which
-    /// lets LLVM vectorize it.
+    /// Blocked ikj kernel: the reduction dimension is tiled so the active
+    /// rows of the right operand stay resident in L1/L2 across all rows
+    /// of the output, and the inner loop runs over contiguous memory in
+    /// both the right operand and the output, which lets LLVM vectorize
+    /// it. For a fixed output cell, contributions are accumulated in
+    /// ascending `k` regardless of the tile size, so results are
+    /// bit-identical to the untiled kernel.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        // Tile height of the right-operand panel; 64 rows of up to ~256
+        // f32 columns keep the panel within a typical 64 KiB L1.
+        const KC: usize = 64;
         let (n, m, p) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * p];
-        for i in 0..n {
-            let a_row = &self.data[i * m..(i + 1) * m];
-            let out_row = &mut out[i * p..(i + 1) * p];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * p..(k + 1) * p];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        for kb in (0..m).step_by(KC) {
+            let kend = (kb + KC).min(m);
+            for i in 0..n {
+                let a_row = &self.data[i * m + kb..i * m + kend];
+                let out_row = &mut out[i * p..(i + 1) * p];
+                for (k, &a) in a_row.iter().enumerate() {
+                    let b_row = &other.data[(kb + k) * p..(kb + k + 1) * p];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
         Tensor { rows: n, cols: p, data: out }
+    }
+
+    /// `self (n x m) * other^T (m x p, given as p x m) -> n x p`.
+    ///
+    /// The right operand is supplied already transposed (packed row-major
+    /// by output column), turning every output cell into a dot product of
+    /// two contiguous rows. This is the backward-pass kernel for
+    /// `dL/dA = G * B^T` (and the attention-score kernel `Q * K^T`): it
+    /// reads `B` directly instead of materializing `B^T` on every call.
+    /// Each dot product reduces over eight independent lanes (see
+    /// [`dot_lanes`]) so the reduction vectorizes; the result is
+    /// deterministic but may differ from `self.matmul(&other_t.transpose())`
+    /// in the last ulp because the summation groups differently.
+    pub fn matmul_transposed(&self, other_t: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other_t.cols,
+            "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other_t.rows, other_t.cols
+        );
+        let (n, m, p) = (self.rows, self.cols, other_t.rows);
+        let mut out = vec![0.0f32; n * p];
+        for i in 0..n {
+            let a_row = &self.data[i * m..(i + 1) * m];
+            let out_row = &mut out[i * p..(i + 1) * p];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot_lanes(a_row, &other_t.data[j * m..(j + 1) * m]);
+            }
+        }
+        Tensor { rows: n, cols: p, data: out }
+    }
+
+    /// `self^T (m x n, given as n x m) * other (n x p) -> m x p`.
+    ///
+    /// The left operand is read directly in its untransposed layout via
+    /// outer-product accumulation (for each shared row `i`, `out[k] +=
+    /// a[i][k] * g[i]`), so the backward-pass kernel for `dL/dB = A^T * G`
+    /// never materializes `A^T`. Contributions accumulate in ascending
+    /// `i`, matching `self.transpose().matmul(other)` bit for bit.
+    pub fn transposed_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "transposed_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, m, p) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * p];
+        for i in 0..n {
+            let a_row = &self.data[i * m..(i + 1) * m];
+            let g_row = &other.data[i * p..(i + 1) * p];
+            for (k, &a) in a_row.iter().enumerate() {
+                let out_row = &mut out[k * p..(k + 1) * p];
+                for (o, &g) in out_row.iter_mut().zip(g_row) {
+                    *o += a * g;
+                }
+            }
+        }
+        Tensor { rows: m, cols: p, data: out }
     }
 
     /// Transposed copy.
@@ -302,19 +439,36 @@ impl Tensor {
     }
 
     /// Row-wise softmax.
+    ///
+    /// Attention computes a softmax over every `n x n` score matrix, so
+    /// this kernel avoids the two scalar-latency traps of the naive
+    /// loop: libm `exp` (replaced by the vectorizable [`exp_approx`],
+    /// ~3e-7 relative error) and serial max/sum reduction chains
+    /// (replaced by eight-lane folds like [`dot_lanes`]).
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
         for r in 0..out.rows {
             let row = out.row_mut(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
+            let max = max_lanes(row);
+            let mut sum_acc = [0.0f32; 8];
+            let chunks = row.len() / 8;
+            for c in 0..chunks {
+                let v = &mut row[c * 8..c * 8 + 8];
+                for l in 0..8 {
+                    v[l] = exp_approx(v[l] - max);
+                    sum_acc[l] += v[l];
+                }
+            }
+            let mut sum = ((sum_acc[0] + sum_acc[4]) + (sum_acc[2] + sum_acc[6]))
+                + ((sum_acc[1] + sum_acc[5]) + (sum_acc[3] + sum_acc[7]));
+            for x in &mut row[chunks * 8..] {
+                *x = exp_approx(*x - max);
                 sum += *x;
             }
             if sum > 0.0 {
+                let inv = 1.0 / sum;
                 for x in row.iter_mut() {
-                    *x /= sum;
+                    *x *= inv;
                 }
             }
         }
@@ -386,6 +540,80 @@ mod tests {
         let a = Tensor::from_vec(2, 2, vec![3.0, -1.0, 2.0, 5.0]);
         let id = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
         assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.7 - 3.0).collect());
+        let b = Tensor::from_vec(4, 5, (0..20).map(|i| (i as f32).sin()).collect());
+        let direct = a.matmul(&b);
+        let packed = a.matmul_transposed(&b.transpose());
+        assert!(
+            direct.max_abs_diff(&packed) < 1e-5,
+            "packed kernel must match the plain matmul (lane reduction \
+             may differ in the last ulp)"
+        );
+    }
+
+    #[test]
+    fn lane_dot_reduces_long_rows_correctly() {
+        // 67 elements: 8 full lanes-of-8 plus a 3-element tail.
+        let a = Tensor::from_vec(1, 67, (0..67).map(|i| (i as f32 * 0.37).sin()).collect());
+        let b = Tensor::from_vec(1, 67, (0..67).map(|i| (i as f32 * 0.11).cos()).collect());
+        let got = a.matmul_transposed(&b).get(0, 0) as f64;
+        let want: f64 = (0..67)
+            .map(|i| a.get(0, i) as f64 * b.get(0, i) as f64)
+            .sum();
+        assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+    }
+
+    #[test]
+    fn softmax_exp_is_close_to_libm() {
+        // softmax built on exp_approx must stay within float tolerance
+        // of the libm-exp reference across a wide input range.
+        let vals: Vec<f32> = (-60..=60).map(|i| i as f32 * 0.7).collect();
+        let n = vals.len();
+        let t = Tensor::from_vec(1, n, vals.clone());
+        let s = t.softmax_rows();
+        let max = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = vals.iter().map(|&v| ((v - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        for (i, e) in exps.iter().enumerate() {
+            let want = (e / sum) as f32;
+            assert!(
+                (s.get(0, i) - want).abs() <= 2e-6 * want.max(1e-3),
+                "softmax[{i}] = {} vs libm {}",
+                s.get(0, i),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_matmul_matches_explicit_transpose() {
+        let a = Tensor::from_vec(5, 3, (0..15).map(|i| (i as f32).cos()).collect());
+        let g = Tensor::from_vec(5, 4, (0..20).map(|i| i as f32 * 0.1 - 1.0).collect());
+        let direct = a.transpose().matmul(&g);
+        let fused = a.transposed_matmul(&g);
+        assert_eq!(direct, fused, "outer-product kernel must be bit-identical");
+    }
+
+    #[test]
+    fn matmul_blocking_covers_tall_reductions() {
+        // Reduction dimension longer than one tile exercises the k-blocking.
+        let a = Tensor::from_vec(2, 150, (0..300).map(|i| ((i % 7) as f32) - 3.0).collect());
+        let b = Tensor::from_vec(150, 3, (0..450).map(|i| ((i % 5) as f32) * 0.25).collect());
+        let c = a.matmul(&b);
+        // reference: naive triple loop in f64 for a tight tolerance
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut acc = 0.0f64;
+                for k in 0..150 {
+                    acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+                }
+                assert!((c.get(i, j) as f64 - acc).abs() < 1e-3);
+            }
+        }
     }
 
     #[test]
