@@ -2,16 +2,28 @@
 # Full verification gate: release build, all tests, lint-clean.
 # CI and pre-merge both run exactly this.
 #
-#   ./check.sh         full gate
-#   ./check.sh bench   perf smoke only: times the training hot paths and
-#                      regenerates BENCH_pr2.json for commit-to-commit
-#                      perf comparison
+#   ./check.sh          full gate
+#   ./check.sh bench    perf smoke only: times the training hot paths and
+#                       regenerates BENCH_pr2.json for commit-to-commit
+#                       perf comparison
+#   ./check.sh engine   serving-layer suite only: traj-engine unit tests
+#                       plus the parity / incremental / snapshot
+#                       integration suite
 set -euo pipefail
 cd "$(dirname "$0")"
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf smoke (writes BENCH_pr2.json)"
     cargo run --release -p traj-bench --bin perf_smoke
+    exit 0
+fi
+
+if [[ "${1:-}" == "engine" ]]; then
+    echo "==> cargo test -p traj-engine"
+    cargo test -q -p traj-engine
+    echo "==> cargo test --test engine_parity"
+    cargo test -q --test engine_parity
+    echo "Engine checks passed."
     exit 0
 fi
 

@@ -183,34 +183,61 @@ pub struct Checkpoint {
     pub recoveries: Vec<RecoveryEvent>,
 }
 
-struct Writer(Vec<u8>);
+/// Little-endian payload builder for the container format.
+///
+/// Shared by the trainer checkpoints here and the engine snapshots in
+/// `traj-engine`; any other serialized artifact should build on it too
+/// so every on-disk format gets the same header + CRC discipline.
+#[derive(Default)]
+pub struct PayloadWriter(Vec<u8>);
 
-impl Writer {
-    fn u8(&mut self, v: u8) {
+impl PayloadWriter {
+    /// Starts an empty payload.
+    pub fn new() -> Self {
+        PayloadWriter(Vec::new())
+    }
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn u64(&mut self, v: u64) {
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn f32(&mut self, v: f32) {
+    /// Appends a little-endian `f32`.
+    pub fn f32(&mut self, v: f32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    /// Appends a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn bytes(&mut self, v: &[u8]) {
+    /// Appends a `u64` length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
         self.u64(v.len() as u64);
         self.0.extend_from_slice(v);
     }
+    /// Consumes the writer, yielding the payload bytes.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.0
+    }
 }
 
-struct Reader<'a> {
+/// Strict cursor over a validated payload. Every accessor fails with
+/// [`CheckpointError::Malformed`] instead of panicking or reading
+/// out of bounds.
+pub struct PayloadReader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+impl<'a> PayloadReader<'a> {
+    /// Starts reading at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        PayloadReader { bytes, pos: 0 }
+    }
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         if self.pos + n > self.bytes.len() {
             return Err(CheckpointError::Malformed(format!(
                 "field at offset {} needs {n} bytes, {} remain",
@@ -222,19 +249,26 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn f32(&mut self) -> Result<f32, CheckpointError> {
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, CheckpointError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn f64(&mut self) -> Result<f64, CheckpointError> {
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn len_prefix(&mut self, elem_size: usize) -> Result<usize, CheckpointError> {
+    /// Reads a `u64` element count for a vector of `elem_size`-byte
+    /// elements, rejecting counts that could not possibly fit in the
+    /// payload before the caller allocates.
+    pub fn len_prefix(&mut self, elem_size: usize) -> Result<usize, CheckpointError> {
         let n = self.u64()? as usize;
         // Reject absurd lengths before allocating.
         if n.saturating_mul(elem_size.max(1)) > self.bytes.len() {
@@ -244,16 +278,81 @@ impl<'a> Reader<'a> {
         }
         Ok(n)
     }
-    fn blob(&mut self) -> Result<Vec<u8>, CheckpointError> {
+    /// Reads a length-prefixed byte blob (inverse of
+    /// [`PayloadWriter::bytes`]).
+    pub fn blob(&mut self) -> Result<Vec<u8>, CheckpointError> {
         let n = self.len_prefix(1)?;
         Ok(self.take(n)?.to_vec())
     }
+    /// Fails unless every payload byte has been consumed — trailing
+    /// garbage means the payload does not have the layout the caller
+    /// thinks it has.
+    pub fn expect_end(&self) -> Result<(), CheckpointError> {
+        if self.pos != self.bytes.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Wraps `payload` in the standard container: `magic`, `version`, a
+/// `u64` payload length, and the payload's CRC-32, followed by the
+/// payload itself.
+pub fn encode_container(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a container end-to-end — magic, version range, length,
+/// checksum — and returns `(version, payload)` without copying.
+///
+/// Accepted versions are `1..=max_version`; anything else is
+/// [`CheckpointError::UnsupportedVersion`]. A wrong magic is
+/// [`CheckpointError::BadMagic`] — the file belongs to some other
+/// format (or to none), so no further validation is attempted.
+pub fn decode_container<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 8],
+    max_version: u32,
+) -> Result<(u32, &'a [u8]), CheckpointError> {
+    if bytes.len() < magic.len() + 4 + 8 + 4 {
+        return Err(CheckpointError::TooShort);
+    }
+    if &bytes[..8] != magic {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version == 0 || version > max_version {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let payload = &bytes[24..];
+    if payload.len() as u64 != payload_len {
+        return Err(CheckpointError::LengthMismatch {
+            expected: payload_len,
+            got: payload.len() as u64,
+        });
+    }
+    let got_crc = crc32(payload);
+    if got_crc != stored_crc {
+        return Err(CheckpointError::ChecksumMismatch { expected: stored_crc, got: got_crc });
+    }
+    Ok((version, payload))
 }
 
 impl Checkpoint {
     /// Encodes the checkpoint: header + checksummed payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::new());
+        let mut w = PayloadWriter::new();
         w.u64(self.epoch as u64);
         w.u64(self.adam_steps);
         w.u64(self.triplet_cursor as u64);
@@ -290,42 +389,13 @@ impl Checkpoint {
             w.u64(r.restored_epoch as u64);
             w.f32(r.lr_after);
         }
-        let payload = w.0;
-        let mut out = Vec::with_capacity(payload.len() + 24);
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&crc32(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        encode_container(MAGIC, VERSION, &w.into_payload())
     }
 
     /// Decodes and fully validates a checkpoint blob.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
-        if bytes.len() < MAGIC.len() + 4 + 8 + 4 {
-            return Err(CheckpointError::TooShort);
-        }
-        if &bytes[..8] != MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version == 0 || version > VERSION {
-            return Err(CheckpointError::UnsupportedVersion(version));
-        }
-        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-        let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
-        let payload = &bytes[24..];
-        if payload.len() as u64 != payload_len {
-            return Err(CheckpointError::LengthMismatch {
-                expected: payload_len,
-                got: payload.len() as u64,
-            });
-        }
-        let got_crc = crc32(payload);
-        if got_crc != stored_crc {
-            return Err(CheckpointError::ChecksumMismatch { expected: stored_crc, got: got_crc });
-        }
-        let mut r = Reader { bytes: payload, pos: 0 };
+        let (_, payload) = decode_container(bytes, MAGIC, VERSION)?;
+        let mut r = PayloadReader::new(payload);
         let epoch = r.u64()? as usize;
         let adam_steps = r.u64()?;
         let triplet_cursor = r.u64()? as usize;
@@ -364,12 +434,7 @@ impl Checkpoint {
             let lr_after = r.f32()?;
             recoveries.push(RecoveryEvent { epoch, kind, loss, restored_epoch, lr_after });
         }
-        if r.pos != payload.len() {
-            return Err(CheckpointError::Malformed(format!(
-                "{} trailing payload bytes",
-                payload.len() - r.pos
-            )));
-        }
+        r.expect_end()?;
         Ok(Checkpoint {
             epoch,
             adam_steps,

@@ -50,7 +50,7 @@ pub mod trainer;
 pub use checkpoint::{Checkpoint, CheckpointError, RecoveryEvent, RecoveryKind};
 pub use config::{ModelConfig, Readout, TrainConfig};
 pub use error::TrainError;
-pub use model::{ModelContext, Traj2Hash};
+pub use model::{ModelContext, ModelSpec, Traj2Hash};
 pub use trainer::{
     train, train_with_hooks, validation_hr10, TrainData, TrainHooks, TrainReport,
 };

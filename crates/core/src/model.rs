@@ -108,6 +108,16 @@ impl Traj2Hash {
         model
     }
 
+    /// Rebuilds a model from a [`ModelSpec`] plus a serialized parameter
+    /// blob as produced by [`Traj2Hash::save_bytes`] — the cold-start
+    /// path of engine snapshots, where parameter values arrive from disk
+    /// rather than from a live `ParamSet`.
+    pub fn from_spec_bytes(spec: &ModelSpec, params_blob: &[u8]) -> Result<Self, String> {
+        let model = Self::build(spec.cfg.clone(), spec.norm, spec.grid.clone(), spec.beta, 0);
+        model.load_bytes(params_blob)?;
+        Ok(model)
+    }
+
     /// The `Send + Sync` replication spec for this model (see
     /// [`Traj2Hash::from_spec`]).
     pub fn spec(&self) -> ModelSpec {

@@ -8,6 +8,7 @@
 
 use crate::measure::Measure;
 use traj_data::Trajectory;
+use traj_index::{top_k_hits, Hit};
 
 /// A symmetric `n x n` matrix of pairwise distances.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,25 +64,17 @@ impl DistanceMatrix {
     /// diagonal — the exact top-k neighbours used as ground truth,
     /// ordered nearest first.
     ///
-    /// Uses `select_nth_unstable_by` for O(n) selection instead of a
-    /// full O(n log n) sort, then orders only the selected prefix.
-    /// Comparisons use `f64::total_cmp`, which is a total order even in
-    /// the presence of NaN (NaN sorts after every number, so poisoned
-    /// distances can never be ranked "nearest" the way the previous
-    /// `partial_cmp().unwrap_or(Equal)` comparator allowed).
+    /// Delegates to the shared NaN-sound selection helper
+    /// [`traj_index::top_k_hits`]: O(n) selection, `f64::total_cmp`
+    /// ordering (NaN sorts after every number, so poisoned distances can
+    /// never be ranked "nearest"), and deterministic ascending-index
+    /// tie-breaking among equal distances.
     pub fn top_k_row(&self, i: usize, k: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.n).filter(|&j| j != i).collect();
-        let cmp = |&a: &usize, &b: &usize| self.get(i, a).total_cmp(&self.get(i, b));
-        if k == 0 || idx.is_empty() {
-            idx.clear();
-            return idx;
-        }
-        if k < idx.len() {
-            idx.select_nth_unstable_by(k - 1, cmp);
-            idx.truncate(k);
-        }
-        idx.sort_unstable_by(cmp);
-        idx
+        let hits: Vec<Hit> = (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| Hit { index: j, distance: self.get(i, j) })
+            .collect();
+        top_k_hits(hits, k).into_iter().map(|h| h.index).collect()
     }
 }
 

@@ -1,0 +1,308 @@
+//! The `AnnIndex` trait: one interface over every top-k structure.
+//!
+//! The engine talks to its indexes exclusively through this trait, so
+//! exchanging a `HammingTable` for `MultiIndexHashing`, a `VpTree` for a
+//! brute-force scan — or a future structure entirely — never touches the
+//! query path. Queries arrive as a [`QueryRep`] because the two search
+//! spaces have incompatible inputs: the Euclidean structures need the
+//! dense embedding `h_f` (Eq. 15), the Hamming structures the packed
+//! code `sign(h_f)` (Eq. 16).
+
+use traj_index::{
+    euclidean_top_k, hamming_top_k, BinaryCode, HammingTable, Hit, MultiIndexHashing,
+    SearchError, VpTree,
+};
+
+/// A query in one of the two representations the engine produces.
+#[derive(Debug, Clone, Copy)]
+pub enum QueryRep<'a> {
+    /// The dense Euclidean embedding `h_f`.
+    Dense(&'a [f32]),
+    /// The packed binary code `sign(h_f)`.
+    Code(&'a BinaryCode),
+}
+
+impl QueryRep<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            QueryRep::Dense(_) => "dense",
+            QueryRep::Code(_) => "code",
+        }
+    }
+}
+
+/// Which space an index searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Euclidean distance over dense embeddings.
+    Euclidean,
+    /// Hamming distance over binary codes.
+    Hamming,
+}
+
+/// An exact (or exact-within-radius) top-k index over a frozen slice of
+/// the corpus. Hits are slot indices into that slice.
+pub trait AnnIndex: Send + Sync {
+    /// The space this index searches.
+    fn kind(&self) -> IndexKind;
+    /// Number of indexed entries.
+    fn len(&self) -> usize;
+    /// True when nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The k nearest entries to `query`, nearest first with ascending
+    /// index tie-breaking. A query in the wrong representation fails
+    /// with [`SearchError::RepresentationMismatch`]; width mismatches
+    /// fail with [`SearchError::WidthMismatch`].
+    fn search(&self, query: QueryRep<'_>, k: usize) -> Result<Vec<Hit>, SearchError>;
+}
+
+fn wrong_rep(expected: &'static str, got: QueryRep<'_>) -> SearchError {
+    SearchError::RepresentationMismatch { expected, got: got.name() }
+}
+
+/// Brute-force Euclidean scan behind the [`AnnIndex`] interface — the
+/// always-correct fallback every other Euclidean structure is measured
+/// against.
+pub struct BruteForceEuclidean {
+    data: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl BruteForceEuclidean {
+    /// Wraps the embeddings, rejecting mixed widths (a scan over those
+    /// would silently compare truncated vectors).
+    pub fn new(data: Vec<Vec<f32>>) -> Result<Self, SearchError> {
+        let dim = data.first().map(Vec::len).unwrap_or(0);
+        for (i, v) in data.iter().enumerate() {
+            if v.len() != dim {
+                return Err(SearchError::InconsistentCodes {
+                    position: i,
+                    expected: dim,
+                    got: v.len(),
+                });
+            }
+        }
+        Ok(BruteForceEuclidean { data, dim })
+    }
+}
+
+impl AnnIndex for BruteForceEuclidean {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Euclidean
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn search(&self, query: QueryRep<'_>, k: usize) -> Result<Vec<Hit>, SearchError> {
+        let QueryRep::Dense(q) = query else {
+            return Err(wrong_rep("dense", query));
+        };
+        if self.data.is_empty() {
+            return Ok(Vec::new());
+        }
+        if q.len() != self.dim {
+            return Err(SearchError::WidthMismatch { query: q.len(), index: self.dim });
+        }
+        Ok(euclidean_top_k(&self.data, q, k))
+    }
+}
+
+/// Brute-force Hamming scan behind the [`AnnIndex`] interface.
+pub struct BruteForceHamming {
+    codes: Vec<BinaryCode>,
+    bits: usize,
+}
+
+impl BruteForceHamming {
+    /// Wraps the codes, rejecting mixed widths.
+    pub fn new(codes: Vec<BinaryCode>) -> Result<Self, SearchError> {
+        let bits = codes.first().map(|c| c.len()).unwrap_or(0);
+        for (i, c) in codes.iter().enumerate() {
+            if c.len() != bits {
+                return Err(SearchError::InconsistentCodes {
+                    position: i,
+                    expected: bits,
+                    got: c.len(),
+                });
+            }
+        }
+        Ok(BruteForceHamming { codes, bits })
+    }
+}
+
+impl AnnIndex for BruteForceHamming {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hamming
+    }
+
+    fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    fn search(&self, query: QueryRep<'_>, k: usize) -> Result<Vec<Hit>, SearchError> {
+        let QueryRep::Code(q) = query else {
+            return Err(wrong_rep("code", query));
+        };
+        if self.codes.is_empty() {
+            return Ok(Vec::new());
+        }
+        if q.len() != self.bits {
+            return Err(SearchError::WidthMismatch { query: q.len(), index: self.bits });
+        }
+        Ok(hamming_top_k(&self.codes, q, k))
+    }
+}
+
+impl AnnIndex for HammingTable {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hamming
+    }
+
+    fn len(&self) -> usize {
+        HammingTable::len(self)
+    }
+
+    /// The Hamming-Hybrid strategy: radius-2 table lookup with
+    /// brute-force fallback when the ball holds fewer than `k`.
+    fn search(&self, query: QueryRep<'_>, k: usize) -> Result<Vec<Hit>, SearchError> {
+        let QueryRep::Code(q) = query else {
+            return Err(wrong_rep("code", query));
+        };
+        self.hybrid_top_k(q, k)
+    }
+}
+
+impl AnnIndex for MultiIndexHashing {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hamming
+    }
+
+    fn len(&self) -> usize {
+        MultiIndexHashing::len(self)
+    }
+
+    fn search(&self, query: QueryRep<'_>, k: usize) -> Result<Vec<Hit>, SearchError> {
+        let QueryRep::Code(q) = query else {
+            return Err(wrong_rep("code", query));
+        };
+        self.top_k(q, k)
+    }
+}
+
+impl AnnIndex for VpTree {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Euclidean
+    }
+
+    fn len(&self) -> usize {
+        VpTree::len(self)
+    }
+
+    fn search(&self, query: QueryRep<'_>, k: usize) -> Result<Vec<Hit>, SearchError> {
+        let QueryRep::Dense(q) = query else {
+            return Err(wrong_rep("dense", query));
+        };
+        if self.is_empty() {
+            return Ok(Vec::new());
+        }
+        if q.len() != self.dim() {
+            return Err(SearchError::WidthMismatch { query: q.len(), index: self.dim() });
+        }
+        Ok(self.top_k(q, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embeddings() -> Vec<Vec<f32>> {
+        // Irrational-ish spacing keeps pairwise distances tie-free, so
+        // index order is fully determined and comparisons are exact.
+        (0..40u32)
+            .map(|i| {
+                vec![i as f32 * 1.37, (i * i % 83) as f32 * 0.51, (i % 7) as f32 * 2.31]
+            })
+            .collect()
+    }
+
+    fn codes() -> Vec<BinaryCode> {
+        embeddings()
+            .iter()
+            .map(|e| {
+                BinaryCode::from_floats(&e.iter().map(|x| x - 10.0).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_agrees_with_its_direct_path() {
+        let embs = embeddings();
+        let q = vec![3.0f32, 35.0, 2.0];
+        let bf = BruteForceEuclidean::new(embs.clone()).unwrap();
+        let vp = VpTree::build(embs.clone());
+        let want = euclidean_top_k(&embs, &q, 5);
+        assert_eq!(bf.search(QueryRep::Dense(&q), 5).unwrap(), want);
+        assert_eq!(vp.search(QueryRep::Dense(&q), 5).unwrap(), want);
+
+        let cs = codes();
+        let qc = cs[3].clone();
+        let bh = BruteForceHamming::new(cs.clone()).unwrap();
+        let mih = MultiIndexHashing::try_build(cs.clone(), 2).unwrap();
+        let want = hamming_top_k(&cs, &qc, 5);
+        assert_eq!(bh.search(QueryRep::Code(&qc), 5).unwrap(), want);
+        assert_eq!(mih.search(QueryRep::Code(&qc), 5).unwrap(), want);
+    }
+
+    #[test]
+    fn wrong_representation_is_a_typed_error() {
+        let bf = BruteForceEuclidean::new(embeddings()).unwrap();
+        let qc = BinaryCode::zeros(3);
+        assert_eq!(
+            bf.search(QueryRep::Code(&qc), 1),
+            Err(SearchError::RepresentationMismatch { expected: "dense", got: "code" })
+        );
+        let bh = BruteForceHamming::new(codes()).unwrap();
+        assert_eq!(
+            bh.search(QueryRep::Dense(&[0.0; 3]), 1),
+            Err(SearchError::RepresentationMismatch { expected: "code", got: "dense" })
+        );
+    }
+
+    #[test]
+    fn width_mismatch_is_a_typed_error() {
+        let bf = BruteForceEuclidean::new(embeddings()).unwrap();
+        assert_eq!(
+            bf.search(QueryRep::Dense(&[0.0; 5]), 1),
+            Err(SearchError::WidthMismatch { query: 5, index: 3 })
+        );
+        let vp = VpTree::build(embeddings());
+        assert_eq!(
+            vp.search(QueryRep::Dense(&[0.0; 5]), 1),
+            Err(SearchError::WidthMismatch { query: 5, index: 3 })
+        );
+    }
+
+    #[test]
+    fn mixed_widths_rejected_at_build() {
+        let mut embs = embeddings();
+        embs.push(vec![0.0; 9]);
+        assert!(BruteForceEuclidean::new(embs).is_err());
+        let mut cs = codes();
+        cs.push(BinaryCode::zeros(64));
+        assert!(BruteForceHamming::new(cs).is_err());
+    }
+
+    #[test]
+    fn empty_backends_answer_with_nothing() {
+        let bf = BruteForceEuclidean::new(Vec::new()).unwrap();
+        assert!(bf.is_empty());
+        assert!(bf.search(QueryRep::Dense(&[1.0]), 3).unwrap().is_empty());
+        let bh = BruteForceHamming::new(Vec::new()).unwrap();
+        assert!(bh.search(QueryRep::Code(&BinaryCode::zeros(8)), 3).unwrap().is_empty());
+    }
+}

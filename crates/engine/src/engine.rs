@@ -1,0 +1,653 @@
+//! The `Traj2HashEngine` facade.
+//!
+//! Owns the full serving state — trained model, corpus, dense
+//! embeddings (Eq. 15), packed binary codes (Eq. 16), and the search
+//! structures — behind one typed `query` entry point covering all five
+//! strategies of Section V-E, plus incremental `insert`/`remove` and
+//! checksummed snapshots.
+//!
+//! ## Generations and tombstones
+//!
+//! The index structures are immutable once built, so mutation is layered
+//! on top of them instead of into them:
+//!
+//! * every trajectory gets a monotonically increasing stable id; slots
+//!   are stored in id order, so slot order == id order forever
+//!   (compaction preserves relative order, and new ids only append);
+//! * `insert` appends to a **delta** region past `indexed_len` that
+//!   queries scan linearly — exactness is preserved because the delta
+//!   is searched with the same metric and merged through the shared
+//!   top-k helper;
+//! * `remove` marks a **tombstone**; indexed queries over-fetch
+//!   `k + dead_in_indexed` and filter, which still yields the exact
+//!   live top-k because the structures are exact and total order on
+//!   `(distance, slot)` is unchanged by deletion;
+//! * when the delta or tombstone count crosses the configured
+//!   thresholds the engine **rebuilds**: compacts live entries in
+//!   order, bumps the generation, and re-indexes everything.
+//!
+//! Index build failures never poison the engine: it degrades to
+//! linear scans (the whole corpus becomes "delta") until a later
+//! rebuild succeeds.
+
+use crate::ann::{AnnIndex, QueryRep};
+use crate::error::EngineError;
+use crate::snapshot;
+use std::path::Path;
+use traj_data::Trajectory;
+use traj_index::search::Hit as SlotHit;
+use traj_index::topk::top_k_hits;
+use traj_index::{BinaryCode, HammingTable, MultiIndexHashing, VpTree};
+use traj2hash::Traj2Hash;
+
+/// A search strategy of Section V-E.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Brute-force scan in the Euclidean embedding space (the paper's
+    /// `Euclidean-BF`) — or the configured Euclidean index.
+    EuclideanBf,
+    /// Brute-force scan in Hamming space (`Hamming-BF`).
+    HammingBf,
+    /// Radius-2 hash-table lookup (`Hamming-Table`). Honest about empty
+    /// balls: may return fewer than `k` hits.
+    Table,
+    /// Multi-index hashing: exact Hamming k-NN via substring pigeonhole.
+    Mih,
+    /// `Hamming-Hybrid`: table lookup first, full scan only when the
+    /// radius-2 ball holds fewer than `k`.
+    Hybrid,
+}
+
+impl Strategy {
+    /// All strategies, for exhaustive tests and benchmarks.
+    pub const ALL: [Strategy; 5] =
+        [Strategy::EuclideanBf, Strategy::HammingBf, Strategy::Table, Strategy::Mih, Strategy::Hybrid];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::EuclideanBf => "Euclidean-BF",
+            Strategy::HammingBf => "Hamming-BF",
+            Strategy::Table => "Hamming-Table",
+            Strategy::Mih => "Hamming-MIH",
+            Strategy::Hybrid => "Hamming-Hybrid",
+        }
+    }
+}
+
+/// Which structure serves `Strategy::EuclideanBf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EuclideanBackend {
+    /// Plain scan — bit-identical to `euclidean_top_k`, the default.
+    BruteForce,
+    /// VP-tree with triangle-inequality pruning. Exact in distances;
+    /// under exact distance ties it may return a different (equally
+    /// near) id than the scan.
+    VpTree,
+}
+
+/// Engine construction and maintenance knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Substring tables for the MIH index.
+    pub mih_tables: usize,
+    /// Structure behind `Strategy::EuclideanBf`.
+    pub euclidean_backend: EuclideanBackend,
+    /// Worker threads for bulk encoding at build time.
+    pub encode_threads: usize,
+    /// Minimum delta/tombstone count before an automatic rebuild can
+    /// trigger — absorbs churn on small corpora. `usize::MAX`
+    /// effectively disables automatic rebuilds.
+    pub rebuild_slack: usize,
+    /// Rebuild when un-indexed inserts exceed this fraction of the
+    /// indexed region (and `rebuild_slack`).
+    pub max_delta_fraction: f64,
+    /// Rebuild when tombstones exceed this fraction of all slots (and
+    /// `rebuild_slack`).
+    pub max_dead_fraction: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mih_tables: 4,
+            euclidean_backend: EuclideanBackend::BruteForce,
+            encode_threads: 1,
+            rebuild_slack: 64,
+            max_delta_fraction: 0.25,
+            max_dead_fraction: 0.25,
+        }
+    }
+}
+
+impl EngineConfig {
+    pub(crate) fn validate(&self) -> Result<(), EngineError> {
+        if self.mih_tables == 0 {
+            return Err(EngineError::InvalidConfig("mih_tables must be > 0".into()));
+        }
+        for (name, v) in [
+            ("max_delta_fraction", self.max_delta_fraction),
+            ("max_dead_fraction", self.max_dead_fraction),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(EngineError::InvalidConfig(format!(
+                    "{name} must be finite and > 0, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A search result: the stable id of a trajectory plus its distance to
+/// the query (Euclidean or Hamming, by strategy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Stable trajectory id (assigned at insert, survives compaction).
+    pub id: u64,
+    /// Distance to the query.
+    pub distance: f64,
+}
+
+/// Observability counters for the engine's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Live (non-tombstoned) trajectories.
+    pub live: usize,
+    /// Slots covered by the current generation's indexes.
+    pub indexed: usize,
+    /// Slots inserted after the last rebuild (linearly scanned).
+    pub delta: usize,
+    /// Tombstoned slots awaiting compaction.
+    pub dead: usize,
+    /// Rebuild counter; bumps on every (re)index.
+    pub generation: u64,
+    /// True when index construction failed and every query degrades to
+    /// a linear scan.
+    pub degraded: bool,
+}
+
+/// Borrowed views of everything the snapshot encoder serializes:
+/// model, config, ids, trajectories, embeddings, codes, tombstone
+/// flags, and `next_id`.
+pub(crate) type SnapshotParts<'a> = (
+    &'a Traj2Hash,
+    &'a EngineConfig,
+    &'a [u64],
+    &'a [Trajectory],
+    &'a [Vec<f32>],
+    &'a [BinaryCode],
+    &'a [bool],
+    u64,
+);
+
+/// The per-generation index set. Covers slots `0..covers`; slots past
+/// that are the delta region.
+struct GenIndexes {
+    /// Radius-2 bucket table (serves `Table` and `Hybrid`).
+    table: HammingTable,
+    /// Exact Hamming k-NN (serves `Mih`).
+    mih: Box<dyn AnnIndex>,
+    /// Optional Euclidean structure (serves `EuclideanBf` when
+    /// configured); `None` means brute-force scan.
+    euclid: Option<Box<dyn AnnIndex>>,
+    /// Number of slots these structures cover.
+    covers: usize,
+}
+
+/// The serving facade over encode → hash → index → search.
+pub struct Traj2HashEngine {
+    model: Traj2Hash,
+    cfg: EngineConfig,
+    // Parallel slot arrays, always in ascending-id order.
+    ids: Vec<u64>,
+    trajs: Vec<Trajectory>,
+    embeddings: Vec<Vec<f32>>,
+    codes: Vec<BinaryCode>,
+    dead: Vec<bool>,
+    dead_count: usize,
+    /// Tombstones among the indexed slots only (the over-fetch margin).
+    dead_in_indexed: usize,
+    next_id: u64,
+    generation: u64,
+    /// `None` = degraded: every strategy linear-scans.
+    indexes: Option<GenIndexes>,
+}
+
+fn euclid(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x as f64 - y as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+impl Traj2HashEngine {
+    /// Builds an engine over `corpus`, encoding every trajectory with
+    /// `model` and indexing the results. Corpus trajectories receive
+    /// ids `0..corpus.len()` in order.
+    pub fn build(
+        model: Traj2Hash,
+        corpus: Vec<Trajectory>,
+        cfg: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        let embeddings = model.embed_all_with_threads(&corpus, cfg.encode_threads.max(1));
+        let codes: Vec<BinaryCode> =
+            embeddings.iter().map(|e| BinaryCode::from_floats(e)).collect();
+        let n = corpus.len();
+        let mut engine = Traj2HashEngine {
+            model,
+            cfg,
+            ids: (0..n as u64).collect(),
+            trajs: corpus,
+            embeddings,
+            codes,
+            dead: vec![false; n],
+            dead_count: 0,
+            dead_in_indexed: 0,
+            next_id: n as u64,
+            generation: 0,
+            indexes: None,
+        };
+        engine.rebuild();
+        Ok(engine)
+    }
+
+    /// Builds an engine from a borrowed model: a byte-identical replica
+    /// is constructed via [`Traj2Hash::spec`], sharing the frozen
+    /// grid-input cache, and the caller keeps the original (useful
+    /// mid-training, where the trainer still owns the model).
+    pub fn build_from(
+        model: &Traj2Hash,
+        corpus: Vec<Trajectory>,
+        cfg: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let replica = Traj2Hash::from_spec(&model.spec(), &model.params.clone_values());
+        Self::build(replica, corpus, cfg)
+    }
+
+    /// Reassembles an engine from snapshot parts. Entries must arrive in
+    /// ascending-id order (the snapshot stores them that way).
+    pub(crate) fn from_loaded(
+        model: Traj2Hash,
+        cfg: EngineConfig,
+        ids: Vec<u64>,
+        trajs: Vec<Trajectory>,
+        embeddings: Vec<Vec<f32>>,
+        codes: Vec<BinaryCode>,
+        next_id: u64,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        let n = ids.len();
+        let mut engine = Traj2HashEngine {
+            model,
+            cfg,
+            ids,
+            trajs,
+            embeddings,
+            codes,
+            dead: vec![false; n],
+            dead_count: 0,
+            dead_in_indexed: 0,
+            next_id,
+            generation: 0,
+            indexes: None,
+        };
+        engine.rebuild();
+        Ok(engine)
+    }
+
+    /// The owned model (for direct embedding access).
+    pub fn model(&self) -> &Traj2Hash {
+        &self.model
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of live trajectories.
+    pub fn len(&self) -> usize {
+        self.ids.len() - self.dead_count
+    }
+
+    /// True when no live trajectory remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifecycle counters.
+    pub fn stats(&self) -> EngineStats {
+        let indexed = self.indexes.as_ref().map(|ix| ix.covers).unwrap_or(0);
+        EngineStats {
+            live: self.len(),
+            indexed,
+            delta: self.ids.len() - indexed,
+            dead: self.dead_count,
+            generation: self.generation,
+            degraded: self.indexes.is_none(),
+        }
+    }
+
+    /// True when `id` refers to a live trajectory.
+    pub fn contains(&self, id: u64) -> bool {
+        self.slot_of(id).is_some()
+    }
+
+    /// The live trajectory with stable id `id`.
+    pub fn get(&self, id: u64) -> Option<&Trajectory> {
+        self.slot_of(id).map(|s| &self.trajs[s])
+    }
+
+    /// Live ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ids
+            .iter()
+            .zip(&self.dead)
+            .filter(|(_, &dead)| !dead)
+            .map(|(&id, _)| id)
+    }
+
+    /// Consumes the engine, returning the model (e.g. to resume
+    /// training).
+    pub fn into_model(self) -> Traj2Hash {
+        self.model
+    }
+
+    fn slot_of(&self, id: u64) -> Option<usize> {
+        // Slots are in ascending-id order by construction.
+        let slot = self.ids.binary_search(&id).ok()?;
+        (!self.dead[slot]).then_some(slot)
+    }
+
+    /// Encodes and inserts a trajectory, returning its stable id. The
+    /// entry lands in the delta region and is searchable immediately; a
+    /// threshold-crossing insert triggers a rebuild.
+    pub fn insert(&mut self, t: Trajectory) -> u64 {
+        let embedding = self.model.embed(&t).data().to_vec();
+        let code = BinaryCode::from_floats(&embedding);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ids.push(id);
+        self.trajs.push(t);
+        self.embeddings.push(embedding);
+        self.codes.push(code);
+        self.dead.push(false);
+        self.maybe_rebuild();
+        id
+    }
+
+    /// Tombstones the trajectory with stable id `id`. It disappears
+    /// from every subsequent query; storage is reclaimed at the next
+    /// compaction. Unknown or already-removed ids fail with
+    /// [`EngineError::UnknownId`].
+    pub fn remove(&mut self, id: u64) -> Result<(), EngineError> {
+        let slot = self.slot_of(id).ok_or(EngineError::UnknownId(id))?;
+        self.dead[slot] = true;
+        self.dead_count += 1;
+        if let Some(ix) = &self.indexes {
+            if slot < ix.covers {
+                self.dead_in_indexed += 1;
+            }
+        }
+        self.maybe_rebuild();
+        Ok(())
+    }
+
+    /// Forces compaction + re-index now (normally triggered
+    /// automatically by the thresholds in [`EngineConfig`]).
+    pub fn compact(&mut self) {
+        self.rebuild();
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let indexed = self.indexes.as_ref().map(|ix| ix.covers).unwrap_or(0);
+        let delta = self.ids.len() - indexed;
+        let slack = self.cfg.rebuild_slack;
+        let delta_cap = slack.max((indexed as f64 * self.cfg.max_delta_fraction) as usize);
+        let dead_cap =
+            slack.max((self.ids.len() as f64 * self.cfg.max_dead_fraction) as usize);
+        if delta > delta_cap || self.dead_count > dead_cap {
+            self.rebuild();
+        }
+    }
+
+    /// Drops tombstoned slots (preserving order) and rebuilds every
+    /// index over the compacted corpus. On index-build failure the
+    /// engine enters degraded linear-scan mode instead of panicking;
+    /// the next rebuild retries.
+    fn rebuild(&mut self) {
+        if self.dead_count > 0 {
+            let mut w = 0usize;
+            for r in 0..self.ids.len() {
+                if !self.dead[r] {
+                    if w != r {
+                        self.ids.swap(w, r);
+                        self.trajs.swap(w, r);
+                        self.embeddings.swap(w, r);
+                        self.codes.swap(w, r);
+                    }
+                    w += 1;
+                }
+            }
+            self.ids.truncate(w);
+            self.trajs.truncate(w);
+            self.embeddings.truncate(w);
+            self.codes.truncate(w);
+            self.dead.clear();
+            self.dead.resize(w, false);
+            self.dead_count = 0;
+        }
+        self.dead_in_indexed = 0;
+        self.generation += 1;
+        let table = HammingTable::try_build(self.codes.clone());
+        let mih = MultiIndexHashing::try_build(self.codes.clone(), self.cfg.mih_tables);
+        self.indexes = match (table, mih) {
+            (Ok(table), Ok(mih)) => {
+                let euclid: Option<Box<dyn AnnIndex>> = match self.cfg.euclidean_backend {
+                    EuclideanBackend::BruteForce => None,
+                    EuclideanBackend::VpTree => {
+                        Some(Box::new(VpTree::build(self.embeddings.clone())))
+                    }
+                };
+                Some(GenIndexes {
+                    table,
+                    mih: Box::new(mih),
+                    euclid,
+                    covers: self.ids.len(),
+                })
+            }
+            _ => None,
+        };
+    }
+
+    /// Top-k search over the live corpus.
+    ///
+    /// The query is encoded once with the owned model; the selected
+    /// [`Strategy`] then runs against the generation indexes (with
+    /// tombstone filtering and a linear merge of the delta region) or
+    /// falls back to an exact linear scan whenever an index cannot
+    /// answer — a query never fails because an index degraded.
+    ///
+    /// `Table` is the one strategy that may return fewer than `k` hits:
+    /// it reports exactly the radius-2 ball, like the paper's
+    /// `Hamming-Table` row.
+    pub fn query(
+        &self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<Vec<Hit>, EngineError> {
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let embedding = self.model.embed(q).data().to_vec();
+        let slot_hits = match strategy {
+            Strategy::EuclideanBf => self.euclidean_hits(&embedding, k),
+            Strategy::HammingBf => {
+                self.scan_hamming_all(&BinaryCode::from_floats(&embedding), k)
+            }
+            Strategy::Table => self.table_hits(&BinaryCode::from_floats(&embedding), k, false),
+            Strategy::Mih => self.mih_hits(&BinaryCode::from_floats(&embedding), k),
+            Strategy::Hybrid => self.table_hits(&BinaryCode::from_floats(&embedding), k, true),
+        };
+        Ok(slot_hits
+            .into_iter()
+            .map(|h| Hit { id: self.ids[h.index], distance: h.distance })
+            .collect())
+    }
+
+    /// Euclidean candidates from a linear scan over `slots`, skipping
+    /// tombstones.
+    fn scan_euclid(&self, q: &[f32], slots: std::ops::Range<usize>) -> Vec<SlotHit> {
+        slots
+            .filter(|&s| !self.dead[s])
+            .map(|s| SlotHit { index: s, distance: euclid(&self.embeddings[s], q) })
+            .collect()
+    }
+
+    /// Hamming candidates from a linear scan over `slots`, skipping
+    /// tombstones.
+    fn scan_hamming(&self, q: &BinaryCode, slots: std::ops::Range<usize>) -> Vec<SlotHit> {
+        slots
+            .filter(|&s| !self.dead[s])
+            .map(|s| SlotHit { index: s, distance: self.codes[s].hamming(q) as f64 })
+            .collect()
+    }
+
+    fn scan_euclid_all(&self, q: &[f32], k: usize) -> Vec<SlotHit> {
+        top_k_hits(self.scan_euclid(q, 0..self.ids.len()), k)
+    }
+
+    fn scan_hamming_all(&self, q: &BinaryCode, k: usize) -> Vec<SlotHit> {
+        top_k_hits(self.scan_hamming(q, 0..self.ids.len()), k)
+    }
+
+    fn euclidean_hits(&self, q: &[f32], k: usize) -> Vec<SlotHit> {
+        let Some(ix) = &self.indexes else {
+            return self.scan_euclid_all(q, k);
+        };
+        let Some(index) = &ix.euclid else {
+            return self.scan_euclid_all(q, k);
+        };
+        // Over-fetch by the tombstone count so filtering cannot eat into
+        // the true top-k: the index is exact, so the first
+        // k + dead_in_indexed hits contain at least k live ones.
+        match index.search(QueryRep::Dense(q), k + self.dead_in_indexed) {
+            Ok(hits) => {
+                let mut hits: Vec<SlotHit> =
+                    hits.into_iter().filter(|h| !self.dead[h.index]).collect();
+                hits.extend(self.scan_euclid(q, ix.covers..self.ids.len()));
+                top_k_hits(hits, k)
+            }
+            Err(_) => self.scan_euclid_all(q, k),
+        }
+    }
+
+    fn mih_hits(&self, q: &BinaryCode, k: usize) -> Vec<SlotHit> {
+        let Some(ix) = &self.indexes else {
+            return self.scan_hamming_all(q, k);
+        };
+        match ix.mih.search(QueryRep::Code(q), k + self.dead_in_indexed) {
+            Ok(hits) => {
+                let mut hits: Vec<SlotHit> =
+                    hits.into_iter().filter(|h| !self.dead[h.index]).collect();
+                hits.extend(self.scan_hamming(q, ix.covers..self.ids.len()));
+                top_k_hits(hits, k)
+            }
+            Err(_) => self.scan_hamming_all(q, k),
+        }
+    }
+
+    /// Live candidates within Hamming radius 2: table lookup over the
+    /// indexed region plus a filtered scan of the delta. `None` when the
+    /// engine is degraded or the table rejects the query.
+    fn radius2_candidates(&self, q: &BinaryCode) -> Option<Vec<SlotHit>> {
+        let ix = self.indexes.as_ref()?;
+        let grouped = ix.table.lookup_within(q, 2).ok()?;
+        let mut hits: Vec<SlotHit> = grouped
+            .into_iter()
+            .flat_map(|(d, slots)| {
+                slots.into_iter().map(move |s| SlotHit { index: s, distance: d as f64 })
+            })
+            .filter(|h| !self.dead[h.index])
+            .collect();
+        for s in ix.covers..self.ids.len() {
+            if self.dead[s] {
+                continue;
+            }
+            let d = self.codes[s].hamming(q);
+            if d <= 2 {
+                hits.push(SlotHit { index: s, distance: d as f64 });
+            }
+        }
+        Some(hits)
+    }
+
+    fn table_hits(&self, q: &BinaryCode, k: usize, hybrid_fallback: bool) -> Vec<SlotHit> {
+        match self.radius2_candidates(q) {
+            Some(ball) => {
+                if hybrid_fallback && ball.len() < k {
+                    self.scan_hamming_all(q, k)
+                } else {
+                    top_k_hits(ball, k)
+                }
+            }
+            None if hybrid_fallback => self.scan_hamming_all(q, k),
+            None => {
+                // Degraded Table strategy: emulate the radius-2 ball by
+                // scanning, keeping the may-return-fewer semantics.
+                let ball: Vec<SlotHit> = self
+                    .scan_hamming(q, 0..self.ids.len())
+                    .into_iter()
+                    .filter(|h| h.distance <= 2.0)
+                    .collect();
+                top_k_hits(ball, k)
+            }
+        }
+    }
+
+    /// Serializes the full engine state — model spec + parameters,
+    /// engine config, and every live entry (id, points, embedding,
+    /// code) — into the checksummed snapshot container.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, EngineError> {
+        snapshot::encode(self)
+    }
+
+    /// Restores an engine from [`Traj2HashEngine::snapshot_bytes`]
+    /// output. Cold-start is instant: no trajectory is re-encoded,
+    /// only the indexes are rebuilt.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, EngineError> {
+        snapshot::decode(bytes)
+    }
+
+    /// Writes a snapshot atomically (encode to a `.tmp` sibling, then
+    /// rename), mirroring the checkpoint discipline.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        let path = path.as_ref();
+        let bytes = self.snapshot_bytes()?;
+        let tmp = path.with_extension("snap.tmp");
+        std::fs::write(&tmp, &bytes).map_err(traj2hash::CheckpointError::Io)?;
+        std::fs::rename(&tmp, path).map_err(traj2hash::CheckpointError::Io)?;
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot written by
+    /// [`Traj2HashEngine::save_snapshot`].
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let bytes = std::fs::read(path).map_err(traj2hash::CheckpointError::Io)?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+
+    // Snapshot internals need field access without making fields public.
+    pub(crate) fn snapshot_parts(&self) -> SnapshotParts<'_> {
+        (
+            &self.model,
+            &self.cfg,
+            &self.ids,
+            &self.trajs,
+            &self.embeddings,
+            &self.codes,
+            &self.dead,
+            self.next_id,
+        )
+    }
+}

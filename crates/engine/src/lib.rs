@@ -1,0 +1,36 @@
+//! # traj-engine — the Traj2Hash serving layer
+//!
+//! The paper's end product is a *search system*: Euclidean embeddings
+//! for similarity computation (Eq. 15) plus binary codes for Hamming
+//! top-k search (Eq. 16, Section V-E). This crate packages that system
+//! behind one owning facade, [`Traj2HashEngine`], instead of the ad-hoc
+//! `prepare → embed_all → pack_codes → build index → query` wiring every
+//! caller used to repeat:
+//!
+//! * **one query path** — [`Traj2HashEngine::query`] covers all five
+//!   strategies ([`Strategy`]) with automatic linear-scan degradation;
+//! * **a pluggable index layer** — every structure sits behind the
+//!   [`AnnIndex`] trait ([`HammingTable`](traj_index::HammingTable),
+//!   [`MultiIndexHashing`](traj_index::MultiIndexHashing),
+//!   [`VpTree`](traj_index::VpTree), and the brute-force fallbacks
+//!   [`BruteForceEuclidean`] / [`BruteForceHamming`]);
+//! * **a live corpus** — [`Traj2HashEngine::insert`] /
+//!   [`Traj2HashEngine::remove`] via generations + tombstones with
+//!   threshold-triggered compaction;
+//! * **snapshots** — [`Traj2HashEngine::save_snapshot`] /
+//!   [`Traj2HashEngine::load_snapshot`] persist model parameters,
+//!   corpus, embeddings, and codes in the CRC-checksummed container
+//!   format, so cold-start never re-encodes.
+
+#![warn(missing_docs)]
+
+pub mod ann;
+pub mod engine;
+pub mod error;
+pub mod snapshot;
+
+pub use ann::{AnnIndex, BruteForceEuclidean, BruteForceHamming, IndexKind, QueryRep};
+pub use engine::{
+    EngineConfig, EngineStats, EuclideanBackend, Hit, Strategy, Traj2HashEngine,
+};
+pub use error::EngineError;

@@ -96,6 +96,32 @@ impl DecomposedGridEmbedding {
         self.nx * self.ny * self.dim
     }
 
+    /// Decomposes the embedding into raw parts
+    /// `(dim, nx, ny, ex, ey)` for serialization (engine snapshots).
+    pub fn raw_parts(&self) -> (usize, usize, usize, &[f32], &[f32]) {
+        (self.dim, self.nx, self.ny, &self.ex, &self.ey)
+    }
+
+    /// Rebuilds an embedding from the parts returned by
+    /// [`DecomposedGridEmbedding::raw_parts`], validating that the table
+    /// lengths match `dim * nx` / `dim * ny`.
+    pub fn from_raw_parts(
+        dim: usize,
+        nx: usize,
+        ny: usize,
+        ex: Vec<f32>,
+        ey: Vec<f32>,
+    ) -> Result<Self, String> {
+        if ex.len() != dim * nx || ey.len() != dim * ny {
+            return Err(format!(
+                "grid table lengths ({}, {}) do not match dim {dim} x grid {nx}x{ny}",
+                ex.len(),
+                ey.len()
+            ));
+        }
+        Ok(DecomposedGridEmbedding { dim, nx, ny, ex, ey })
+    }
+
     fn ex_row(&self, gx: u32) -> &[f32] {
         let s = gx as usize * self.dim;
         &self.ex[s..s + self.dim]
@@ -231,11 +257,22 @@ pub trait GridEmbedding {
     fn embed_into(&self, gx: u32, gy: u32, out: &mut [f32]);
     /// Number of trainable scalars (for parameter-count comparisons).
     fn num_parameters(&self) -> usize;
+    /// The concrete decomposed tables behind this embedding, when it has
+    /// them — the serializable representation engine snapshots persist.
+    /// Defaults to `None` for providers (Node2vec) whose state is not
+    /// snapshot-serializable.
+    fn as_decomposed(&self) -> Option<&DecomposedGridEmbedding> {
+        None
+    }
 }
 
 impl GridEmbedding for DecomposedGridEmbedding {
     fn dim(&self) -> usize {
         DecomposedGridEmbedding::dim(self)
+    }
+
+    fn as_decomposed(&self) -> Option<&DecomposedGridEmbedding> {
+        Some(self)
     }
 
     fn embed_into(&self, gx: u32, gy: u32, out: &mut [f32]) {

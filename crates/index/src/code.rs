@@ -41,6 +41,25 @@ impl BinaryCode {
         BinaryCode { bits: vec![0u64; len.div_ceil(64)], len }
     }
 
+    /// Rebuilds a code from its packed words (inverse of
+    /// [`BinaryCode::words`] + [`BinaryCode::len`]) — the deserialization
+    /// path of engine snapshots. Rejects a word count that does not match
+    /// `len` and stray bits beyond `len` in the last word, either of
+    /// which would silently corrupt every Hamming distance later.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!("{} words cannot hold exactly {len} bits", words.len()));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(format!("bits set beyond the code length {len}"));
+                }
+            }
+        }
+        Ok(BinaryCode { bits: words, len })
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len

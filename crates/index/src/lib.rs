@@ -14,6 +14,7 @@ pub mod code;
 pub mod error;
 pub mod mih;
 pub mod search;
+pub mod topk;
 pub mod vptree;
 
 pub use cluster::{dbscan_hamming, Assignment, Clustering};
@@ -21,4 +22,5 @@ pub use code::BinaryCode;
 pub use error::SearchError;
 pub use mih::MultiIndexHashing;
 pub use search::{euclidean_top_k, hamming_top_k, HammingTable, Hit};
+pub use topk::{sort_hits, top_k_hits};
 pub use vptree::VpTree;

@@ -14,6 +14,7 @@
 use crate::code::BinaryCode;
 use crate::error::SearchError;
 use crate::search::Hit;
+use crate::topk::{sort_hits, top_k_hits};
 use std::collections::HashMap;
 
 /// An exact Hamming k-NN index over fixed-width binary codes.
@@ -176,12 +177,7 @@ impl MultiIndexHashing {
                 for_each_at_distance(q_sub, cl, probe_r, &mut visit);
             }
         }
-        out.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
+        sort_hits(&mut out);
         Ok(out)
     }
 
@@ -239,18 +235,14 @@ impl MultiIndexHashing {
             // full distance <= r is in `by_distance`.
             let complete: usize = by_distance[..=r].iter().map(|v| v.len()).sum();
             if complete >= k || found == self.codes.len() {
-                let mut out = Vec::with_capacity(k);
-                'outer: for (d, ids) in by_distance.iter().enumerate() {
-                    let mut ids = ids.clone();
-                    ids.sort_unstable();
-                    for id in ids {
-                        out.push(Hit { index: id as usize, distance: d as f64 });
-                        if out.len() == k {
-                            break 'outer;
-                        }
-                    }
-                }
-                return Ok(out);
+                let hits = by_distance
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(d, ids)| {
+                        ids.iter().map(move |&id| Hit { index: id as usize, distance: d as f64 })
+                    })
+                    .collect();
+                return Ok(top_k_hits(hits, k));
             }
         }
         unreachable!("search must terminate within the code width");

@@ -4,7 +4,7 @@
 
 use crate::code::BinaryCode;
 use crate::error::SearchError;
-use std::cmp::Ordering;
+use crate::topk::top_k_hits;
 use std::collections::HashMap;
 
 /// A scored candidate; lower score is better.
@@ -14,17 +14,6 @@ pub struct Hit {
     pub index: usize,
     /// Distance to the query (Euclidean or Hamming, by search type).
     pub distance: f64,
-}
-
-fn top_k_from_scores(mut hits: Vec<Hit>, k: usize) -> Vec<Hit> {
-    hits.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(Ordering::Equal)
-            .then(a.index.cmp(&b.index))
-    });
-    hits.truncate(k);
-    hits
 }
 
 /// Brute-force Euclidean top-k over dense embeddings (`Euclidean-BF`).
@@ -42,7 +31,7 @@ pub fn euclidean_top_k(database: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Hi
                 .sqrt(),
         })
         .collect();
-    top_k_from_scores(hits, k)
+    top_k_hits(hits, k)
 }
 
 /// Brute-force Hamming top-k over binary codes (`Hamming-BF`).
@@ -52,7 +41,7 @@ pub fn hamming_top_k(database: &[BinaryCode], query: &BinaryCode, k: usize) -> V
         .enumerate()
         .map(|(i, c)| Hit { index: i, distance: c.hamming(query) as f64 })
         .collect();
-    top_k_from_scores(hits, k)
+    top_k_hits(hits, k)
 }
 
 /// A hash-table index over binary codes supporting exact table lookups
@@ -179,7 +168,7 @@ impl HammingTable {
                     v.into_iter().map(move |i| Hit { index: i, distance: d as f64 })
                 })
                 .collect();
-            Ok(top_k_from_scores(hits, k))
+            Ok(top_k_hits(hits, k))
         } else {
             Ok(hamming_top_k(&self.codes, query, k))
         }

@@ -9,6 +9,7 @@
 //! structures as the Euclidean-space index of this library.
 
 use crate::search::Hit;
+use crate::topk::sort_hits;
 
 #[derive(Debug)]
 enum Node {
@@ -93,6 +94,11 @@ impl VpTree {
         self.data.len()
     }
 
+    /// Width of the indexed embeddings (0 for an empty tree).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// True when the index holds nothing.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -113,13 +119,10 @@ impl VpTree {
         let mut evaluations = 0usize;
         let mut tau = f64::INFINITY;
         self.search(&self.root, query, k, &mut best, &mut tau, &mut evaluations);
-        best.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-        });
-        (
-            best.into_iter().map(|(d, i)| Hit { index: i as usize, distance: d }).collect(),
-            evaluations,
-        )
+        let mut hits: Vec<Hit> =
+            best.into_iter().map(|(d, i)| Hit { index: i as usize, distance: d }).collect();
+        sort_hits(&mut hits);
+        (hits, evaluations)
     }
 
     /// Exact k nearest neighbours.
@@ -144,13 +147,13 @@ impl VpTree {
                     .fold(f64::NEG_INFINITY, f64::max);
             }
         } else if d < *tau {
-            // replace the current worst
+            // replace the current worst; ties among equal worst distances
+            // evict the largest id so the survivors match the canonical
+            // (distance, index) order of `topk::cmp_hits`
             let (worst_pos, _) = best
                 .iter()
                 .enumerate()
-                .max_by(|a, b| {
-                    a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
                 .expect("best is non-empty");
             best[worst_pos] = (d, id);
             *tau = best

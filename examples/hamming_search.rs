@@ -1,6 +1,7 @@
-//! Search-strategy comparison: times Euclidean-BF, Hamming-BF, and the
-//! Hamming-Hybrid table-lookup strategy on a growing database and shows
-//! the pruning power of binary codes (the Section V-E experiment as a
+//! Search-strategy comparison through the engine's `AnnIndex`
+//! interface: every backend — Euclidean-BF, Hamming-BF, MIH, and the
+//! Hamming-Hybrid table lookup — is timed through the same trait object
+//! the serving engine dispatches to (the Section V-E experiment as a
 //! runnable demo).
 //!
 //! ```text
@@ -9,54 +10,75 @@
 
 use std::time::Instant;
 use traj_bench::clustered_workload;
-use traj_index::{euclidean_top_k, hamming_top_k, HammingTable};
+use traj_engine::{AnnIndex, BruteForceEuclidean, BruteForceHamming, IndexKind, QueryRep};
+use traj_index::{HammingTable, MultiIndexHashing};
 
 fn main() {
     let bits = 32;
     let k = 10;
     let n_query = 100;
-    println!("strategy timing, {bits}-bit codes, top-{k}, {n_query} queries\n");
-    println!(
-        "{:>8}  {:>16}  {:>14}  {:>18}  {:>12}",
-        "db size", "Euclidean-BF", "Hamming-BF", "Hamming-Hybrid", "via lookup"
-    );
+    println!("strategy timing, {bits}-bit codes, top-{k}, {n_query} queries");
     for n_db in [10_000usize, 50_000, 100_000] {
         let w = clustered_workload(n_db, n_query, bits, n_db / 400, 2, 11);
-        let t0 = Instant::now();
-        for q in &w.query_embeddings {
-            std::hint::black_box(euclidean_top_k(&w.db_embeddings, q, k));
-        }
-        let euclid = t0.elapsed().as_secs_f64() / n_query as f64;
 
-        let t1 = Instant::now();
-        for q in &w.query_codes {
-            std::hint::black_box(hamming_top_k(&w.db_codes, q, k));
-        }
-        let hamming = t1.elapsed().as_secs_f64() / n_query as f64;
-
+        // Count how many queries would resolve purely by radius-2 table
+        // lookup before the table disappears behind the trait.
         let table = HammingTable::build(w.db_codes.clone());
-        // count how many queries resolve purely by radius-2 table lookup
         let resolved = w
             .query_codes
             .iter()
             .filter(|q| {
-                table.lookup_within(q, 2).expect("radius 2, matching widths").iter().map(|(_, v)| v.len()).sum::<usize>() >= k
+                table
+                    .lookup_within(q, 2)
+                    .expect("radius 2, matching widths")
+                    .iter()
+                    .map(|(_, v)| v.len())
+                    .sum::<usize>()
+                    >= k
             })
             .count();
-        let t2 = Instant::now();
-        for q in &w.query_codes {
-            std::hint::black_box(table.hybrid_top_k(q, k).expect("matching widths"));
-        }
-        let hybrid = t2.elapsed().as_secs_f64() / n_query as f64;
+
+        let backends: Vec<(&str, Box<dyn AnnIndex>)> = vec![
+            (
+                "Euclidean-BF",
+                Box::new(
+                    BruteForceEuclidean::new(w.db_embeddings.clone())
+                        .expect("uniform embedding widths"),
+                ),
+            ),
+            (
+                "Hamming-BF",
+                Box::new(BruteForceHamming::new(w.db_codes.clone()).expect("uniform code widths")),
+            ),
+            (
+                "Hamming-MIH",
+                Box::new(
+                    MultiIndexHashing::try_build(w.db_codes.clone(), 4)
+                        .expect("non-empty uniform codes"),
+                ),
+            ),
+            ("Hamming-Hybrid", Box::new(table)),
+        ];
 
         println!(
-            "{:>8}  {:>13.3} ms  {:>11.3} ms  {:>15.3} ms  {:>10}%",
-            n_db,
-            euclid * 1e3,
-            hamming * 1e3,
-            hybrid * 1e3,
-            resolved * 100 / n_query
+            "\n  db size {n_db} ({resolved}% of queries resolvable by radius-2 lookup)",
+            resolved = resolved * 100 / n_query
         );
+        for (name, backend) in &backends {
+            // The trait tells us which representation to feed it.
+            let queries: Vec<QueryRep<'_>> = match backend.kind() {
+                IndexKind::Euclidean => {
+                    w.query_embeddings.iter().map(|q| QueryRep::Dense(q)).collect()
+                }
+                IndexKind::Hamming => w.query_codes.iter().map(QueryRep::Code).collect(),
+            };
+            let t = Instant::now();
+            for q in &queries {
+                std::hint::black_box(backend.search(*q, k).expect("matching widths"));
+            }
+            let per_query = t.elapsed().as_secs_f64() / n_query as f64;
+            println!("    {name:<16} {:>9.3} ms/query", per_query * 1e3);
+        }
     }
     println!(
         "\nHamming-Hybrid stays nearly flat as the database grows because a\n\

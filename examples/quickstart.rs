@@ -1,14 +1,17 @@
-//! Quickstart: train a small Traj2Hash model and run top-k similar
-//! trajectory search in both Euclidean and Hamming space.
+//! Quickstart: train a small Traj2Hash model, stand up the serving
+//! engine, and search in both Euclidean and Hamming space — then keep
+//! the corpus live with inserts/removals and survive a restart via a
+//! snapshot.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use std::time::Instant;
 use traj_data::{CityParams, Dataset, SplitSizes};
 use traj_dist::Measure;
-use traj_eval::{ground_truth_top_k, hr_at_k, pack_codes};
-use traj_index::{euclidean_top_k, HammingTable};
+use traj_engine::{EngineConfig, Strategy, Traj2HashEngine};
+use traj_eval::{ground_truth_top_k, hr_at_k};
 use traj2hash::{train, ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData};
 
 fn main() {
@@ -48,40 +51,73 @@ fn main() {
         report.val_hr10.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
     );
 
-    // 3. Encode the database once; queries are then answered in O(d).
-    let db_embeddings = model.embed_all(&dataset.database);
-    let db_codes = pack_codes(&model.hash_all(&dataset.database));
-    let table = HammingTable::build(db_codes);
+    // 3. Stand up the serving engine: one call encodes the database,
+    //    packs the binary codes, and builds every index. The trainer
+    //    keeps the original model; the engine owns a byte-identical
+    //    replica.
+    let mut engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .expect("engine build");
+    let stats = engine.stats();
+    println!(
+        "\nengine: {} trajectories indexed, generation {}, degraded: {}",
+        stats.live, stats.generation, stats.degraded
+    );
 
-    // 4. Search and compare against the exact ground truth.
+    // 4. One `query` call per strategy — no per-strategy plumbing.
     let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 10);
-    let mut hr_euclid = 0.0;
-    let mut hr_hamming = 0.0;
-    for (qi, q) in dataset.query.iter().enumerate() {
-        let qe = model.embed(q).data().to_vec();
-        let euclid: Vec<usize> =
-            euclidean_top_k(&db_embeddings, &qe, 10).into_iter().map(|h| h.index).collect();
-        let qc = traj_index::BinaryCode::from_signs(&model.hash_signs(q));
-        let hamming: Vec<usize> =
-            table.hybrid_top_k(&qc, 10).expect("query and database codes share a width").into_iter().map(|h| h.index).collect();
-        hr_euclid += hr_at_k(&euclid, &truth[qi], 10);
-        hr_hamming += hr_at_k(&hamming, &truth[qi], 10);
+    println!("top-10 search vs exact {measure:?}:");
+    for strategy in Strategy::ALL {
+        let mut hr = 0.0;
+        for (qi, q) in dataset.query.iter().enumerate() {
+            let ids: Vec<usize> = engine
+                .query(q, 10, strategy)
+                .expect("query")
+                .iter()
+                .map(|h| h.id as usize)
+                .collect();
+            hr += hr_at_k(&ids, &truth[qi], 10);
+        }
+        println!("  {:<16} HR@10 = {:.3}", strategy.name(), hr / dataset.query.len() as f64);
     }
-    let n = dataset.query.len() as f64;
-    println!("top-10 search vs exact {measure:?}: ");
-    println!("  Euclidean space HR@10 = {:.3}", hr_euclid / n);
-    println!("  Hamming space   HR@10 = {:.3}", hr_hamming / n);
 
-    // 5. Show one query's results.
+    // 5. Show one query's results (ids on a fresh build are database
+    //    positions, so we can pull the exact distance for context).
     let q = &dataset.query[0];
-    let qe = model.embed(q).data().to_vec();
-    let top = euclidean_top_k(&db_embeddings, &qe, 3);
     println!("\nquery 0 ({} points): nearest database trajectories:", q.len());
-    for hit in top {
-        let exact = measure.distance(q, &dataset.database[hit.index]);
+    for hit in engine.query(q, 3, Strategy::EuclideanBf).expect("query") {
+        let exact = measure.distance(q, engine.get(hit.id).expect("live id"));
         println!(
             "  #{:<4} embedding distance {:.3}, exact Frechet {:.1} m",
-            hit.index, hit.distance, exact
+            hit.id, hit.distance, exact
         );
     }
+
+    // 6. The corpus is live: new trajectories are searchable the moment
+    //    `insert` returns, removals vanish immediately, and the engine
+    //    compacts itself past the configured thresholds.
+    let novel = dataset.corpus[0].clone();
+    let id = engine.insert(novel.clone());
+    let top = engine.query(&novel, 1, Strategy::EuclideanBf).expect("query");
+    println!(
+        "\ninserted trajectory got id {id}; self-query returns id {} at distance {:.1}",
+        top[0].id, top[0].distance
+    );
+    engine.remove(id).expect("id is live");
+    println!("removed it again; live corpus back to {}", engine.len());
+
+    // 7. Snapshots make restarts instant: model parameters, corpus,
+    //    embeddings, and codes all reload without re-encoding anything.
+    let path = std::env::temp_dir().join("traj2hash-quickstart.snap");
+    engine.save_snapshot(&path).expect("save snapshot");
+    let t = Instant::now();
+    let restored = Traj2HashEngine::load_snapshot(&path).expect("load snapshot");
+    let reload_ms = t.elapsed().as_secs_f64() * 1e3;
+    let same = restored.query(q, 3, Strategy::EuclideanBf).expect("query")
+        == engine.query(q, 3, Strategy::EuclideanBf).expect("query");
+    println!(
+        "snapshot reload: {} trajectories in {reload_ms:.1} ms, answers identical: {same}",
+        restored.len()
+    );
+    std::fs::remove_file(&path).ok();
 }

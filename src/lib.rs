@@ -14,6 +14,8 @@
 //! * [`traj_baselines`] — the comparison methods
 //! * [`traj_index`] — Euclidean/Hamming top-k search structures
 //! * [`traj_eval`] — metrics and experiment tables
+//! * [`traj_engine`] — the serving layer: `Traj2HashEngine` facade over
+//!   encode → hash → index → search, with incremental updates + snapshots
 
 pub use tinynn;
 pub use traj2hash;
@@ -21,6 +23,7 @@ pub use traj_baselines;
 pub use traj_bench;
 pub use traj_data;
 pub use traj_dist;
+pub use traj_engine;
 pub use traj_eval;
 pub use traj_grid;
 pub use traj_index;

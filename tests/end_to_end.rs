@@ -3,7 +3,8 @@
 
 use traj_data::{CityParams, Dataset, SplitSizes};
 use traj_dist::Measure;
-use traj_eval::{ground_truth_top_k, pack_codes, rank_euclidean, rank_hamming, Metrics};
+use traj_engine::{EngineConfig, Strategy, Traj2HashEngine};
+use traj_eval::{ground_truth_top_k, pack_codes, rank_hamming, Metrics};
 use traj2hash::{train, ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData};
 
 fn tiny_world() -> (Dataset, ModelContext, TrainConfig) {
@@ -22,16 +23,38 @@ fn tiny_world() -> (Dataset, ModelContext, TrainConfig) {
     (dataset, ctx, tcfg)
 }
 
+/// Ranks every query through the serving engine (the trainer keeps the
+/// model; ids on a fresh build are database positions).
+fn strategy_metrics(
+    model: &Traj2Hash,
+    dataset: &Dataset,
+    truth: &[Vec<usize>],
+    strategy: Strategy,
+) -> Metrics {
+    let engine =
+        Traj2HashEngine::build_from(model, dataset.database.clone(), EngineConfig::default())
+            .expect("engine build");
+    let ranked: Vec<Vec<usize>> = dataset
+        .query
+        .iter()
+        .map(|q| {
+            engine
+                .query(q, 50, strategy)
+                .expect("engine query")
+                .into_iter()
+                .map(|h| h.id as usize)
+                .collect()
+        })
+        .collect();
+    Metrics::evaluate(&ranked, truth)
+}
+
 fn euclidean_metrics(model: &Traj2Hash, dataset: &Dataset, truth: &[Vec<usize>]) -> Metrics {
-    let db = model.embed_all(&dataset.database);
-    let q = model.embed_all(&dataset.query);
-    Metrics::evaluate(&rank_euclidean(&db, &q, 50), truth)
+    strategy_metrics(model, dataset, truth, Strategy::EuclideanBf)
 }
 
 fn hamming_metrics(model: &Traj2Hash, dataset: &Dataset, truth: &[Vec<usize>]) -> Metrics {
-    let db = pack_codes(&model.hash_all(&dataset.database));
-    let q = pack_codes(&model.hash_all(&dataset.query));
-    Metrics::evaluate(&rank_hamming(&db, &q, 50), truth)
+    strategy_metrics(model, dataset, truth, Strategy::HammingBf)
 }
 
 #[test]

@@ -1,0 +1,425 @@
+//! Engine correctness suite.
+//!
+//! Three families of guarantees, matching the refactor's acceptance
+//! criteria:
+//!
+//! 1. **Parity** — a freshly built [`Traj2HashEngine`] answers every
+//!    strategy bit-identically to the pre-refactor direct path
+//!    (`embed_all` → `pack` → `euclidean_top_k` / `hamming_top_k` /
+//!    table / MIH / hybrid), ids and distances both.
+//! 2. **Incremental == rebuilt** — any interleaving of insert/remove
+//!    (with compactions forced by a tiny rebuild threshold) answers
+//!    exactly like an engine built from scratch over the surviving
+//!    trajectories (property-based).
+//! 3. **Snapshots** — save → load → query roundtrips exactly, and
+//!    corrupted/truncated/wrong-magic snapshots are rejected with typed
+//!    errors, never a panic or a silently wrong engine.
+
+use proptest::prelude::*;
+use traj_data::{CityParams, Dataset, SplitSizes, Trajectory};
+use traj_engine::{
+    EngineConfig, EngineError, EuclideanBackend, Strategy, Traj2HashEngine,
+};
+use traj_index::search::Hit as SlotHit;
+use traj_index::{
+    euclidean_top_k, hamming_top_k, top_k_hits, BinaryCode, HammingTable, MultiIndexHashing,
+};
+use traj2hash::{CheckpointError, ModelConfig, ModelContext, Traj2Hash};
+
+/// A deterministic little world: synthetic city, untrained tiny model
+/// (training is orthogonal to engine correctness and tested elsewhere).
+fn world() -> (Dataset, Traj2Hash) {
+    let sizes = SplitSizes { seeds: 16, validation: 20, corpus: 150, query: 8, database: 90 };
+    let dataset = Dataset::generate(CityParams::test_city(), sizes, 11);
+    let mcfg = ModelConfig::tiny();
+    let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 11);
+    let model = Traj2Hash::new(mcfg, &ctx, 13);
+    (dataset, model)
+}
+
+/// The pre-refactor direct path for one strategy, over a frozen corpus.
+fn direct_path(
+    embs: &[Vec<f32>],
+    codes: &[BinaryCode],
+    q_emb: &[f32],
+    k: usize,
+    strategy: Strategy,
+) -> Vec<SlotHit> {
+    let qc = BinaryCode::from_floats(q_emb);
+    match strategy {
+        Strategy::EuclideanBf => euclidean_top_k(embs, q_emb, k),
+        Strategy::HammingBf => hamming_top_k(codes, &qc, k),
+        Strategy::Table => {
+            let table = HammingTable::try_build(codes.to_vec()).unwrap();
+            let ball: Vec<SlotHit> = table
+                .lookup_within(&qc, 2)
+                .unwrap()
+                .into_iter()
+                .flat_map(|(d, slots)| {
+                    slots.into_iter().map(move |s| SlotHit { index: s, distance: d as f64 })
+                })
+                .collect();
+            top_k_hits(ball, k)
+        }
+        Strategy::Mih => {
+            MultiIndexHashing::try_build(codes.to_vec(), 4).unwrap().top_k(&qc, k).unwrap()
+        }
+        Strategy::Hybrid => {
+            HammingTable::try_build(codes.to_vec()).unwrap().hybrid_top_k(&qc, k).unwrap()
+        }
+    }
+}
+
+#[test]
+fn fresh_engine_matches_direct_path_bit_for_bit_on_every_strategy() {
+    let (dataset, model) = world();
+    let corpus = dataset.database.clone();
+    let embs = model.embed_all(&corpus);
+    let codes: Vec<BinaryCode> = embs.iter().map(|e| BinaryCode::from_floats(e)).collect();
+    let engine =
+        Traj2HashEngine::build_from(&model, corpus, EngineConfig::default()).unwrap();
+
+    for q in &dataset.query {
+        let q_emb = model.embed(q).data().to_vec();
+        for k in [1usize, 5, 10, 37] {
+            for strategy in Strategy::ALL {
+                let want = direct_path(&embs, &codes, &q_emb, k, strategy);
+                let got = engine.query(q, k, strategy).unwrap();
+                // Fresh build assigns ids 0..n in corpus order, so the
+                // engine's stable ids ARE the direct path's indices.
+                let got: Vec<SlotHit> = got
+                    .into_iter()
+                    .map(|h| SlotHit { index: h.id as usize, distance: h.distance })
+                    .collect();
+                assert_eq!(
+                    got,
+                    want,
+                    "{} diverged from the direct path at k={k}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vptree_backend_agrees_with_brute_force() {
+    let (dataset, model) = world();
+    let cfg_vp =
+        EngineConfig { euclidean_backend: EuclideanBackend::VpTree, ..EngineConfig::default() };
+    let bf = Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+        .unwrap();
+    let vp = Traj2HashEngine::build_from(&model, dataset.database.clone(), cfg_vp).unwrap();
+    for q in &dataset.query {
+        assert_eq!(
+            bf.query(q, 10, Strategy::EuclideanBf).unwrap(),
+            vp.query(q, 10, Strategy::EuclideanBf).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn k_zero_and_empty_engine_answer_with_nothing() {
+    let (dataset, model) = world();
+    let engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    let empty =
+        Traj2HashEngine::build_from(&model, Vec::new(), EngineConfig::default()).unwrap();
+    assert!(empty.is_empty());
+    for strategy in Strategy::ALL {
+        assert!(engine.query(&dataset.query[0], 0, strategy).unwrap().is_empty());
+        assert!(empty.query(&dataset.query[0], 5, strategy).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn remove_rejects_unknown_and_double_removal() {
+    let (dataset, model) = world();
+    let mut engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    assert!(matches!(engine.remove(999_999), Err(EngineError::UnknownId(999_999))));
+    engine.remove(3).unwrap();
+    assert!(matches!(engine.remove(3), Err(EngineError::UnknownId(3))));
+    assert!(!engine.contains(3));
+    assert!(engine.get(3).is_none());
+}
+
+#[test]
+fn removed_trajectories_vanish_from_every_strategy() {
+    let (dataset, model) = world();
+    let mut engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    let q = &dataset.query[0];
+    // Remove the entire Euclidean top-5, then confirm none of the five
+    // ever reappears under any strategy.
+    let victims: Vec<u64> =
+        engine.query(q, 5, Strategy::EuclideanBf).unwrap().iter().map(|h| h.id).collect();
+    for &id in &victims {
+        engine.remove(id).unwrap();
+    }
+    for strategy in Strategy::ALL {
+        let hits = engine.query(q, 20, strategy).unwrap();
+        for h in &hits {
+            assert!(!victims.contains(&h.id), "{} resurfaced a tombstone", strategy.name());
+        }
+    }
+    assert_eq!(engine.len(), dataset.database.len() - victims.len());
+}
+
+#[test]
+fn compaction_preserves_ids_and_answers() {
+    let (dataset, model) = world();
+    let mut engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    for id in [0u64, 7, 13, 44, 80] {
+        engine.remove(id).unwrap();
+    }
+    let q = &dataset.query[1];
+    let before: Vec<_> =
+        Strategy::ALL.iter().map(|&s| engine.query(q, 15, s).unwrap()).collect();
+    let ids_before: Vec<u64> = engine.ids().collect();
+    let gen_before = engine.stats().generation;
+
+    engine.compact();
+
+    let after: Vec<_> =
+        Strategy::ALL.iter().map(|&s| engine.query(q, 15, s).unwrap()).collect();
+    let stats = engine.stats();
+    assert_eq!(before, after, "compaction changed query answers");
+    assert_eq!(ids_before, engine.ids().collect::<Vec<_>>(), "compaction changed live ids");
+    assert_eq!(stats.dead, 0);
+    assert_eq!(stats.delta, 0);
+    assert!(stats.generation > gen_before);
+}
+
+#[test]
+fn inserts_are_searchable_immediately_and_get_fresh_ids() {
+    let (dataset, model) = world();
+    let mut engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    let novel = dataset.query[2].clone();
+    let id = engine.insert(novel.clone());
+    assert_eq!(id, dataset.database.len() as u64);
+    assert!(engine.contains(id));
+    // A self-query must find the fresh entry at distance 0 under every
+    // strategy — it lives in the delta region, proving the linear merge
+    // actually runs. In Euclidean space it is also rank 1 outright; in
+    // Hamming space the untrained model's codes collide, so it may tie
+    // at distance 0 with older entries (which win the index tie-break).
+    let top = engine.query(&novel, 1, Strategy::EuclideanBf).unwrap();
+    assert_eq!(top[0].id, id);
+    assert_eq!(top[0].distance, 0.0);
+    for strategy in Strategy::ALL {
+        let hits = engine.query(&novel, engine.len(), strategy).unwrap();
+        let me = hits
+            .iter()
+            .find(|h| h.id == id)
+            .unwrap_or_else(|| panic!("{} cannot see the fresh insert", strategy.name()));
+        assert_eq!(me.distance, 0.0, "{}", strategy.name());
+    }
+    // Its id is never recycled, even after removal + compaction.
+    engine.remove(id).unwrap();
+    engine.compact();
+    let id2 = engine.insert(novel);
+    assert!(id2 > id);
+}
+
+/// Applies one op stream to an incrementally maintained engine and to a
+/// shadow list, then checks the engine agrees with a from-scratch build
+/// over exactly the shadow's survivors.
+fn check_incremental_matches_rebuilt(ops: &[(bool, usize)]) {
+    let (dataset, model) = world();
+    // Tiny slack so the op stream actually crosses rebuild thresholds.
+    let cfg = EngineConfig { rebuild_slack: 4, ..EngineConfig::default() };
+    let initial: Vec<Trajectory> = dataset.database[..12].to_vec();
+    let mut engine = Traj2HashEngine::build_from(&model, initial.clone(), cfg.clone()).unwrap();
+    let mut shadow: Vec<(u64, Trajectory)> =
+        initial.into_iter().enumerate().map(|(i, t)| (i as u64, t)).collect();
+
+    let mut pool = dataset.database[12..].iter().cloned().cycle();
+    for &(insert, pick) in ops {
+        if insert {
+            let t = pool.next().unwrap();
+            let id = engine.insert(t.clone());
+            shadow.push((id, t));
+        } else if !shadow.is_empty() {
+            let (id, _) = shadow.remove(pick % shadow.len());
+            engine.remove(id).unwrap();
+        }
+    }
+
+    assert_eq!(engine.len(), shadow.len());
+    let shadow_ids: Vec<u64> = shadow.iter().map(|(id, _)| *id).collect();
+    assert_eq!(engine.ids().collect::<Vec<_>>(), shadow_ids);
+
+    // Reference: built from scratch over the survivors, in id order
+    // (which is the shadow's order — removals keep it sorted). Its slot
+    // i therefore corresponds to shadow id shadow_ids[i].
+    let survivors: Vec<Trajectory> = shadow.iter().map(|(_, t)| t.clone()).collect();
+    let reference = Traj2HashEngine::build_from(&model, survivors, cfg).unwrap();
+    for q in dataset.query.iter().take(3) {
+        for k in [1usize, 7] {
+            for strategy in Strategy::ALL {
+                let got = engine.query(q, k, strategy).unwrap();
+                let want: Vec<(u64, f64)> = reference
+                    .query(q, k, strategy)
+                    .unwrap()
+                    .into_iter()
+                    .map(|h| (shadow_ids[h.id as usize], h.distance))
+                    .collect();
+                let got: Vec<(u64, f64)> =
+                    got.into_iter().map(|h| (h.id, h.distance)).collect();
+                assert_eq!(
+                    got,
+                    want,
+                    "{} diverged after {} ops at k={}",
+                    strategy.name(),
+                    ops.len(),
+                    k
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn incremental_engine_matches_from_scratch_rebuild(
+        ops in proptest::collection::vec((proptest::bool::ANY, 0usize..64), 0..24),
+    ) {
+        check_incremental_matches_rebuilt(&ops);
+    }
+}
+
+#[test]
+fn snapshot_roundtrips_bit_for_bit() {
+    let (dataset, model) = world();
+    let mut engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    // Dirty the state so the snapshot covers delta + tombstones too.
+    engine.insert(dataset.query[0].clone());
+    engine.remove(5).unwrap();
+    engine.remove(41).unwrap();
+
+    let bytes = engine.snapshot_bytes().unwrap();
+    let loaded = Traj2HashEngine::from_snapshot_bytes(&bytes).unwrap();
+
+    assert_eq!(loaded.len(), engine.len());
+    assert_eq!(loaded.ids().collect::<Vec<_>>(), engine.ids().collect::<Vec<_>>());
+    for q in &dataset.query {
+        for strategy in Strategy::ALL {
+            assert_eq!(
+                loaded.query(q, 12, strategy).unwrap(),
+                engine.query(q, 12, strategy).unwrap(),
+                "{} diverged after snapshot reload",
+                strategy.name()
+            );
+        }
+    }
+    // next_id survives: a post-reload insert gets a fresh id, not a
+    // recycled one.
+    let mut loaded = loaded;
+    let fresh = loaded.insert(dataset.query[1].clone());
+    assert!(fresh > dataset.database.len() as u64);
+}
+
+#[test]
+fn snapshot_roundtrips_without_grid_channel() {
+    let sizes = SplitSizes { seeds: 16, validation: 20, corpus: 150, query: 8, database: 40 };
+    let dataset = Dataset::generate(CityParams::test_city(), sizes, 17);
+    let mcfg = ModelConfig::tiny().without_grids();
+    let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 17);
+    let model = Traj2Hash::new(mcfg, &ctx, 19);
+    let engine = Traj2HashEngine::build(model, dataset.database.clone(), EngineConfig::default())
+        .unwrap();
+    let loaded = Traj2HashEngine::from_snapshot_bytes(&engine.snapshot_bytes().unwrap()).unwrap();
+    for q in &dataset.query {
+        assert_eq!(
+            loaded.query(q, 8, Strategy::EuclideanBf).unwrap(),
+            engine.query(q, 8, Strategy::EuclideanBf).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn snapshot_survives_the_filesystem() {
+    let (dataset, model) = world();
+    let engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    let path = std::env::temp_dir().join(format!("t2h-engine-{}.snap", std::process::id()));
+    engine.save_snapshot(&path).unwrap();
+    let loaded = Traj2HashEngine::load_snapshot(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        loaded.query(&dataset.query[0], 10, Strategy::Mih).unwrap(),
+        engine.query(&dataset.query[0], 10, Strategy::Mih).unwrap(),
+    );
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected_not_loaded() {
+    let (dataset, model) = world();
+    let engine = Traj2HashEngine::build_from(
+        &model,
+        dataset.database[..30].to_vec(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let bytes = engine.snapshot_bytes().unwrap();
+
+    // Bit flips anywhere in the payload trip the checksum.
+    for pos in [24usize, bytes.len() / 2, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x40;
+        match Traj2HashEngine::from_snapshot_bytes(&bad) {
+            Err(EngineError::Snapshot(CheckpointError::ChecksumMismatch { .. })) => {}
+            Err(e) => panic!("corruption at byte {pos} surfaced the wrong error: {e}"),
+            Ok(_) => panic!("corruption at byte {pos} was not caught"),
+        }
+    }
+
+    // A flipped magic byte is a different file format, not corruption.
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] ^= 0xFF;
+    assert!(matches!(
+        Traj2HashEngine::from_snapshot_bytes(&wrong_magic),
+        Err(EngineError::Snapshot(CheckpointError::BadMagic))
+    ));
+
+    // Truncation at any prefix must error, never panic or mis-load.
+    for cut in [0usize, 7, 15, bytes.len() - 9] {
+        assert!(
+            Traj2HashEngine::from_snapshot_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes was accepted"
+        );
+    }
+
+    // A model checkpoint is not an engine snapshot.
+    let ckpt = traj2hash::Checkpoint {
+        epoch: 0,
+        adam_steps: 0,
+        triplet_cursor: 0,
+        lr: 0.1,
+        best_epoch: 0,
+        best_val: None,
+        params_state: Vec::new(),
+        best_params: Vec::new(),
+        epoch_losses: Vec::new(),
+        val_hr10: Vec::new(),
+        recoveries: Vec::new(),
+    }
+    .encode();
+    assert!(matches!(
+        Traj2HashEngine::from_snapshot_bytes(&ckpt),
+        Err(EngineError::Snapshot(CheckpointError::BadMagic))
+    ));
+}
