@@ -9,6 +9,9 @@
 #   ./check.sh engine   serving-layer suite only: traj-engine unit tests
 #                       plus the parity / incremental / snapshot
 #                       integration suite
+#   ./check.sh lint     static analysis only: builds and runs traj-lint
+#                       over the workspace (extra args are forwarded,
+#                       e.g. ./check.sh lint --fix-list)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,6 +30,13 @@ if [[ "${1:-}" == "engine" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "lint" ]]; then
+    shift
+    echo "==> traj-lint"
+    cargo run -q --release -p traj-lint -- --root . "$@"
+    exit 0
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -35,5 +45,8 @@ cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> traj-lint (repo-specific rules, see DESIGN.md section 10)"
+cargo run -q --release -p traj-lint -- --root .
 
 echo "All checks passed."

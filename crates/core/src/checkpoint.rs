@@ -255,14 +255,17 @@ impl<'a> PayloadReader<'a> {
     }
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        // lint: allow(unwrap) — take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     /// Reads a little-endian `f32`.
     pub fn f32(&mut self) -> Result<f32, CheckpointError> {
+        // lint: allow(unwrap) — take(4) returned exactly 4 bytes
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     /// Reads a little-endian `f64`.
     pub fn f64(&mut self) -> Result<f64, CheckpointError> {
+        // lint: allow(unwrap) — take(8) returned exactly 8 bytes
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     /// Reads a `u64` element count for a vector of `elem_size`-byte
@@ -329,11 +332,14 @@ pub fn decode_container<'a>(
     if &bytes[..8] != magic {
         return Err(CheckpointError::BadMagic);
     }
+    // lint: allow(unwrap) — header length was checked above; these slices are exact
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
     if version == 0 || version > max_version {
         return Err(CheckpointError::UnsupportedVersion(version));
     }
+    // lint: allow(unwrap) — 8-byte slice of a length-checked header
     let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    // lint: allow(unwrap) — 4-byte slice of a length-checked header
     let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
     let payload = &bytes[24..];
     if payload.len() as u64 != payload_len {

@@ -33,6 +33,10 @@ pub enum TrainError {
     /// this model (count or shape mismatch — usually a config drift
     /// between the saving and resuming run).
     IncompatibleCheckpoint(String),
+    /// The debug-build static verifier rejected a compiled batch plan or
+    /// a recorded loss tape before `backward` ran (shape drift, severed
+    /// gradient flow, duplicate slot writes, poisoned supervision).
+    InvalidGraph(String),
 }
 
 impl fmt::Display for TrainError {
@@ -51,6 +55,9 @@ impl fmt::Display for TrainError {
             TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             TrainError::IncompatibleCheckpoint(s) => {
                 write!(f, "checkpoint incompatible with this model: {s}")
+            }
+            TrainError::InvalidGraph(s) => {
+                write!(f, "static verification rejected the training graph: {s}")
             }
         }
     }

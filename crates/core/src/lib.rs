@@ -45,6 +45,7 @@ pub mod encoder;
 pub mod error;
 pub mod loss;
 pub mod model;
+mod plan;
 pub mod trainer;
 
 pub use checkpoint::{Checkpoint, CheckpointError, RecoveryEvent, RecoveryKind};

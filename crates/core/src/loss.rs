@@ -53,9 +53,7 @@ pub fn sample_companions(
     assert!(n >= 2, "need at least two trajectories to sample companions");
     let m = m.min(n - 1);
     let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-    order.sort_by(|&a, &b| {
-        sim_row[b].partial_cmp(&sim_row[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(by_similarity_desc(sim_row));
     let nearest = m / 2;
     let mut chosen: Vec<usize> = order[..nearest].to_vec();
     // random fill from the remainder
@@ -67,10 +65,22 @@ pub fn sample_companions(
             chosen.push(rest[r]);
         }
     }
-    chosen.sort_by(|&a, &b| {
-        sim_row[b].partial_cmp(&sim_row[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    chosen.sort_by(by_similarity_desc(sim_row));
     chosen
+}
+
+/// Descending-similarity comparator with explicit NaN policy: a NaN
+/// similarity sorts *last* (least similar) instead of wherever a failed
+/// `partial_cmp` happened to leave it — a naive `total_cmp` descending
+/// sort would rank positive NaN as the *most* similar companion. Ties
+/// break on ascending index so companion order is deterministic.
+fn by_similarity_desc(sim_row: &[f64]) -> impl Fn(&usize, &usize) -> std::cmp::Ordering + '_ {
+    move |&a, &b| match (sim_row[a].is_nan(), sim_row[b].is_nan()) {
+        (true, true) => a.cmp(&b),
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => sim_row[b].total_cmp(&sim_row[a]).then(a.cmp(&b)),
+    }
 }
 
 /// Groups a similarity-sorted companion list into `(positive, negative)`

@@ -14,15 +14,13 @@
 use crate::checkpoint::{Checkpoint, RecoveryEvent, RecoveryKind};
 use crate::config::TrainConfig;
 use crate::error::TrainError;
-use crate::loss::{
-    approx_similarity, rank_pairs, rank_weights, ranking_hash_loss, sample_companions, wmse_term,
-};
+use crate::loss::{approx_similarity, ranking_hash_loss, wmse_term};
 use crate::model::Traj2Hash;
+use crate::plan::{triplet_plan, wmse_plan, BatchPlan, LossTerm};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
 use std::sync::mpsc;
-use tinynn::{clip_grad_norm, Adam, Param, Tape, Tensor, Var};
+use tinynn::{clip_grad_norm, verify_tape, Adam, Param, Tape, Tensor, Var};
 use traj_data::{Dataset, Trajectory};
 use traj_dist::{auto_theta, distance_matrix, similarity_matrix, DistanceMatrix, Measure};
 use traj_grid::{generate_triplets, GridSpec, Triplet};
@@ -157,11 +155,9 @@ pub fn validation_hr10_with_threads(model: &Traj2Hash, data: &TrainData, threads
         let d2 = |a: &[f32], b: &[f32]| -> f32 {
             a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
         };
-        order.sort_by(|&a, &b| {
-            d2(qe, &embeddings[a])
-                .partial_cmp(&d2(qe, &embeddings[b]))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // total_cmp: a poisoned (NaN) embedding distance sorts last
+        // instead of anywhere the comparator happens to leave it.
+        order.sort_by(|&a, &b| d2(qe, &embeddings[a]).total_cmp(&d2(qe, &embeddings[b])));
         let predicted = &order[..10.min(order.len())];
         let truth = &data.val_truth[qi];
         hits += predicted.iter().filter(|p| truth.contains(p)).count();
@@ -179,120 +175,6 @@ pub fn validation_hr10_with_threads(model: &Traj2Hash, data: &TrainData, threads
 /// uninterrupted run would have.
 fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
     StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-}
-
-/// One WMSE anchor's loss terms, expressed over *slots* — indices into
-/// the batch's deduplicated trajectory list.
-struct AnchorTerm {
-    /// Slot of the anchor embedding.
-    anchor: usize,
-    /// `(companion slot, target similarity, rank weight)` per companion,
-    /// in sampling order (Eq. 17's targets and weights, precomputed so
-    /// the loss graph needs no access to the similarity matrix).
-    companions: Vec<(usize, f64, f32)>,
-    /// Ranking pairs `(positive slot, negative slot)` from Eq. 18/19.
-    pairs: Vec<(usize, usize)>,
-}
-
-/// One loss term of a [`BatchPlan`].
-enum LossTerm {
-    /// WMSE + ranking objective for one seed anchor (`L_s + gamma L_r`).
-    Anchor(AnchorTerm),
-    /// One generated corpus triplet (`L_t`), as slots.
-    Triplet { a: usize, p: usize, n: usize },
-}
-
-/// A mini-batch compiled to slot form: every distinct trajectory of the
-/// batch appears exactly once in `trajs` (first-appearance order) and
-/// the loss terms reference embeddings by slot. The trajectory list is
-/// the batch's unit of parallelism — each slot is one independent
-/// forward/backward — and it is fixed by the batch *content*, never by
-/// the thread count, so the embedding work list and the floating-point
-/// gradient reduction order are identical for every `num_threads`.
-struct BatchPlan<'a> {
-    /// Slot → trajectory, deduplicated in first-appearance order.
-    trajs: Vec<&'a Trajectory>,
-    /// Loss terms in batch order.
-    terms: Vec<LossTerm>,
-    /// Batch normalizer applied once to the summed loss.
-    scale: f32,
-}
-
-/// Interns trajectory `idx` of `pool` into the plan's slot list.
-fn slot_for<'a>(
-    idx: usize,
-    pool: &'a [Trajectory],
-    slot_of: &mut HashMap<usize, usize>,
-    trajs: &mut Vec<&'a Trajectory>,
-) -> usize {
-    *slot_of.entry(idx).or_insert_with(|| {
-        trajs.push(&pool[idx]);
-        trajs.len() - 1
-    })
-}
-
-/// Compiles one WMSE/ranking batch of seed anchors into a plan. Draws
-/// companion samples from `rng` in anchor order (the RNG stream is the
-/// same for every thread count). Returns `None` when no anchor in the
-/// batch has companions.
-fn wmse_plan<'a>(
-    data: &'a TrainData,
-    cfg: &TrainConfig,
-    batch: &[usize],
-    rng: &mut StdRng,
-) -> Option<BatchPlan<'a>> {
-    let mut slot_of: HashMap<usize, usize> = HashMap::new();
-    let mut trajs: Vec<&Trajectory> = Vec::new();
-    let mut terms: Vec<LossTerm> = Vec::new();
-    for &i in batch {
-        let companions = sample_companions(i, data.sim.row(i), cfg.samples_per_anchor, rng);
-        if companions.is_empty() {
-            continue;
-        }
-        let anchor = slot_for(i, &data.seeds, &mut slot_of, &mut trajs);
-        let weights = rank_weights(companions.len());
-        let comp = companions
-            .iter()
-            .enumerate()
-            .map(|(rank, &j)| {
-                (slot_for(j, &data.seeds, &mut slot_of, &mut trajs), data.sim.get(i, j), weights[rank])
-            })
-            .collect();
-        let pairs = rank_pairs(&companions)
-            .into_iter()
-            .map(|(p, n)| {
-                (
-                    slot_for(p, &data.seeds, &mut slot_of, &mut trajs),
-                    slot_for(n, &data.seeds, &mut slot_of, &mut trajs),
-                )
-            })
-            .collect();
-        terms.push(LossTerm::Anchor(AnchorTerm { anchor, companions: comp, pairs }));
-    }
-    if terms.is_empty() {
-        return None;
-    }
-    Some(BatchPlan { trajs, terms, scale: 1.0 / batch.len() as f32 })
-}
-
-/// Compiles one generated-triplet batch into a plan (Eq. 20; the
-/// `gamma` weight of Eq. 21 is folded into the scale).
-fn triplet_plan<'a>(
-    data: &'a TrainData,
-    cfg: &TrainConfig,
-    batch: &[Triplet],
-) -> BatchPlan<'a> {
-    let mut slot_of: HashMap<usize, usize> = HashMap::new();
-    let mut trajs: Vec<&Trajectory> = Vec::new();
-    let terms = batch
-        .iter()
-        .map(|&(a, p, n)| LossTerm::Triplet {
-            a: slot_for(a, &data.corpus, &mut slot_of, &mut trajs),
-            p: slot_for(p, &data.corpus, &mut slot_of, &mut trajs),
-            n: slot_for(n, &data.corpus, &mut slot_of, &mut trajs),
-        })
-        .collect();
-    BatchPlan { trajs, terms, scale: cfg.gamma / batch.len() as f32 }
 }
 
 /// Builds the batch loss on `tape` over the *detached* embedding proxies
@@ -358,15 +240,32 @@ fn batch_loss(
 /// single-threaded path runs the identical forward/loss/harvest/reduce
 /// arithmetic, which is what makes `num_threads = 1` and `num_threads
 /// = N` agree bit-for-bit.
+///
+/// With `verify` set (the trainer's debug-build hook), the compiled
+/// plan and the recorded loss tape are statically verified *before*
+/// `backward` runs; an inconsistent graph surfaces as
+/// [`TrainError::InvalidGraph`] instead of a panic mid-epoch or a
+/// silently wrong gradient.
 fn run_batch(
     model: &Traj2Hash,
     cfg: &TrainConfig,
     opt: &mut Adam,
     plan: &BatchPlan<'_>,
     threads: usize,
-) -> f32 {
+    verify: bool,
+) -> Result<f32, TrainError> {
     let n = plan.trajs.len();
     assert!(n > 0, "run_batch needs at least one trajectory");
+    if verify {
+        let issues = plan.verify();
+        if !issues.is_empty() {
+            let text: Vec<String> = issues.iter().map(|i| i.to_string()).collect();
+            return Err(TrainError::InvalidGraph(format!(
+                "batch plan failed verification: {}",
+                text.join("; ")
+            )));
+        }
+    }
     let threads = threads.clamp(1, n);
     let mut per_slot: Vec<Option<Vec<Tensor>>> = (0..n).map(|_| None).collect();
     let item: f32;
@@ -385,6 +284,14 @@ fn run_batch(
             forwards.iter().map(|(_, v)| Param::new(v.value())).collect();
         let loss_tape = Tape::new();
         let loss = batch_loss(model, &loss_tape, cfg, plan, &proxies);
+        if verify {
+            let report = verify_tape(&loss_tape, &loss);
+            if !report.is_ok() {
+                return Err(TrainError::InvalidGraph(format!(
+                    "loss tape failed verification: {report}"
+                )));
+            }
+        }
         item = loss.item();
         loss.backward();
         for (k, (_tape, v)) in forwards.iter().enumerate() {
@@ -398,7 +305,7 @@ fn run_batch(
         let chunk = n.div_ceil(threads);
         let (val_tx, val_rx) = mpsc::channel::<(usize, Tensor)>();
         let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<Tensor>)>();
-        item = std::thread::scope(|scope| {
+        item = std::thread::scope(|scope| -> Result<f32, TrainError> {
             let mut grad_txs: Vec<mpsc::Sender<Vec<Tensor>>> = Vec::new();
             for start in (0..n).step_by(chunk) {
                 let end = (start + chunk).min(n);
@@ -451,6 +358,16 @@ fn run_batch(
                 .collect();
             let loss_tape = Tape::new();
             let loss = batch_loss(model, &loss_tape, cfg, plan, &proxies);
+            if verify {
+                let report = verify_tape(&loss_tape, &loss);
+                if !report.is_ok() {
+                    // Early return drops `grad_txs`; workers observe the
+                    // closed channel and exit cleanly before backward.
+                    return Err(TrainError::InvalidGraph(format!(
+                        "loss tape failed verification: {report}"
+                    )));
+                }
+            }
             let item = loss.item();
             loss.backward();
             for (wi, start) in (0..n).step_by(chunk).enumerate() {
@@ -463,8 +380,8 @@ fn run_batch(
                 let (k, g) = res_rx.recv().expect("gradient worker died");
                 per_slot[k] = Some(g);
             }
-            item
-        });
+            Ok(item)
+        })?;
     }
 
     // Fixed-order reduction: whatever the thread layout, slot 0 seeds
@@ -484,13 +401,19 @@ fn run_batch(
     model.params.load_grads(acc.expect("batch reduced to no gradients"));
     clip_grad_norm(&model.params, cfg.clip_norm);
     opt.step(&model.params);
-    item
+    Ok(item)
 }
 
 /// Runs one epoch of the combined objective; returns the mean batch
 /// loss and advances the triplet cursor. All companion/shuffle sampling
 /// happens here on the calling thread, in the same order regardless of
 /// `threads`, so the RNG stream is thread-count independent.
+///
+/// In debug builds the first batch of the epoch goes through the static
+/// verifiers (plan + recorded loss tape) before any backward pass — a
+/// regression in batch compilation or tape recording fails fast with a
+/// typed [`TrainError::InvalidGraph`] rather than a mid-epoch panic.
+/// Release builds skip the check entirely.
 fn run_epoch(
     model: &Traj2Hash,
     data: &TrainData,
@@ -499,10 +422,11 @@ fn run_epoch(
     rng: &mut StdRng,
     triplet_cursor: &mut usize,
     threads: usize,
-) -> f32 {
+) -> Result<f32, TrainError> {
     let n_seeds = data.seeds.len();
     let mut epoch_loss = 0.0f32;
     let mut batches = 0usize;
+    let debug_verify = cfg!(debug_assertions);
 
     // ---- WMSE + ranking objective over seed anchors (L_s + g L_r) --
     let mut anchors: Vec<usize> = (0..n_seeds).collect();
@@ -512,7 +436,7 @@ fn run_epoch(
     }
     for batch in anchors.chunks(cfg.batch_size) {
         let Some(plan) = wmse_plan(data, cfg, batch, rng) else { continue };
-        epoch_loss += run_batch(model, cfg, opt, &plan, threads);
+        epoch_loss += run_batch(model, cfg, opt, &plan, threads, debug_verify && batches == 0)?;
         batches += 1;
     }
 
@@ -530,16 +454,12 @@ fn run_epoch(
                 .collect();
             used += take;
             let plan = triplet_plan(data, cfg, &batch_triplets);
-            epoch_loss += run_batch(model, cfg, opt, &plan, threads);
+            epoch_loss += run_batch(model, cfg, opt, &plan, threads, debug_verify && batches == 0)?;
             batches += 1;
         }
     }
 
-    if batches > 0 {
-        epoch_loss / batches as f32
-    } else {
-        0.0
-    }
+    Ok(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 })
 }
 
 /// The last state known to be healthy; the divergence guard restores
@@ -671,7 +591,7 @@ pub fn train_with_hooks(
         model.beta = cfg.beta0 + cfg.beta_step * epoch as f32;
         let mut rng = epoch_rng(cfg.seed, epoch);
         let mut cursor = good.triplet_cursor;
-        let raw_loss = run_epoch(model, data, cfg, &mut opt, &mut rng, &mut cursor, threads);
+        let raw_loss = run_epoch(model, data, cfg, &mut opt, &mut rng, &mut cursor, threads)?;
         let loss = match hooks.on_epoch_loss.as_mut() {
             Some(h) => h(epoch, raw_loss),
             None => raw_loss,

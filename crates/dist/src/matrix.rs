@@ -176,7 +176,9 @@ pub fn auto_theta(d: &DistanceMatrix, target: f64) -> f64 {
     if vals.is_empty() {
         return 1.0;
     }
-    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp sorts NaN distances last, so a few poisoned entries
+    // shift the median slightly instead of scrambling the whole order.
+    vals.sort_by(f64::total_cmp);
     let median = vals[vals.len() / 2].max(1e-9);
     -target.clamp(1e-6, 0.999_999).ln() / median
 }
@@ -252,7 +254,7 @@ mod tests {
                 vals.push(d.get(i, j));
             }
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(f64::total_cmp);
         let median = vals[vals.len() / 2];
         assert!(((-theta * median).exp() - 0.5).abs() < 1e-9);
     }

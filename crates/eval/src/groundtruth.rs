@@ -4,6 +4,7 @@
 
 use traj_data::Trajectory;
 use traj_dist::Measure;
+use traj_index::{top_k_hits, Hit};
 
 /// Computes, for every query, the indices of its `k` nearest database
 /// trajectories under `measure`. Parallelized over queries.
@@ -42,17 +43,16 @@ pub fn ground_truth_top_k(
     results.into_iter().map(|r| r.expect("row computed")).collect()
 }
 
+/// Delegates to the shared NaN-sound selection helper
+/// [`traj_index::top_k_hits`]: `total_cmp` ordering (a NaN distance can
+/// never be ranked "nearest") with deterministic ascending-index ties.
 fn top_k_one(query: &Trajectory, database: &[Trajectory], measure: Measure, k: usize) -> Vec<usize> {
-    let mut scored: Vec<(usize, f64)> = database
+    let scored: Vec<Hit> = database
         .iter()
         .enumerate()
-        .map(|(i, t)| (i, measure.distance(query, t)))
+        .map(|(i, t)| Hit { index: i, distance: measure.distance(query, t) })
         .collect();
-    scored.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-    });
-    scored.truncate(k);
-    scored.into_iter().map(|(i, _)| i).collect()
+    top_k_hits(scored, k).into_iter().map(|h| h.index).collect()
 }
 
 #[cfg(test)]

@@ -67,7 +67,9 @@ impl VpTree {
             .into_iter()
             .map(|id| (dist(&data[vantage as usize], &data[id as usize]), id))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp puts NaN distances past the median split instead of
+        // leaving the partition order comparator-dependent.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let median = scored[scored.len() / 2].0;
         let (inside, outside): (Vec<_>, Vec<_>) =
             scored.into_iter().partition(|&(d, _)| d <= median);

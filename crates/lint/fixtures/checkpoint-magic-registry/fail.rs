@@ -1,0 +1,3 @@
+// Fixture: a magic-shaped container header not declared in the registry
+// (crates/lint/src/registry.rs). Must be flagged.
+pub const MAGIC: &[u8; 8] = b"ZZTRAJ99";

@@ -1,0 +1,9 @@
+// Fixture: registered magics, annotated magic-shaped constants, and
+// byte strings that don't look like magics at all.
+pub const MAGIC: &[u8; 8] = b"T2HCKPT1";
+
+// lint: allow(magic) — a wire sample used in docs, not a container header
+pub const SAMPLE: &[u8; 4] = b"AB12";
+
+pub const NOT_A_MAGIC_TOO_SHORT: &[u8; 2] = b"AB";
+pub const NOT_A_MAGIC_LOWERCASE: &[u8; 4] = b"abcd";

@@ -1,0 +1,12 @@
+// Fixture: NaN-unsound float ordering — the exact pattern behind the
+// seven sorts fixed in this PR. Must be flagged.
+pub fn rank(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn nearest(dists: &[(usize, f64)]) -> Option<usize> {
+    dists
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(i, _)| *i)
+}

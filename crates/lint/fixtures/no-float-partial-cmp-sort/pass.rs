@@ -1,0 +1,20 @@
+// Fixture: NaN-sound float ordering — total_cmp everywhere, plus the
+// patterns the rule must NOT trip on: strings, comments, and test code.
+pub fn rank(xs: &mut [f32]) {
+    xs.sort_by(f32::total_cmp);
+}
+
+pub fn describe() -> &'static str {
+    // mentioning partial_cmp in a comment is fine
+    "prefer total_cmp over a.partial_cmp(b) for floats"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut v = vec![2.0f32, 1.0];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: panics on the serving crate's query path. Both the explicit
+// panic! and the .expect( must be flagged.
+pub fn lookup(codes: &[u64], id: usize) -> u64 {
+    if id >= codes.len() {
+        panic!("id {id} out of range");
+    }
+    codes[id]
+}
+
+pub fn first(codes: &[u64]) -> u64 {
+    *codes.first().expect("engine has at least one code")
+}

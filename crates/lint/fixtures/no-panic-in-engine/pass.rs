@@ -1,0 +1,24 @@
+// Fixture: the serving crate returns typed errors instead of panicking.
+pub enum EngineError {
+    OutOfRange(usize),
+    Empty,
+}
+
+pub fn lookup(codes: &[u64], id: usize) -> Result<u64, EngineError> {
+    codes.get(id).copied().ok_or(EngineError::OutOfRange(id))
+}
+
+pub fn first(codes: &[u64]) -> Result<u64, EngineError> {
+    codes.first().copied().ok_or(EngineError::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_allowed_in_tests() {
+        let r = lookup(&[1, 2], 5);
+        assert!(matches!(r, Err(EngineError::OutOfRange(5))));
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: a failed float comparison silently clamped to Equal — the
+// ordering scrambles instead of erroring. Must be flagged.
+use std::cmp::Ordering;
+
+pub fn rank(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}

@@ -1,0 +1,9 @@
+// Fixture: NaN-sound ordering, and an unwrap_or that has nothing to do
+// with Ordering (must not be flagged).
+pub fn rank(xs: &mut [f32]) {
+    xs.sort_by(f32::total_cmp);
+}
+
+pub fn count_or_zero(n: Option<usize>) -> usize {
+    n.unwrap_or(0)
+}

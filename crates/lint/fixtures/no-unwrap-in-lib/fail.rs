@@ -1,0 +1,5 @@
+// Fixture: bare unwrap in library code with no justification. Must be
+// flagged — library crates return typed errors.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

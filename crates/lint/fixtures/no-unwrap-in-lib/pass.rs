@@ -1,0 +1,25 @@
+// Fixture: the three sanctioned shapes — no unwrap at all, a justified
+// `lint: allow` annotation, and test code.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn head_nonempty(xs: &[u32]) -> u32 {
+    // lint: allow(unwrap) — caller guarantees xs is non-empty
+    *xs.first().unwrap()
+}
+
+pub fn head_same_line(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lint: allow(unwrap) — len asserted by caller
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![7u32];
+        assert_eq!(head(&v).unwrap(), 7);
+    }
+}

@@ -1,0 +1,43 @@
+//! The container-magic registry: the single place every on-disk format
+//! header used anywhere in the workspace must be declared.
+//!
+//! The `checkpoint-magic-registry` rule flags any magic-shaped
+//! byte-string literal (4–8 uppercase/digit characters) that is not
+//! listed here, so two serialization formats can never silently claim
+//! the same header — and so a reader of this file sees every format the
+//! repo can produce at a glance.
+
+/// Every known container magic, with its owning format:
+///
+/// | magic      | format                                             |
+/// |------------|----------------------------------------------------|
+/// | `TNN1`     | `tinynn` parameter values blob                     |
+/// | `TNS1`     | `tinynn` parameter + optimizer state blob          |
+/// | `T2HCKPT1` | training checkpoint (`traj2hash::checkpoint`)      |
+/// | `T2HSNAP1` | engine snapshot (`traj_engine::snapshot`)          |
+pub const KNOWN_MAGICS: &[&str] = &["TNN1", "TNS1", "T2HCKPT1", "T2HSNAP1"];
+
+/// Duplicate entries would defeat the whole point of the registry; the
+/// driver checks this on every run (and the test below pins it).
+pub fn registry_duplicates() -> Vec<&'static str> {
+    let mut seen = std::collections::HashSet::new();
+    KNOWN_MAGICS.iter().filter(|m| !seen.insert(**m)).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_no_duplicates() {
+        assert!(registry_duplicates().is_empty());
+    }
+
+    #[test]
+    fn registry_entries_look_like_magics() {
+        for m in KNOWN_MAGICS {
+            assert!((4..=8).contains(&m.len()), "{m}");
+            assert!(m.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()), "{m}");
+        }
+    }
+}

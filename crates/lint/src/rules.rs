@@ -1,0 +1,270 @@
+//! The repo-specific lint rules.
+//!
+//! Every rule works on the masked (code-only) view a [`ScannedFile`]
+//! provides, skips test code, and honours `// lint: allow(...)`
+//! annotations on the same or the immediately preceding line. Rules are
+//! deliberately token-level: they trade a rustc plugin's precision for
+//! zero dependencies and an offline-friendly sub-second run, and the
+//! patterns they match (`partial_cmp` in a comparator, `.unwrap()`,
+//! `panic!`) are distinctive enough that masking comments and strings
+//! removes essentially all false positives.
+
+use crate::registry::KNOWN_MAGICS;
+use crate::source::ScannedFile;
+use std::fmt;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-unwrap-in-lib`.
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed — also the allowlist matching key.
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}\n    {}", self.path, self.line, self.rule, self.message, self.snippet)
+    }
+}
+
+/// All rule identifiers, in reporting order.
+pub const RULES: &[&str] = &[
+    "no-float-partial-cmp-sort",
+    "no-unwrap-in-lib",
+    "no-silent-clamp",
+    "no-panic-in-engine",
+    "checkpoint-magic-registry",
+];
+
+/// Short aliases accepted in `// lint: allow(...)` annotations.
+fn rule_aliases(rule: &str) -> &[&str] {
+    match rule {
+        "no-float-partial-cmp-sort" => &["partial-cmp", "no-float-partial-cmp-sort"],
+        "no-unwrap-in-lib" => &["unwrap", "no-unwrap-in-lib"],
+        "no-silent-clamp" => &["silent-clamp", "no-silent-clamp"],
+        "no-panic-in-engine" => &["panic", "no-panic-in-engine"],
+        "checkpoint-magic-registry" => &["magic", "checkpoint-magic-registry"],
+        _ => &[],
+    }
+}
+
+/// True when line `idx` (0-based) carries or inherits an annotation
+/// allowing `rule`: `// lint: allow(name)` on the same line or on the
+/// line directly above, with `name` either the rule id or its alias.
+/// Multiple names may be comma-separated.
+fn is_allowed(file: &ScannedFile, idx: usize, rule: &str) -> bool {
+    let allows = |comment: &str| -> bool {
+        let Some(pos) = comment.find("lint: allow(") else { return false };
+        let rest = &comment[pos + "lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { return false };
+        rest[..end]
+            .split(',')
+            .map(str::trim)
+            .any(|name| rule_aliases(rule).contains(&name))
+    };
+    if allows(&file.lines[idx].comment) {
+        return true;
+    }
+    idx > 0 && allows(&file.lines[idx - 1].comment)
+}
+
+/// Standard per-line scaffold: applies the test exemption and the
+/// annotation check, then lets `matcher` decide.
+fn scan_lines(
+    file: &ScannedFile,
+    rule: &'static str,
+    message: &str,
+    out: &mut Vec<Finding>,
+    matcher: impl Fn(&str) -> bool,
+) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || !matcher(&line.masked) || is_allowed(file, idx, rule) {
+            continue;
+        }
+        out.push(Finding {
+            rule,
+            path: file.path.clone(),
+            line: idx + 1,
+            snippet: line.raw.trim().to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+/// `no-float-partial-cmp-sort`: float ordering must route through
+/// `traj_index::topk` or `total_cmp`. `partial_cmp` in non-test library
+/// code is how the 7 NaN-unsound sorts of PRs 1–3 slipped through:
+/// `unwrap_or(Equal)` silently scrambles the order and `.unwrap()`
+/// panics the first time a distance is poisoned.
+pub fn no_float_partial_cmp_sort(file: &ScannedFile, out: &mut Vec<Finding>) {
+    scan_lines(
+        file,
+        "no-float-partial-cmp-sort",
+        "float ordering via partial_cmp; use total_cmp or traj_index::topk",
+        out,
+        |masked| masked.contains(".partial_cmp("),
+    );
+}
+
+/// `no-unwrap-in-lib`: library crates return typed errors instead of
+/// panicking. `#[cfg(test)]` code is exempt; genuinely infallible sites
+/// carry `// lint: allow(unwrap)` with a one-line justification.
+pub fn no_unwrap_in_lib(file: &ScannedFile, out: &mut Vec<Finding>) {
+    scan_lines(
+        file,
+        "no-unwrap-in-lib",
+        "unwrap() in library code; return a typed error or justify with lint: allow(unwrap)",
+        out,
+        |masked| masked.contains(".unwrap()"),
+    );
+}
+
+/// `no-silent-clamp`: bans `unwrap_or(Ordering::Equal)` — the pattern
+/// that turns a failed float comparison into a silent reorder instead
+/// of an error.
+pub fn no_silent_clamp(file: &ScannedFile, out: &mut Vec<Finding>) {
+    scan_lines(
+        file,
+        "no-silent-clamp",
+        "unwrap_or(Ordering::Equal) silently clamps a failed comparison",
+        out,
+        |masked| {
+            masked.contains("unwrap_or(Ordering::Equal)")
+                || (masked.contains("unwrap_or(") && masked.contains("Ordering::Equal"))
+        },
+    );
+}
+
+/// `no-panic-in-engine`: the serving crate must never panic on the
+/// query path — a poisoned query must surface as `EngineError`, not
+/// take the process down. Applies to `crates/engine/src` only.
+pub fn no_panic_in_engine(file: &ScannedFile, out: &mut Vec<Finding>) {
+    if !file.path.contains("crates/engine/src") {
+        return;
+    }
+    const PATTERNS: &[&str] = &["panic!", ".expect(", "unreachable!", "todo!", "unimplemented!"];
+    scan_lines(
+        file,
+        "no-panic-in-engine",
+        "potential panic in the serving crate; return EngineError instead",
+        out,
+        |masked| PATTERNS.iter().any(|p| masked.contains(p)),
+    );
+}
+
+/// `checkpoint-magic-registry`: every container magic (a 4–8 character
+/// uppercase-alphanumeric byte-string like `T2HSNAP1`) must be declared
+/// in [`crate::registry::KNOWN_MAGICS`], so two serialization formats
+/// can never silently claim the same header.
+pub fn checkpoint_magic_registry(file: &ScannedFile, out: &mut Vec<Finding>) {
+    for lit in &file.byte_literals {
+        let looks_like_magic = (4..=8).contains(&lit.value.len())
+            && lit.value.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+            && lit.value.chars().any(|c| c.is_ascii_uppercase());
+        if !looks_like_magic {
+            continue;
+        }
+        let idx = lit.line - 1;
+        if file.lines[idx].in_test
+            || KNOWN_MAGICS.contains(&lit.value.as_str())
+            || is_allowed(file, idx, "checkpoint-magic-registry")
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: "checkpoint-magic-registry",
+            path: file.path.clone(),
+            line: lit.line,
+            snippet: file.lines[idx].raw.trim().to_string(),
+            message: format!(
+                "container magic b\"{}\" is not declared in the magic registry \
+                 (crates/lint/src/registry.rs)",
+                lit.value
+            ),
+        });
+    }
+}
+
+/// Runs every rule applicable to `file`. `lib_crate` gates the
+/// unwrap rule: binaries and dev-tooling crates (bench, lint) may
+/// unwrap, library crates may not.
+pub fn check_file(file: &ScannedFile, lib_crate: bool, out: &mut Vec<Finding>) {
+    no_float_partial_cmp_sort(file, out);
+    if lib_crate {
+        no_unwrap_in_lib(file, out);
+    }
+    no_silent_clamp(file, out);
+    no_panic_in_engine(file, out);
+    checkpoint_magic_registry(file, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    fn findings_for(src: &str, lib_crate: bool) -> Vec<Finding> {
+        let file = scan("crates/x/src/lib.rs", src, false);
+        let mut out = Vec::new();
+        check_file(&file, lib_crate, &mut out);
+        out
+    }
+
+    #[test]
+    fn partial_cmp_is_flagged_outside_tests_and_strings() {
+        let hits = findings_for("v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n", false);
+        assert!(hits.iter().any(|f| f.rule == "no-float-partial-cmp-sort"));
+        assert!(findings_for("let s = \"partial_cmp\";\n", false).is_empty());
+        assert!(findings_for("#[cfg(test)]\nmod t {\n fn f() { a.partial_cmp(b); }\n}\n", false)
+            .is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_respects_crate_kind_and_annotations() {
+        let src = "let x = y.unwrap();\n";
+        assert!(findings_for(src, true).iter().any(|f| f.rule == "no-unwrap-in-lib"));
+        assert!(findings_for(src, false).iter().all(|f| f.rule != "no-unwrap-in-lib"));
+        let annotated = "// lint: allow(unwrap) — len checked above\nlet x = y.unwrap();\n";
+        assert!(findings_for(annotated, true).is_empty());
+        let same_line = "let x = y.unwrap(); // lint: allow(unwrap) infallible\n";
+        assert!(findings_for(same_line, true).is_empty());
+    }
+
+    #[test]
+    fn silent_clamp_is_flagged() {
+        let hits =
+            findings_for("v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));\n", false);
+        assert!(hits.iter().any(|f| f.rule == "no-silent-clamp"));
+    }
+
+    #[test]
+    fn engine_panic_rule_is_path_scoped() {
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        let engine = scan("crates/engine/src/engine.rs", src, false);
+        let mut out = Vec::new();
+        check_file(&engine, true, &mut out);
+        assert!(out.iter().any(|f| f.rule == "no-panic-in-engine"));
+        let other = scan("crates/core/src/lib.rs", src, false);
+        let mut out = Vec::new();
+        check_file(&other, true, &mut out);
+        assert!(out.iter().all(|f| f.rule != "no-panic-in-engine"));
+    }
+
+    #[test]
+    fn unknown_magic_is_flagged_known_is_not() {
+        let unknown = findings_for("const M: &[u8; 8] = b\"ZZMAGIC9\";\n", false);
+        assert!(unknown.iter().any(|f| f.rule == "checkpoint-magic-registry"));
+        let known = findings_for("const M: &[u8; 8] = b\"T2HCKPT1\";\n", false);
+        assert!(known.iter().all(|f| f.rule != "checkpoint-magic-registry"));
+        // short/lowercase byte strings are not magics
+        assert!(findings_for("let b = b\"ab\";\n", false).is_empty());
+        assert!(findings_for("let b = b\"abcd\";\n", false).is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixture tests: one failing and one passing fixture per lint rule.
+//!
+//! For each rule, `fixtures/<rule>/fail.rs` must produce diagnostics
+//! that exactly match the committed snapshot `fail.expected` (trybuild
+//! style — set `UPDATE_LINT_SNAPSHOTS=1` to regenerate after an
+//! intentional message change), and `pass.rs` must produce none.
+//!
+//! A second group of tests runs the actual `traj-lint` binary against
+//! throwaway trees, pinning the acceptance criterion: a violation
+//! exits non-zero, a clean tree exits zero, and the allowlist and
+//! `--fix-list` plumbing behave end to end.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use traj_lint::rules::{self, Finding};
+use traj_lint::source::scan;
+
+/// Runs exactly one rule (by id) over a fixture file, with the
+/// synthetic repo-relative path a real scan would use.
+fn run_rule(rule: &str, fixture: &Path, which: &str) -> Vec<Finding> {
+    let text = std::fs::read_to_string(fixture)
+        .unwrap_or_else(|e| panic!("read {}: {e}", fixture.display()));
+    // The engine rule is path-scoped; everything else gets a neutral
+    // library-crate path.
+    let path = if rule == "no-panic-in-engine" {
+        format!("crates/engine/src/{which}.rs")
+    } else {
+        format!("crates/demo/src/{which}.rs")
+    };
+    let file = scan(&path, &text, false);
+    let mut out = Vec::new();
+    match rule {
+        "no-float-partial-cmp-sort" => rules::no_float_partial_cmp_sort(&file, &mut out),
+        "no-unwrap-in-lib" => rules::no_unwrap_in_lib(&file, &mut out),
+        "no-silent-clamp" => rules::no_silent_clamp(&file, &mut out),
+        "no-panic-in-engine" => rules::no_panic_in_engine(&file, &mut out),
+        "checkpoint-magic-registry" => rules::checkpoint_magic_registry(&file, &mut out),
+        other => panic!("unknown rule {other}"),
+    }
+    out
+}
+
+fn fixture_dir(rule: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rule)
+}
+
+fn render(findings: &[Finding]) -> String {
+    let mut s = findings.iter().map(|f| format!("{f}\n")).collect::<String>();
+    if s.is_empty() {
+        s.push('\n');
+    }
+    s
+}
+
+/// Snapshot-checks the failing fixture and asserts the passing fixture
+/// is silent, for one rule.
+fn check_rule_fixtures(rule: &str) {
+    let dir = fixture_dir(rule);
+
+    let fail = run_rule(rule, &dir.join("fail.rs"), "fail");
+    assert!(!fail.is_empty(), "{rule}: fail.rs produced no findings");
+    assert!(fail.iter().all(|f| f.rule == rule), "{rule}: wrong rule id in {fail:?}");
+    let rendered = render(&fail);
+    let snapshot = dir.join("fail.expected");
+    if std::env::var_os("UPDATE_LINT_SNAPSHOTS").is_some() {
+        std::fs::write(&snapshot, &rendered).expect("write snapshot");
+    } else {
+        let expected = std::fs::read_to_string(&snapshot)
+            .unwrap_or_else(|e| panic!("{rule}: missing snapshot {}: {e}", snapshot.display()));
+        assert_eq!(
+            rendered, expected,
+            "{rule}: diagnostics drifted from fail.expected \
+             (rerun with UPDATE_LINT_SNAPSHOTS=1 if intentional)"
+        );
+    }
+
+    let pass = run_rule(rule, &dir.join("pass.rs"), "pass");
+    assert!(pass.is_empty(), "{rule}: pass.rs was flagged: {pass:?}");
+}
+
+#[test]
+fn fixture_no_float_partial_cmp_sort() {
+    check_rule_fixtures("no-float-partial-cmp-sort");
+}
+
+#[test]
+fn fixture_no_unwrap_in_lib() {
+    check_rule_fixtures("no-unwrap-in-lib");
+}
+
+#[test]
+fn fixture_no_silent_clamp() {
+    check_rule_fixtures("no-silent-clamp");
+}
+
+#[test]
+fn fixture_no_panic_in_engine() {
+    check_rule_fixtures("no-panic-in-engine");
+}
+
+#[test]
+fn fixture_checkpoint_magic_registry() {
+    check_rule_fixtures("checkpoint-magic-registry");
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    for rule in rules::RULES {
+        let dir = fixture_dir(rule);
+        for name in ["fail.rs", "pass.rs", "fail.expected"] {
+            assert!(dir.join(name).is_file(), "missing fixtures/{rule}/{name}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the built binary against throwaway repo trees.
+// ---------------------------------------------------------------------
+
+/// A scratch repo tree under the target dir; removed on drop.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("lint-e2e-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(path, text).expect("write");
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn lint_cmd(root: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_traj-lint"));
+    cmd.arg("--root").arg(root);
+    cmd
+}
+
+#[test]
+fn binary_exits_nonzero_on_violation_and_zero_when_clean() {
+    let tree = TempTree::new("exit-codes");
+    tree.write(
+        "crates/demo/src/lib.rs",
+        "pub fn rank(xs: &mut [f32]) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+    );
+
+    let dirty = lint_cmd(&tree.root).output().expect("run traj-lint");
+    assert_eq!(dirty.status.code(), Some(1), "violation must exit 1");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(stdout.contains("no-float-partial-cmp-sort"), "stdout: {stdout}");
+    assert!(stdout.contains("crates/demo/src/lib.rs:2"), "stdout: {stdout}");
+
+    tree.write(
+        "crates/demo/src/lib.rs",
+        "pub fn rank(xs: &mut [f32]) {\n    xs.sort_by(f32::total_cmp);\n}\n",
+    );
+    let clean = lint_cmd(&tree.root).output().expect("run traj-lint");
+    assert_eq!(clean.status.code(), Some(0), "clean tree must exit 0");
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("traj-lint: clean"));
+}
+
+#[test]
+fn binary_fix_list_entries_round_trip_through_the_allowlist() {
+    let tree = TempTree::new("fix-list");
+    tree.write(
+        "crates/demo/src/lib.rs",
+        "pub fn head(xs: &[u32]) -> u32 {\n    *xs.first().unwrap()\n}\n",
+    );
+
+    let out = lint_cmd(&tree.root).arg("--fix-list").output().expect("run traj-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let entries: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("no-unwrap-in-lib\t"))
+        .collect();
+    assert_eq!(entries.len(), 1, "stdout: {stdout}");
+
+    tree.write("lint.allow", &format!("{}\n", entries[0]));
+    let suppressed = lint_cmd(&tree.root).output().expect("run traj-lint");
+    assert_eq!(suppressed.status.code(), Some(0), "allowlisted finding must pass");
+    assert!(String::from_utf8_lossy(&suppressed.stdout).contains("1 suppressed"));
+}
+
+#[test]
+fn binary_rejects_an_overfull_allowlist() {
+    let tree = TempTree::new("over-cap");
+    tree.write("crates/demo/src/lib.rs", "pub fn ok() {}\n");
+    let entries: String = (0..21)
+        .map(|i| format!("no-unwrap-in-lib\tcrates/demo/src/lib.rs\tline{i}.unwrap()\n"))
+        .collect();
+    tree.write("lint.allow", &entries);
+
+    let out = lint_cmd(&tree.root).output().expect("run traj-lint");
+    assert_eq!(out.status.code(), Some(2), "over-cap allowlist is a driver error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("21"), "stderr: {stderr}");
+}

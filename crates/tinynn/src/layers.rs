@@ -93,6 +93,7 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
+        // lint: allow(unwrap) — Mlp::new builds at least one layer
         self.layers.last().unwrap().out_dim()
     }
 }
@@ -364,6 +365,7 @@ impl GruCell {
                 Some(acc) => acc.concat_rows(&h),
             });
         }
+        // lint: allow(unwrap) — n > 0 is asserted above, the loop ran
         states.unwrap()
     }
 

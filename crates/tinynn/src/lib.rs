@@ -28,6 +28,7 @@ pub mod optim;
 pub mod param;
 pub mod tape;
 pub mod tensor;
+pub mod verify;
 
 pub use layers::{
     add_positional, positional_encoding, Embedding, EncoderBlock, GruCell, LayerNorm, Linear,
@@ -35,5 +36,6 @@ pub use layers::{
 };
 pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use param::{Param, ParamSet};
-pub use tape::{Tape, Var};
+pub use tape::{NodeMeta, Op, Tape, Var};
 pub use tensor::Tensor;
+pub use verify::{verify_tape, GraphIssue, GraphReport};

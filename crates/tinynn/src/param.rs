@@ -277,6 +277,7 @@ impl ParamSet {
         if take(&mut pos, 4)? != magic {
             return Err("bad magic in parameter blob".into());
         }
+        // lint: allow(unwrap) — take(4) returned exactly 4 bytes
         let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         if count != self.params.len() {
             return Err(format!(
@@ -290,7 +291,9 @@ impl ParamSet {
         // half-restored state.
         let mut scan = pos;
         for p in &self.params {
+            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
             let r = u32::from_le_bytes(take(&mut scan, 4)?.try_into().unwrap()) as usize;
+            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
             let c = u32::from_le_bytes(take(&mut scan, 4)?.try_into().unwrap()) as usize;
             let d = p.borrow();
             if d.value.shape() != (r, c) {
@@ -305,11 +308,14 @@ impl ParamSet {
             return Err("trailing bytes in parameter blob".into());
         }
         for p in &self.params {
+            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
             let r = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
             let c = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
             let mut d = p.borrow_mut();
             let fill = |t: &mut crate::tensor::Tensor, raw: &[u8]| {
                 for (i, chunk) in raw.chunks_exact(4).enumerate() {
+                    // lint: allow(unwrap) — chunks_exact(4) yields 4-byte chunks
                     t.data_mut()[i] = f32::from_le_bytes(chunk.try_into().unwrap());
                 }
             };

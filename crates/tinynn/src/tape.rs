@@ -43,9 +43,116 @@ use std::sync::Arc;
 /// into freshly computed child gradients.
 type BackwardFn = Box<dyn Fn(Tensor, &mut [Option<Tensor>])>;
 
+/// The operation recorded at a tape node.
+///
+/// The backward closures themselves are opaque, so this is the metadata
+/// the pre-execution verifier ([`crate::verify`]) walks: enough to
+/// recompute every node's expected output shape from its inputs and to
+/// trace gradient flow without running `backward`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names mirror the `Var` methods 1:1
+pub enum Op {
+    Constant,
+    Param,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    AddRow,
+    AddRowRelu,
+    MulRow,
+    Scale,
+    AddScalar,
+    Relu,
+    Tanh,
+    Sigmoid,
+    Exp,
+    Ln,
+    Sqrt,
+    Square,
+    Matmul,
+    MatmulNt,
+    Transpose,
+    SoftmaxRows,
+    StandardizeRows,
+    SumAll,
+    SumRows,
+    ConcatCols,
+    ConcatRows,
+    SliceRows { start: usize, len: usize },
+    SliceCols { start: usize, len: usize },
+    GatherRows { count: usize, max_index: usize },
+}
+
+impl Op {
+    /// Short display name (payload-free).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Constant => "constant",
+            Op::Param => "param",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::AddRow => "add_row",
+            Op::AddRowRelu => "add_row_relu",
+            Op::MulRow => "mul_row",
+            Op::Scale => "scale",
+            Op::AddScalar => "add_scalar",
+            Op::Relu => "relu",
+            Op::Tanh => "tanh",
+            Op::Sigmoid => "sigmoid",
+            Op::Exp => "exp",
+            Op::Ln => "ln",
+            Op::Sqrt => "sqrt",
+            Op::Square => "square",
+            Op::Matmul => "matmul",
+            Op::MatmulNt => "matmul_nt",
+            Op::Transpose => "transpose",
+            Op::SoftmaxRows => "softmax_rows",
+            Op::StandardizeRows => "standardize_rows",
+            Op::SumAll => "sum_all",
+            Op::SumRows => "sum_rows",
+            Op::ConcatCols => "concat_cols",
+            Op::ConcatRows => "concat_rows",
+            Op::SliceRows { .. } => "slice_rows",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::GatherRows { .. } => "gather_rows",
+        }
+    }
+}
+
+/// Verifier-facing metadata of one tape node. `Copy` and heap-free so
+/// recording it costs nothing on the allocation-lean hot path: inputs
+/// live in a fixed two-slot array (no tape op has higher arity).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeMeta {
+    /// The recorded operation.
+    pub op: Op,
+    /// Shape of the node's output value at record time.
+    pub shape: (usize, usize),
+    inputs: [usize; 2],
+    arity: u8,
+}
+
+impl NodeMeta {
+    fn new(op: Op, shape: (usize, usize), inputs: &[usize]) -> Self {
+        debug_assert!(inputs.len() <= 2, "tape ops have arity <= 2");
+        let mut buf = [0usize; 2];
+        buf[..inputs.len()].copy_from_slice(inputs);
+        NodeMeta { op, shape, inputs: buf, arity: inputs.len() as u8 }
+    }
+
+    /// Ids of the nodes this node consumes (its children in the graph).
+    pub fn inputs(&self) -> &[usize] {
+        &self.inputs[..self.arity as usize]
+    }
+}
+
 struct Node {
     value: Arc<Tensor>,
     backward: Option<BackwardFn>,
+    meta: NodeMeta,
 }
 
 #[derive(Default)]
@@ -107,27 +214,34 @@ impl Tape {
         self.inner.param_ids.borrow_mut().clear();
     }
 
-    fn push_arc(&self, value: Arc<Tensor>, backward: Option<BackwardFn>) -> Var {
+    fn push_arc(
+        &self,
+        value: Arc<Tensor>,
+        backward: Option<BackwardFn>,
+        op: Op,
+        inputs: &[usize],
+    ) -> Var {
+        let meta = NodeMeta::new(op, value.shape(), inputs);
         let mut nodes = self.inner.nodes.borrow_mut();
         let id = nodes.len();
-        nodes.push(Node { value, backward });
+        nodes.push(Node { value, backward, meta });
         Var { id, tape: Rc::clone(&self.inner) }
     }
 
-    fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
-        self.push_arc(Arc::new(value), backward)
+    fn push(&self, value: Tensor, backward: Option<BackwardFn>, op: Op, inputs: &[usize]) -> Var {
+        self.push_arc(Arc::new(value), backward, op, inputs)
     }
 
     /// Records a constant leaf: gradients flow into it but go nowhere.
     pub fn constant(&self, value: Tensor) -> Var {
-        self.push(value, None)
+        self.push(value, None, Op::Constant, &[])
     }
 
     /// Records a shared constant leaf without copying it — the zero-copy
     /// entry point for cached tensors (e.g. the frozen grid-channel
     /// inputs, which many tapes reference per run).
     pub fn constant_arc(&self, value: Arc<Tensor>) -> Var {
-        self.push_arc(value, None)
+        self.push_arc(value, None, Op::Constant, &[])
     }
 
     /// Records a parameter leaf; after `backward`, the gradient of this
@@ -140,14 +254,71 @@ impl Tape {
         if let Some(&id) = self.inner.param_ids.borrow().get(&key) {
             return Var { id, tape: Rc::clone(&self.inner) };
         }
-        let var = self.push(p.value(), None);
+        let var = self.push(p.value(), None, Op::Param, &[]);
         self.inner.param_hooks.borrow_mut().insert(var.id, p.clone());
         self.inner.param_ids.borrow_mut().insert(key, var.id);
         var
     }
+
+    /// The recorded metadata of node `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node_meta(&self, id: usize) -> NodeMeta {
+        self.inner.nodes.borrow()[id].meta
+    }
+
+    /// Shape of the *value* actually stored at node `id` (as opposed to
+    /// the recorded `NodeMeta::shape`, which the verifier cross-checks
+    /// against it).
+    pub fn node_value_shape(&self, id: usize) -> (usize, usize) {
+        self.inner.nodes.borrow()[id].value.shape()
+    }
+
+    /// Node ids that carry a parameter hook, ascending.
+    pub fn param_nodes(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.inner.param_hooks.borrow().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// True when `v` was recorded on this tape. The verifier refuses to
+    /// analyse a root from a different tape: its node id would be
+    /// meaningless here.
+    pub fn owns(&self, v: &Var) -> bool {
+        Rc::ptr_eq(&self.inner, &v.tape)
+    }
+
+    /// Overwrites the recorded shape of node `id`. Test-support hook for
+    /// the verifier's fault-injection suite — never call this from
+    /// production code: it makes the metadata lie about the tape.
+    #[doc(hidden)]
+    pub fn debug_set_node_shape(&self, id: usize, shape: (usize, usize)) {
+        self.inner.nodes.borrow_mut()[id].meta.shape = shape;
+    }
+
+    /// Re-points input `slot` of node `id` at node `new_input` in the
+    /// recorded metadata (a "severed edge"). Test-support hook for the
+    /// verifier's fault-injection suite.
+    ///
+    /// # Panics
+    /// Panics if `slot` is not a valid input slot of the node.
+    #[doc(hidden)]
+    pub fn debug_set_node_input(&self, id: usize, slot: usize, new_input: usize) {
+        let mut nodes = self.inner.nodes.borrow_mut();
+        let meta = &mut nodes[id].meta;
+        assert!(slot < meta.arity as usize, "node {id} has no input slot {slot}");
+        meta.inputs[slot] = new_input;
+    }
 }
 
 impl Var {
+    /// The id of this handle's node on its tape (stable for the lifetime
+    /// of the recording; invalidated by [`Tape::reset`]).
+    pub fn node_id(&self) -> usize {
+        self.id
+    }
+
     /// Clone of the value stored at this node.
     pub fn value(&self) -> Tensor {
         (*self.tape.nodes.borrow()[self.id].value).clone()
@@ -235,6 +406,8 @@ impl Var {
                 accumulate(grads, ib, g.clone());
                 accumulate(grads, ia, g);
             })),
+            Op::Add,
+            &[ia, ib],
         )
     }
 
@@ -251,6 +424,8 @@ impl Var {
                 accumulate(grads, ib, g.map(|x| -x));
                 accumulate(grads, ia, g);
             })),
+            Op::Sub,
+            &[ia, ib],
         )
     }
 
@@ -270,6 +445,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Mul, &[ia, ib],
         )
     }
 
@@ -292,6 +468,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Div, &[ia, ib],
         )
     }
 
@@ -322,6 +499,7 @@ impl Var {
                 accumulate(grads, ib, gb);
                 accumulate(grads, ia, g);
             })),
+            Op::AddRow, &[ia, ib],
         )
     }
 
@@ -362,6 +540,7 @@ impl Var {
                 accumulate(grads, ib, gb);
                 accumulate(grads, ia, g);
             })),
+            Op::AddRowRelu, &[ia, ib],
         )
     }
 
@@ -379,6 +558,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Scale, &[ia],
         )
     }
 
@@ -391,6 +571,7 @@ impl Var {
             Some(Box::new(move |g, grads| {
                 accumulate(grads, ia, g);
             })),
+            Op::AddScalar, &[ia],
         )
     }
 
@@ -417,6 +598,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Relu, &[ia],
         )
     }
 
@@ -435,6 +617,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Tanh, &[ia],
         )
     }
 
@@ -452,6 +635,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Sigmoid, &[ia],
         )
     }
 
@@ -469,6 +653,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Exp, &[ia],
         )
     }
 
@@ -485,6 +670,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Ln, &[ia],
         )
     }
 
@@ -502,6 +688,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Sqrt, &[ia],
         )
     }
 
@@ -518,6 +705,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::Square, &[ia],
         )
     }
 
@@ -538,6 +726,7 @@ impl Var {
                 accumulate(grads, ia, g.matmul_transposed(&b));
                 accumulate(grads, ib, a.transposed_matmul(&g));
             })),
+            Op::Matmul, &[ia, ib],
         )
     }
 
@@ -567,6 +756,7 @@ impl Var {
                 accumulate(grads, ia, g.matmul(&b));
                 accumulate(grads, ib, g.transposed_matmul(&a));
             })),
+            Op::MatmulNt, &[ia, ib],
         )
     }
 
@@ -579,6 +769,7 @@ impl Var {
             Some(Box::new(move |g, grads| {
                 accumulate(grads, ia, g.transpose());
             })),
+            Op::Transpose, &[ia],
         )
     }
 
@@ -601,6 +792,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::SoftmaxRows, &[ia],
         )
     }
 
@@ -617,6 +809,7 @@ impl Var {
             Some(Box::new(move |g, grads| {
                 accumulate(grads, ia, Tensor::full(rows, cols, g.item()));
             })),
+            Op::SumAll, &[ia],
         )
     }
 
@@ -649,6 +842,7 @@ impl Var {
                 }
                 accumulate(grads, ia, gx);
             })),
+            Op::SumRows, &[ia],
         )
     }
 
@@ -676,6 +870,7 @@ impl Var {
                 accumulate(grads, ia, g.slice_cols(0, split));
                 accumulate(grads, ib, g.slice_cols(split, g.cols() - split));
             })),
+            Op::ConcatCols, &[ia, ib],
         )
     }
 
@@ -693,6 +888,7 @@ impl Var {
                 accumulate(grads, ia, g.slice_rows(0, split));
                 accumulate(grads, ib, g.slice_rows(split, g.rows() - split));
             })),
+            Op::ConcatRows, &[ia, ib],
         )
     }
 
@@ -711,6 +907,7 @@ impl Var {
                 }
                 accumulate(grads, ia, gx);
             })),
+            Op::SliceRows { start, len }, &[ia],
         )
     }
 
@@ -729,6 +926,7 @@ impl Var {
                 }
                 accumulate(grads, ia, gx);
             })),
+            Op::SliceCols { start, len }, &[ia],
         )
     }
 
@@ -749,6 +947,8 @@ impl Var {
             out.row_mut(r).copy_from_slice(a.row(ix));
         }
         let idx: Vec<usize> = indices.to_vec();
+        let count = idx.len();
+        let max_index = idx.iter().copied().max().unwrap_or(0);
         let (rows, cols) = a.shape();
         let ia = self.id;
         self.tape().push(
@@ -762,6 +962,7 @@ impl Var {
                 }
                 accumulate(grads, ia, gx);
             })),
+            Op::GatherRows { count, max_index }, &[ia],
         )
     }
 
@@ -797,6 +998,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::MulRow, &[ia, ib],
         )
     }
 
@@ -840,6 +1042,7 @@ impl Var {
                 }
                 accumulate(grads, ia, g);
             })),
+            Op::StandardizeRows, &[ia],
         )
     }
 

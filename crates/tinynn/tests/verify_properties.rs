@@ -1,0 +1,108 @@
+//! Property-based tests of the static tape verifier (`tinynn::verify`).
+//!
+//! The contract under test: any tape the op builders can actually
+//! record is internally consistent (verifies clean), and any single
+//! metadata corruption — a drifted recorded shape or a severed edge —
+//! is always reported before `backward` would run.
+
+use proptest::prelude::*;
+use tinynn::{verify_tape, Param, Tape, Tensor, Var};
+
+/// Builds a random-but-valid op chain: start from one trained param,
+/// apply `ops` (each keeps the graph well-formed), reduce to a scalar.
+/// Returns the tape, the scalar root, and the params that must all be
+/// reachable from it.
+fn build_chain(ops: &[u8], rows: usize, cols: usize) -> (Tape, Var, Vec<Param>) {
+    let tape = Tape::new();
+    let p = Param::new(Tensor::from_vec(rows, cols, vec![0.5; rows * cols]));
+    let mut v = tape.param(&p);
+    for &op in ops {
+        let (r, c) = v.shape();
+        v = match op % 9 {
+            0 => v.relu(),
+            1 => v.tanh(),
+            2 => v.sigmoid(),
+            3 => v.square(),
+            4 => v.scale(0.5),
+            5 => v.add_scalar(0.25),
+            6 => v.add(&v),
+            7 => v.transpose(),
+            _ => {
+                let w = tape.constant(Tensor::from_vec(c, 2, vec![0.1; c * 2]));
+                let _ = r;
+                v.matmul(&w)
+            }
+        };
+    }
+    let loss = v.sum_all();
+    (tape, loss, vec![p])
+}
+
+fn chain_strategy() -> impl Strategy<Value = (Vec<u8>, usize, usize)> {
+    (proptest::collection::vec(0u8..9, 1..10), 1usize..5, 1usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_recorded_tape_verifies_clean(chain in chain_strategy()) {
+        let (ops, rows, cols) = chain;
+        let (tape, loss, _params) = build_chain(&ops, rows, cols);
+        let report = verify_tape(&tape, &loss);
+        prop_assert!(report.is_ok(), "valid tape rejected: {report}");
+        // A straight chain has no dead subgraphs either.
+        prop_assert!(report.dead_nodes.is_empty(), "spurious dead nodes: {report}");
+        prop_assert_eq!(report.nodes_checked, tape.len());
+    }
+
+    #[test]
+    fn a_mutated_recorded_shape_is_always_reported(
+        chain in chain_strategy(),
+        pick in 0usize..64,
+    ) {
+        let (ops, rows, cols) = chain;
+        let (tape, loss, _params) = build_chain(&ops, rows, cols);
+        let victim = pick % tape.len();
+        let (r, c) = tape.node_value_shape(victim);
+        // Any shape that disagrees with the stored value must surface as
+        // drift, whichever node (leaf, interior, or root) it lands on.
+        tape.debug_set_node_shape(victim, (r + 7, c + 9));
+        let report = verify_tape(&tape, &loss);
+        prop_assert!(!report.is_ok(), "shape corruption on node {victim} went unreported");
+    }
+
+    #[test]
+    fn a_severed_edge_is_always_reported(
+        chain in chain_strategy(),
+        pick in 0usize..64,
+    ) {
+        let (ops, rows, cols) = chain;
+        let (tape, loss, _params) = build_chain(&ops, rows, cols);
+        // Re-point some op's first input at itself: backward edges must
+        // strictly decrease, so this is never legal.
+        let with_inputs: Vec<usize> =
+            (0..tape.len()).filter(|&id| !tape.node_meta(id).inputs().is_empty()).collect();
+        prop_assert!(!with_inputs.is_empty());
+        let victim = with_inputs[pick % with_inputs.len()];
+        tape.debug_set_node_input(victim, 0, victim);
+        let report = verify_tape(&tape, &loss);
+        prop_assert!(!report.is_ok(), "severed edge on node {victim} went unreported");
+    }
+
+    #[test]
+    fn a_forgotten_param_is_always_reported(chain in chain_strategy()) {
+        let (ops, rows, cols) = chain;
+        let (tape, loss, _params) = build_chain(&ops, rows, cols);
+        // A param registered on the tape but never used in the loss is a
+        // silent no-grad bug; the verifier must flag it.
+        let orphan = Param::new(Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let _unused = tape.param(&orphan);
+        let report = verify_tape(&tape, &loss);
+        prop_assert!(!report.is_ok(), "forgotten param went unreported");
+        prop_assert!(
+            report.issues.iter().any(|i| matches!(i, tinynn::GraphIssue::UnreachableParam { .. })),
+            "expected UnreachableParam in {report}"
+        );
+    }
+}
