@@ -3,12 +3,18 @@
 # CI and pre-merge both run exactly this.
 #
 #   ./check.sh          full gate
-#   ./check.sh bench    perf smoke only: times the training hot paths and
+#   ./check.sh bench    perf smoke only: times the training hot paths,
 #                       regenerates BENCH_pr2.json for commit-to-commit
-#                       perf comparison
+#                       perf comparison, and enforces the <1% disabled-
+#                       recorder overhead gate (writes BENCH_pr5.json
+#                       and prints the obs summary)
 #   ./check.sh engine   serving-layer suite only: traj-engine unit tests
 #                       plus the parity / incremental / snapshot
 #                       integration suite
+#   ./check.sh obs      observability suite only: traj-obs unit tests,
+#                       the telemetry integration tests, and the
+#                       instrumented perf smoke with a JSONL export
+#                       round-trip (overhead gate included)
 #   ./check.sh lint     static analysis only: builds and runs traj-lint
 #                       over the workspace (extra args are forwarded,
 #                       e.g. ./check.sh lint --fix-list)
@@ -16,8 +22,19 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 if [[ "${1:-}" == "bench" ]]; then
-    echo "==> perf smoke (writes BENCH_pr2.json)"
+    echo "==> perf smoke (writes BENCH_pr2.json and BENCH_pr5.json, gates obs overhead)"
     cargo run --release -p traj-bench --bin perf_smoke
+    exit 0
+fi
+
+if [[ "${1:-}" == "obs" ]]; then
+    echo "==> cargo test -p traj-obs"
+    cargo test -q -p traj-obs
+    echo "==> cargo test --test obs_telemetry"
+    cargo test -q --test obs_telemetry
+    echo "==> instrumented perf smoke with JSONL export (overhead gate + round-trip)"
+    OBS_JSONL=target/obs_smoke.jsonl cargo run --release -p traj-bench --bin perf_smoke
+    echo "Observability checks passed (JSONL at target/obs_smoke.jsonl)."
     exit 0
 fi
 

@@ -3,16 +3,26 @@
 //! and corpus encoding — and writes the wall-clock numbers to
 //! `BENCH_pr2.json` so successive PRs accumulate a perf trajectory.
 //!
+//! Since PR 5 it also gates the observability layer: it measures the
+//! disabled-recorder cost per emission site, projects that over the
+//! records one instrumented epoch emits, enforces the `< 1%` overhead
+//! budget, and then runs a fully instrumented train/serve workload so
+//! the obs summary (and, with `OBS_JSONL=path`, the JSONL export)
+//! covers epoch spans, all five query-strategy histograms, and a
+//! degradation drill. The obs numbers land in `BENCH_pr5.json`.
+//!
 //! Run via `./check.sh bench` (or `cargo run --release -p traj-bench
 //! --bin perf_smoke`). Each measurement repeats and takes the best run,
 //! so numbers are stable enough to compare across commits on the same
 //! machine.
 
+use std::sync::Arc;
 use std::time::Instant;
 use tinynn::Tensor;
 use traj2hash::{validation_hr10, ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData};
 use traj_data::{CityParams, Dataset, SplitSizes};
 use traj_dist::Measure;
+use traj_engine::{EngineConfig, Strategy, Traj2HashEngine};
 
 /// Best-of-`reps` wall-clock seconds of `f`.
 fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -45,6 +55,21 @@ fn bench_matmul(n: usize, m: usize, p: usize) -> f64 {
     });
     assert!(sink.is_finite());
     secs * 1e9 / iters as f64
+}
+
+/// ns per emission-site call with **no recorder installed** — the price
+/// every instrumented hot-path line pays in production by default (one
+/// relaxed atomic load and an early return).
+fn bench_disabled_record() -> f64 {
+    assert!(!traj_obs::enabled(), "disabled-path bench needs no recorder installed");
+    let iters = 10_000_000u64;
+    let secs = best_of(3, || {
+        for i in 0..iters {
+            traj_obs::counter(std::hint::black_box("bench.noop"), 1);
+            traj_obs::observe_secs(std::hint::black_box("bench.noop"), i as f64);
+        }
+    });
+    secs * 1e9 / (iters * 2) as f64
 }
 
 fn main() {
@@ -111,6 +136,96 @@ fn main() {
     });
     eprintln!("validation HR@10    : {val:10.3} s");
 
+    // ---- obs: disabled-recorder overhead gate -------------------------
+    // Everything above ran with no recorder installed, i.e. on exactly
+    // the instrumented-but-disabled path shipped by default. Measure
+    // that path's per-call cost, count how many emissions one epoch
+    // actually makes, and bound the total against the epoch itself.
+    let disabled_ns = bench_disabled_record();
+    eprintln!("obs disabled call   : {disabled_ns:10.2} ns/record");
+
+    let counting = Arc::new(traj_obs::InMemoryRecorder::default());
+    traj_obs::install(counting.clone());
+    let epoch_enabled = {
+        let cfg = TrainConfig { num_threads: 1, ..tcfg.clone() };
+        let t = Instant::now();
+        let mut m = Traj2Hash::new(mcfg.clone(), &ctx, 7);
+        let report = traj2hash::train(&mut m, &data, &cfg).unwrap();
+        assert_eq!(report.epoch_losses.len(), 1);
+        t.elapsed().as_secs_f64()
+    };
+    traj_obs::uninstall();
+    let records_per_epoch = counting.record_count();
+    let overhead_pct = disabled_ns * records_per_epoch as f64 / (epoch_1t * 1e9) * 100.0;
+    eprintln!(
+        "obs overhead        : {records_per_epoch} records/epoch, disabled {overhead_pct:.5}% \
+         of the 1-thread epoch ({epoch_enabled:.3} s with in-memory recorder)"
+    );
+    assert!(
+        overhead_pct < 1.0,
+        "disabled-recorder overhead gate failed: {overhead_pct:.4}% >= 1% of the epoch"
+    );
+
+    // ---- obs: instrumented train/serve workload -----------------------
+    // With a real recorder installed (JSONL when OBS_JSONL=path is set,
+    // in-memory otherwise): two validated training epochs, all five
+    // query strategies, live churn, a snapshot round-trip, and a forced
+    // degradation drill, so every span/metric family in DESIGN.md §11
+    // shows up in the export.
+    let handle = traj_obs::init_from_env().expect("install obs recorder");
+    let tele_cfg =
+        TrainConfig { epochs: 2, validate: true, num_threads: 1, ..tcfg.clone() };
+    let mut trained = Traj2Hash::new(mcfg.clone(), &ctx, 7);
+    let report = traj2hash::train(&mut trained, &data, &tele_cfg).unwrap();
+    eprintln!(
+        "instrumented train  : {:10.3} s over {} epoch(s), {:.3} s validation",
+        report.timings.epoch_seconds.iter().sum::<f64>(),
+        report.timings.epoch_seconds.len(),
+        report.timings.validation_seconds,
+    );
+
+    let mut engine =
+        Traj2HashEngine::build_from(&trained, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    for strategy in Strategy::ALL {
+        for q in &dataset.query {
+            let _ = engine.query(q, 10, strategy).unwrap();
+        }
+    }
+    let inserted: Vec<u64> =
+        dataset.corpus.iter().take(8).map(|t| engine.insert(t.clone())).collect();
+    for id in &inserted[..4] {
+        engine.remove(*id).unwrap();
+    }
+    engine.compact();
+    let snap = std::env::temp_dir().join(format!("perf_smoke_{}.t2hsnap", std::process::id()));
+    engine.save_snapshot(&snap).unwrap();
+    let reloaded = Traj2HashEngine::load_snapshot(&snap).unwrap();
+    assert_eq!(reloaded.len(), engine.len());
+    let _ = std::fs::remove_file(&snap);
+    engine.force_degrade();
+    for strategy in Strategy::ALL {
+        let (_, info) = engine.query_with_info(&dataset.query[0], 10, strategy).unwrap();
+        assert!(info.degraded, "{strategy:?} must report degraded mode after force_degrade");
+    }
+    let tele = engine.telemetry();
+    traj_obs::flush();
+    eprint!("{}", tele.summary());
+    eprint!("{}", handle.summary());
+
+    // Self-validate the JSONL export: every line must round-trip through
+    // the hand-rolled parser and the per-kind schema check.
+    if let Some(path) = std::env::var_os("OBS_JSONL") {
+        let text = std::fs::read_to_string(&path).expect("read OBS_JSONL back");
+        let mut kinds = std::collections::BTreeMap::<String, usize>::new();
+        for line in text.lines() {
+            let rec = traj_obs::validate_record(line)
+                .unwrap_or_else(|e| panic!("invalid JSONL record: {e}\n  {line}"));
+            *kinds.entry(rec.kind).or_insert(0) += 1;
+        }
+        eprintln!("OBS_JSONL validated : {} records {:?}", text.lines().count(), kinds);
+    }
+
     // Pre-PR baseline, measured on this machine at commit 3c995e9 with
     // the identical workload (sequential trainer, naive tape): kept as
     // literals so the speedup is visible in every regenerated file.
@@ -149,6 +264,47 @@ fn main() {
     );
     std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
     println!("{json}");
+
+    let strategy_p50s = Strategy::ALL
+        .iter()
+        .map(|s| {
+            format!(
+                "    \"{}\": {:.1}",
+                s.metric_name(),
+                tele.strategy(*s).latency.p50() * 1e6
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let obs_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_smoke_obs\",\n",
+            "  \"workload\": \"porto_like seeds=40 corpus=600, ModelConfig::small; instrumented 2-epoch train + 5-strategy serve + degradation drill\",\n",
+            "  \"disabled_ns_per_record\": {:.2},\n",
+            "  \"records_per_epoch\": {},\n",
+            "  \"epoch_seconds_disabled\": {:.3},\n",
+            "  \"epoch_seconds_inmemory_recorder\": {:.3},\n",
+            "  \"disabled_overhead_pct_of_epoch\": {:.5},\n",
+            "  \"gate_disabled_overhead_under_1pct\": true,\n",
+            "  \"enabled_query_p50_us\": {{\n{}\n  }},\n",
+            "  \"total_queries\": {},\n",
+            "  \"linear_fallbacks\": {},\n",
+            "  \"degraded_rebuilds\": {}\n",
+            "}}\n"
+        ),
+        disabled_ns,
+        records_per_epoch,
+        epoch_1t,
+        epoch_enabled,
+        overhead_pct,
+        strategy_p50s,
+        tele.total_queries(),
+        tele.total_linear_fallbacks(),
+        tele.degraded_rebuilds,
+    );
+    std::fs::write("BENCH_pr5.json", &obs_json).expect("write BENCH_pr5.json");
+    println!("{obs_json}");
 }
 
 /// Pre-PR numbers (matmul 64/seq ns, epoch s, corpus-encode s, HR@10 s).

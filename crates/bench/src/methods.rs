@@ -148,10 +148,12 @@ pub fn train_traj2hash(
     let report = traj2hash::train(&mut model, data, &scale.train)
         .unwrap_or_else(|e| panic!("traj2hash training failed: {e}"));
     if !report.recoveries.is_empty() {
-        eprintln!(
-            "  [traj2hash] divergence guard fired {} time(s); final lr {:.2e}",
-            report.recoveries.len(),
-            report.final_lr
+        traj_obs::event(
+            "bench.train.divergence_guard",
+            &[
+                ("recoveries", (report.recoveries.len() as u64).into()),
+                ("final_lr", report.final_lr.into()),
+            ],
         );
     }
     (model, report)

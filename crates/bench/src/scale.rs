@@ -211,6 +211,7 @@ impl CommonArgs {
 }
 
 fn usage(msg: &str) -> ! {
+    // lint: allow(raw-print) — CLI usage text goes to stderr by design
     eprintln!(
         "{msg}\n\nusage: <bin> [--scale tiny|small|medium] [--seed N] \
          [--city porto|chengdu|both] [--measure frechet|hausdorff|dtw|all]"

@@ -461,16 +461,34 @@ impl Checkpoint {
     /// never leave a half-written checkpoint under the real name.
     pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let path = path.as_ref();
+        let t0 = traj_obs::enabled().then(std::time::Instant::now);
         let tmp = path.with_extension("ckpt.tmp");
-        std::fs::write(&tmp, self.encode())?;
+        let bytes = self.encode();
+        let len = bytes.len();
+        std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)?;
+        if let Some(t0) = t0 {
+            traj_obs::counter("ckpt.writes", 1);
+            traj_obs::counter("ckpt.bytes_written", len as u64);
+            traj_obs::observe_secs("ckpt.write_secs", t0.elapsed().as_secs_f64());
+        }
         Ok(())
     }
 
     /// Reads and validates a checkpoint from `path`.
     pub fn read_from_file(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        let t0 = traj_obs::enabled().then(std::time::Instant::now);
         let bytes = std::fs::read(path)?;
-        Checkpoint::decode(&bytes)
+        let decoded = Checkpoint::decode(&bytes);
+        if let Some(t0) = t0 {
+            traj_obs::counter("ckpt.reads", 1);
+            traj_obs::counter("ckpt.bytes_read", bytes.len() as u64);
+            traj_obs::observe_secs("ckpt.read_secs", t0.elapsed().as_secs_f64());
+            if let Err(CheckpointError::ChecksumMismatch { .. }) = &decoded {
+                traj_obs::counter("ckpt.checksum_failures", 1);
+            }
+        }
+        decoded
     }
 }
 

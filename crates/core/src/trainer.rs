@@ -116,6 +116,26 @@ pub struct TrainReport {
     /// Worker threads actually used for batch gradients and validation
     /// encoding (the resolution of `TrainConfig::num_threads`).
     pub threads_used: usize,
+    /// Where the wall-clock went, phase by phase.
+    pub timings: TrainTimings,
+}
+
+/// Wall-clock breakdown of a training run. This is the single source of
+/// truth the bench binaries and `microprof` read — the same numbers the
+/// obs layer exports when a recorder is installed.
+#[derive(Debug, Clone, Default)]
+pub struct TrainTimings {
+    /// Seconds spent in each *accepted* epoch (index-aligned with
+    /// `TrainReport::epoch_losses`; excludes validation).
+    pub epoch_seconds: Vec<f64>,
+    /// Total seconds encoding + scoring the validation set.
+    pub validation_seconds: f64,
+    /// Total seconds writing checkpoints.
+    pub checkpoint_seconds: f64,
+    /// Seconds burnt in epoch attempts the divergence guard discarded.
+    pub rolled_back_seconds: f64,
+    /// Total optimizer batches run (accepted epochs only).
+    pub batches: usize,
 }
 
 /// Optional instrumentation hooks for a training run. Used by the
@@ -256,6 +276,9 @@ fn run_batch(
 ) -> Result<f32, TrainError> {
     let n = plan.trajs.len();
     assert!(n > 0, "run_batch needs at least one trajectory");
+    // Clock reads only when a recorder is installed: the disabled path
+    // through this hot loop is a single relaxed atomic load.
+    let obs_t0 = traj_obs::enabled().then(std::time::Instant::now);
     if verify {
         let issues = plan.verify();
         if !issues.is_empty() {
@@ -401,6 +424,11 @@ fn run_batch(
     model.params.load_grads(acc.expect("batch reduced to no gradients"));
     clip_grad_norm(&model.params, cfg.clip_norm);
     opt.step(&model.params);
+    if let Some(t0) = obs_t0 {
+        traj_obs::observe_secs("train.batch_secs", t0.elapsed().as_secs_f64());
+        traj_obs::observe_value("train.batch_slots", n as f64);
+        traj_obs::counter("train.batches", 1);
+    }
     Ok(item)
 }
 
@@ -422,9 +450,12 @@ fn run_epoch(
     rng: &mut StdRng,
     triplet_cursor: &mut usize,
     threads: usize,
-) -> Result<f32, TrainError> {
+) -> Result<EpochStats, TrainError> {
     let n_seeds = data.seeds.len();
-    let mut epoch_loss = 0.0f32;
+    let mut anchor_loss = 0.0f32;
+    let mut anchor_batches = 0usize;
+    let mut triplet_loss = 0.0f32;
+    let mut triplet_batches = 0usize;
     let mut batches = 0usize;
     let debug_verify = cfg!(debug_assertions);
 
@@ -436,7 +467,8 @@ fn run_epoch(
     }
     for batch in anchors.chunks(cfg.batch_size) {
         let Some(plan) = wmse_plan(data, cfg, batch, rng) else { continue };
-        epoch_loss += run_batch(model, cfg, opt, &plan, threads, debug_verify && batches == 0)?;
+        anchor_loss += run_batch(model, cfg, opt, &plan, threads, debug_verify && batches == 0)?;
+        anchor_batches += 1;
         batches += 1;
     }
 
@@ -454,12 +486,32 @@ fn run_epoch(
                 .collect();
             used += take;
             let plan = triplet_plan(data, cfg, &batch_triplets);
-            epoch_loss += run_batch(model, cfg, opt, &plan, threads, debug_verify && batches == 0)?;
+            triplet_loss += run_batch(model, cfg, opt, &plan, threads, debug_verify && batches == 0)?;
+            triplet_batches += 1;
             batches += 1;
         }
     }
 
-    Ok(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 })
+    Ok(EpochStats {
+        mean_loss: if batches > 0 { (anchor_loss + triplet_loss) / batches as f32 } else { 0.0 },
+        anchor_loss: if anchor_batches > 0 { anchor_loss / anchor_batches as f32 } else { 0.0 },
+        triplet_loss: if triplet_batches > 0 { triplet_loss / triplet_batches as f32 } else { 0.0 },
+        batches,
+    })
+}
+
+/// What [`run_epoch`] measured: the combined mean the guard inspects
+/// plus the per-objective decomposition the epoch span exports.
+struct EpochStats {
+    /// Mean combined loss over all batches (the number the divergence
+    /// guard and `TrainReport::epoch_losses` see).
+    mean_loss: f32,
+    /// Mean over the seed-anchor batches (`L_s + gamma L_r`).
+    anchor_loss: f32,
+    /// Mean over the generated-triplet batches (`gamma L_t`).
+    triplet_loss: f32,
+    /// Optimizer batches run this epoch.
+    batches: usize,
 }
 
 /// The last state known to be healthy; the divergence guard restores
@@ -565,7 +617,8 @@ pub fn train_with_hooks(
                            epoch_losses: &[f32],
                            val_hr10: &[f64],
                            recoveries: &[RecoveryEvent]|
-     -> Result<(), TrainError> {
+     -> Result<f64, TrainError> {
+        let t0 = std::time::Instant::now();
         Checkpoint {
             epoch: good.epoch,
             adam_steps: good.adam_steps,
@@ -580,9 +633,14 @@ pub fn train_with_hooks(
             recoveries: recoveries.to_vec(),
         }
         .write_to_file(path)?;
-        Ok(())
+        Ok(t0.elapsed().as_secs_f64())
     };
 
+    let mut timings = TrainTimings::default();
+    let _train_span = traj_obs::span("train")
+        .field("epochs", cfg.epochs)
+        .field("threads", threads)
+        .field("seeds", n_seeds);
     let mut epoch = start_epoch;
     let mut retries_this_epoch = 0usize;
     while epoch < cfg.epochs {
@@ -591,11 +649,20 @@ pub fn train_with_hooks(
         model.beta = cfg.beta0 + cfg.beta_step * epoch as f32;
         let mut rng = epoch_rng(cfg.seed, epoch);
         let mut cursor = good.triplet_cursor;
-        let raw_loss = run_epoch(model, data, cfg, &mut opt, &mut rng, &mut cursor, threads)?;
+        let mut ep_span =
+            traj_obs::span("epoch").field("epoch", epoch).field("beta", model.beta);
+        let ep_start = std::time::Instant::now();
+        let stats = run_epoch(model, data, cfg, &mut opt, &mut rng, &mut cursor, threads)?;
+        let ep_secs = ep_start.elapsed().as_secs_f64();
+        let raw_loss = stats.mean_loss;
         let loss = match hooks.on_epoch_loss.as_mut() {
             Some(h) => h(epoch, raw_loss),
             None => raw_loss,
         };
+        ep_span.add_field("loss", loss);
+        ep_span.add_field("loss_anchors", stats.anchor_loss);
+        ep_span.add_field("loss_triplets", stats.triplet_loss);
+        ep_span.add_field("lr", opt.lr);
 
         // ---- divergence guard ---------------------------------------
         let spiked = match good.loss {
@@ -608,17 +675,29 @@ pub fn train_with_hooks(
                 return Err(TrainError::Diverged { epoch, loss, retries: cfg.max_rollbacks });
             }
             let lr_after = opt.lr * cfg.lr_backoff;
-            recoveries.push(RecoveryEvent {
-                epoch,
-                kind: if loss.is_finite() {
-                    RecoveryKind::LossSpike
-                } else {
-                    RecoveryKind::NonFiniteLoss
-                },
-                loss,
-                restored_epoch: good.epoch,
-                lr_after,
-            });
+            let kind = if loss.is_finite() {
+                RecoveryKind::LossSpike
+            } else {
+                RecoveryKind::NonFiniteLoss
+            };
+            recoveries.push(RecoveryEvent { epoch, kind, loss, restored_epoch: good.epoch, lr_after });
+            traj_obs::counter("train.rollbacks", 1);
+            traj_obs::event(
+                "train.rollback",
+                &[
+                    ("epoch", epoch.into()),
+                    ("kind", kind.to_string().into()),
+                    ("loss", loss.into()),
+                    ("restored_epoch", good.epoch.into()),
+                    ("lr_after", lr_after.into()),
+                ],
+            );
+            traj_obs::event(
+                "train.lr_backoff",
+                &[("epoch", epoch.into()), ("lr_before", opt.lr.into()), ("lr_after", lr_after.into())],
+            );
+            ep_span.add_field("rolled_back", true);
+            timings.rolled_back_seconds += ep_secs;
             model
                 .params
                 .load_state_bytes(&good.params_state)
@@ -631,10 +710,18 @@ pub fn train_with_hooks(
         retries_this_epoch = 0;
 
         epoch_losses.push(loss);
+        timings.epoch_seconds.push(ep_secs);
+        timings.batches += stats.batches;
 
         // ---- model selection on validation HR@10 --------------------
         if cfg.validate {
+            let val_start = std::time::Instant::now();
             let hr = validation_hr10_with_threads(model, data, threads);
+            let val_secs = val_start.elapsed().as_secs_f64();
+            timings.validation_seconds += val_secs;
+            traj_obs::gauge("train.val_hr10", hr);
+            traj_obs::observe_secs("train.validation_secs", val_secs);
+            ep_span.add_field("val_hr10", hr);
             val_hr10.push(hr);
             if best.1.is_none_or(|b| hr > b) {
                 best = (epoch, Some(hr), model.save_bytes());
@@ -653,7 +740,8 @@ pub fn train_with_hooks(
         // ---- periodic checkpoint ------------------------------------
         if let Some(path) = &cfg.checkpoint_path {
             if cfg.checkpoint_every > 0 && (epoch + 1).is_multiple_of(cfg.checkpoint_every) {
-                save_checkpoint(path, &good, &opt, &best, &epoch_losses, &val_hr10, &recoveries)?;
+                timings.checkpoint_seconds +=
+                    save_checkpoint(path, &good, &opt, &best, &epoch_losses, &val_hr10, &recoveries)?;
             }
         }
 
@@ -662,7 +750,8 @@ pub fn train_with_hooks(
 
     // ---- final checkpoint -------------------------------------------
     if let Some(path) = &cfg.checkpoint_path {
-        save_checkpoint(path, &good, &opt, &best, &epoch_losses, &val_hr10, &recoveries)?;
+        timings.checkpoint_seconds +=
+            save_checkpoint(path, &good, &opt, &best, &epoch_losses, &val_hr10, &recoveries)?;
     }
 
     // "Restore best" is explicit: only when validation actually
@@ -684,6 +773,7 @@ pub fn train_with_hooks(
         resumed_from_epoch,
         final_lr: opt.lr,
         threads_used: threads,
+        timings,
     })
 }
 

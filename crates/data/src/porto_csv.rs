@@ -323,7 +323,27 @@ pub fn load_porto_csv<R: std::io::BufRead>(
             }
         }
     }
+    if traj_obs::enabled() {
+        traj_obs::counter("data.load.rows", report.rows as u64);
+        traj_obs::counter("data.load.loaded", report.loaded as u64);
+        traj_obs::counter("data.load.malformed", report.malformed as u64);
+        traj_obs::counter("data.load.bad_number", report.bad_number as u64);
+        traj_obs::counter("data.load.out_of_bounds", report.out_of_bounds as u64);
+        traj_obs::counter("data.load.too_short", report.too_short as u64);
+        traj_obs::event(
+            "data.load",
+            &[
+                ("rows", report.rows.into()),
+                ("loaded", report.loaded.into()),
+                ("corrupt", report.corrupt().into()),
+                ("corrupt_fraction", report.corrupt_fraction().into()),
+                ("too_short", report.too_short.into()),
+                ("budget_exceeded", (report.corrupt_fraction() > policy.max_corrupt_fraction).into()),
+            ],
+        );
+    }
     if report.corrupt_fraction() > policy.max_corrupt_fraction {
+        traj_obs::counter("data.load.budget_exceeded", 1);
         return Err(LoadError::BudgetExceeded {
             report,
             budget: policy.max_corrupt_fraction,

@@ -33,7 +33,10 @@
 use crate::ann::{AnnIndex, QueryRep};
 use crate::error::EngineError;
 use crate::snapshot;
+use crate::telemetry::{EngineTelemetry, QueryInfo};
 use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
 use traj_data::Trajectory;
 use traj_index::search::Hit as SlotHit;
 use traj_index::topk::top_k_hits;
@@ -71,6 +74,28 @@ impl Strategy {
             Strategy::Table => "Hamming-Table",
             Strategy::Mih => "Hamming-MIH",
             Strategy::Hybrid => "Hamming-Hybrid",
+        }
+    }
+
+    /// Position in [`Strategy::ALL`] (indexes the telemetry arrays).
+    pub fn index(&self) -> usize {
+        match self {
+            Strategy::EuclideanBf => 0,
+            Strategy::HammingBf => 1,
+            Strategy::Table => 2,
+            Strategy::Mih => 3,
+            Strategy::Hybrid => 4,
+        }
+    }
+
+    /// The obs histogram this strategy's query latencies land in.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            Strategy::EuclideanBf => "engine.query.euclidean_bf",
+            Strategy::HammingBf => "engine.query.hamming_bf",
+            Strategy::Table => "engine.query.table",
+            Strategy::Mih => "engine.query.mih",
+            Strategy::Hybrid => "engine.query.hybrid",
         }
     }
 }
@@ -212,6 +237,34 @@ pub struct Traj2HashEngine {
     generation: u64,
     /// `None` = degraded: every strategy linear-scans.
     indexes: Option<GenIndexes>,
+    /// Always-on self-measurement (see [`crate::telemetry`]); behind a
+    /// mutex because `query` takes `&self`.
+    telemetry: Mutex<EngineTelemetry>,
+}
+
+/// How a strategy helper produced its answer, for telemetry.
+struct PathInfo {
+    /// Candidates considered before top-k selection.
+    candidates: usize,
+    /// The index could not serve the query and a full scan answered it.
+    fallback: bool,
+    /// A `Hybrid` radius-2 ball came up short and spilled into a scan.
+    spill: bool,
+}
+
+impl PathInfo {
+    fn scan(candidates: usize, fallback: bool) -> PathInfo {
+        PathInfo { candidates, fallback, spill: false }
+    }
+}
+
+/// Poison-proof telemetry lock: a panicking reader must not wedge the
+/// engine.
+fn tlock(m: &Mutex<EngineTelemetry>) -> std::sync::MutexGuard<'_, EngineTelemetry> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 fn euclid(a: &[f32], b: &[f32]) -> f64 {
@@ -245,6 +298,7 @@ impl Traj2HashEngine {
             next_id: n as u64,
             generation: 0,
             indexes: None,
+            telemetry: Mutex::new(EngineTelemetry::default()),
         };
         engine.rebuild();
         Ok(engine)
@@ -289,6 +343,7 @@ impl Traj2HashEngine {
             next_id,
             generation: 0,
             indexes: None,
+            telemetry: Mutex::new(EngineTelemetry::default()),
         };
         engine.rebuild();
         Ok(engine)
@@ -312,6 +367,13 @@ impl Traj2HashEngine {
     /// True when no live trajectory remains.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A snapshot of the engine's always-on self-measurement:
+    /// per-strategy latency/candidate histograms, fallback counters,
+    /// and lifecycle counts.
+    pub fn telemetry(&self) -> EngineTelemetry {
+        tlock(&self.telemetry).clone()
     }
 
     /// Lifecycle counters.
@@ -371,6 +433,8 @@ impl Traj2HashEngine {
         self.embeddings.push(embedding);
         self.codes.push(code);
         self.dead.push(false);
+        tlock(&self.telemetry).inserts += 1;
+        traj_obs::counter("engine.inserts", 1);
         self.maybe_rebuild();
         id
     }
@@ -388,6 +452,8 @@ impl Traj2HashEngine {
                 self.dead_in_indexed += 1;
             }
         }
+        tlock(&self.telemetry).removes += 1;
+        traj_obs::counter("engine.removes", 1);
         self.maybe_rebuild();
         Ok(())
     }
@@ -415,6 +481,8 @@ impl Traj2HashEngine {
     /// engine enters degraded linear-scan mode instead of panicking;
     /// the next rebuild retries.
     fn rebuild(&mut self) {
+        let t0 = Instant::now();
+        let compacting = self.dead_count > 0;
         if self.dead_count > 0 {
             let mut w = 0usize;
             for r in 0..self.ids.len() {
@@ -457,6 +525,60 @@ impl Traj2HashEngine {
             }
             _ => None,
         };
+        let degraded = self.indexes.is_none();
+        {
+            let mut t = tlock(&self.telemetry);
+            t.rebuilds += 1;
+            if compacting {
+                t.compactions += 1;
+            }
+            if degraded {
+                t.degraded_rebuilds += 1;
+            }
+        }
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.rebuilds", 1);
+            if compacting {
+                traj_obs::counter("engine.compactions", 1);
+            }
+            traj_obs::event(
+                "engine.rebuild",
+                &[
+                    ("generation", self.generation.into()),
+                    ("covers", self.ids.len().into()),
+                    ("compacted", compacting.into()),
+                    ("degraded", degraded.into()),
+                    ("seconds", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+            if degraded {
+                traj_obs::counter("engine.degraded_entries", 1);
+                traj_obs::event(
+                    "engine.degraded",
+                    &[("reason", "index build failed".into()), ("generation", self.generation.into())],
+                );
+            }
+        }
+    }
+
+    /// Drops the generation indexes, forcing every strategy onto the
+    /// degraded linear-scan path until the next successful rebuild (or
+    /// [`compact`](Traj2HashEngine::compact)). An ops/chaos-drill hook:
+    /// results stay exact, only the access path changes — this is how
+    /// tests and drills exercise the degradation counters end to end.
+    pub fn force_degrade(&mut self) {
+        self.indexes = None;
+        // Mirror a failed rebuild: with no indexed region there is no
+        // over-fetch margin; scans filter tombstones directly.
+        self.dead_in_indexed = 0;
+        tlock(&self.telemetry).degraded_rebuilds += 1;
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.degraded_entries", 1);
+            traj_obs::event(
+                "engine.degraded",
+                &[("reason", "forced".into()), ("generation", self.generation.into())],
+            );
+        }
     }
 
     /// Top-k search over the live corpus.
@@ -476,23 +598,92 @@ impl Traj2HashEngine {
         k: usize,
         strategy: Strategy,
     ) -> Result<Vec<Hit>, EngineError> {
+        self.query_with_info(q, k, strategy).map(|(hits, _)| hits)
+    }
+
+    /// [`query`](Traj2HashEngine::query) plus per-query diagnostics:
+    /// which path answered (index vs. degraded linear scan), how many
+    /// candidates were considered, the tombstone over-fetch applied, and
+    /// the wall-clock cost. Every query is also folded into
+    /// [`telemetry`](Traj2HashEngine::telemetry) and mirrored to the
+    /// installed obs recorder, if any.
+    pub fn query_with_info(
+        &self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+        let degraded = self.indexes.is_none();
         if k == 0 || self.is_empty() {
-            return Ok(Vec::new());
+            let info = QueryInfo {
+                strategy,
+                degraded,
+                linear_fallback: false,
+                candidates: 0,
+                overfetch: 0,
+                seconds: 0.0,
+            };
+            return Ok((Vec::new(), info));
         }
+        let t0 = Instant::now();
         let embedding = self.model.embed(q).data().to_vec();
-        let slot_hits = match strategy {
+        let (slot_hits, path) = match strategy {
             Strategy::EuclideanBf => self.euclidean_hits(&embedding, k),
             Strategy::HammingBf => {
-                self.scan_hamming_all(&BinaryCode::from_floats(&embedding), k)
+                let (hits, n) = self.scan_hamming_all(&BinaryCode::from_floats(&embedding), k);
+                // A scan by definition: degraded mode changes nothing.
+                (hits, PathInfo::scan(n, false))
             }
             Strategy::Table => self.table_hits(&BinaryCode::from_floats(&embedding), k, false),
             Strategy::Mih => self.mih_hits(&BinaryCode::from_floats(&embedding), k),
             Strategy::Hybrid => self.table_hits(&BinaryCode::from_floats(&embedding), k, true),
         };
-        Ok(slot_hits
+        let hits: Vec<Hit> = slot_hits
             .into_iter()
             .map(|h| Hit { id: self.ids[h.index], distance: h.distance })
-            .collect())
+            .collect();
+        let seconds = t0.elapsed().as_secs_f64();
+        let overfetch = if degraded || path.fallback { 0 } else { self.dead_in_indexed };
+        let info = QueryInfo {
+            strategy,
+            degraded,
+            linear_fallback: path.fallback,
+            candidates: path.candidates,
+            overfetch,
+            seconds,
+        };
+        {
+            let mut t = tlock(&self.telemetry);
+            let s = &mut t.strategies[strategy.index()];
+            s.queries += 1;
+            s.latency.record(seconds);
+            s.candidates.record(path.candidates as f64);
+            if path.fallback {
+                s.linear_fallbacks += 1;
+            }
+            if degraded {
+                s.degraded_queries += 1;
+            }
+            if path.spill {
+                t.hybrid_spills += 1;
+            }
+            t.overfetch.record(overfetch as f64);
+        }
+        if traj_obs::enabled() {
+            traj_obs::observe_secs(strategy.metric_name(), seconds);
+            traj_obs::observe_value("engine.query.candidates", path.candidates as f64);
+            traj_obs::observe_value("engine.query.overfetch", overfetch as f64);
+            if path.fallback {
+                traj_obs::counter("engine.linear_fallbacks", 1);
+            }
+            if degraded {
+                traj_obs::counter("engine.degraded_queries", 1);
+            }
+            if path.spill {
+                traj_obs::counter("engine.hybrid_spills", 1);
+            }
+        }
+        Ok((hits, info))
     }
 
     /// Euclidean candidates from a linear scan over `slots`, skipping
@@ -513,20 +704,35 @@ impl Traj2HashEngine {
             .collect()
     }
 
-    fn scan_euclid_all(&self, q: &[f32], k: usize) -> Vec<SlotHit> {
-        top_k_hits(self.scan_euclid(q, 0..self.ids.len()), k)
+    /// Full-corpus Euclidean scan; returns the top-k and the candidate
+    /// count that fed the selection.
+    fn scan_euclid_all(&self, q: &[f32], k: usize) -> (Vec<SlotHit>, usize) {
+        let cand = self.scan_euclid(q, 0..self.ids.len());
+        let n = cand.len();
+        (top_k_hits(cand, k), n)
     }
 
-    fn scan_hamming_all(&self, q: &BinaryCode, k: usize) -> Vec<SlotHit> {
-        top_k_hits(self.scan_hamming(q, 0..self.ids.len()), k)
+    /// Full-corpus Hamming scan; returns the top-k and the candidate
+    /// count that fed the selection.
+    fn scan_hamming_all(&self, q: &BinaryCode, k: usize) -> (Vec<SlotHit>, usize) {
+        let cand = self.scan_hamming(q, 0..self.ids.len());
+        let n = cand.len();
+        (top_k_hits(cand, k), n)
     }
 
-    fn euclidean_hits(&self, q: &[f32], k: usize) -> Vec<SlotHit> {
+    fn euclidean_hits(&self, q: &[f32], k: usize) -> (Vec<SlotHit>, PathInfo) {
         let Some(ix) = &self.indexes else {
-            return self.scan_euclid_all(q, k);
+            // Only a fallback when a VP-tree would have served this
+            // query; with the brute-force backend the degraded path is
+            // the configured path.
+            let lost_index = matches!(self.cfg.euclidean_backend, EuclideanBackend::VpTree);
+            let (hits, n) = self.scan_euclid_all(q, k);
+            return (hits, PathInfo::scan(n, lost_index));
         };
         let Some(index) = &ix.euclid else {
-            return self.scan_euclid_all(q, k);
+            // Configured brute force: a scan by design, not a fallback.
+            let (hits, n) = self.scan_euclid_all(q, k);
+            return (hits, PathInfo::scan(n, false));
         };
         // Over-fetch by the tombstone count so filtering cannot eat into
         // the true top-k: the index is exact, so the first
@@ -536,24 +742,33 @@ impl Traj2HashEngine {
                 let mut hits: Vec<SlotHit> =
                     hits.into_iter().filter(|h| !self.dead[h.index]).collect();
                 hits.extend(self.scan_euclid(q, ix.covers..self.ids.len()));
-                top_k_hits(hits, k)
+                let n = hits.len();
+                (top_k_hits(hits, k), PathInfo::scan(n, false))
             }
-            Err(_) => self.scan_euclid_all(q, k),
+            Err(_) => {
+                let (hits, n) = self.scan_euclid_all(q, k);
+                (hits, PathInfo::scan(n, true))
+            }
         }
     }
 
-    fn mih_hits(&self, q: &BinaryCode, k: usize) -> Vec<SlotHit> {
+    fn mih_hits(&self, q: &BinaryCode, k: usize) -> (Vec<SlotHit>, PathInfo) {
         let Some(ix) = &self.indexes else {
-            return self.scan_hamming_all(q, k);
+            let (hits, n) = self.scan_hamming_all(q, k);
+            return (hits, PathInfo::scan(n, true));
         };
         match ix.mih.search(QueryRep::Code(q), k + self.dead_in_indexed) {
             Ok(hits) => {
                 let mut hits: Vec<SlotHit> =
                     hits.into_iter().filter(|h| !self.dead[h.index]).collect();
                 hits.extend(self.scan_hamming(q, ix.covers..self.ids.len()));
-                top_k_hits(hits, k)
+                let n = hits.len();
+                (top_k_hits(hits, k), PathInfo::scan(n, false))
             }
-            Err(_) => self.scan_hamming_all(q, k),
+            Err(_) => {
+                let (hits, n) = self.scan_hamming_all(q, k);
+                (hits, PathInfo::scan(n, true))
+            }
         }
     }
 
@@ -582,16 +797,23 @@ impl Traj2HashEngine {
         Some(hits)
     }
 
-    fn table_hits(&self, q: &BinaryCode, k: usize, hybrid_fallback: bool) -> Vec<SlotHit> {
+    fn table_hits(&self, q: &BinaryCode, k: usize, hybrid_fallback: bool) -> (Vec<SlotHit>, PathInfo) {
         match self.radius2_candidates(q) {
             Some(ball) => {
                 if hybrid_fallback && ball.len() < k {
-                    self.scan_hamming_all(q, k)
+                    // The designed Hybrid spill — a scan, but not a
+                    // degradation.
+                    let (hits, n) = self.scan_hamming_all(q, k);
+                    (hits, PathInfo { candidates: n, fallback: false, spill: true })
                 } else {
-                    top_k_hits(ball, k)
+                    let n = ball.len();
+                    (top_k_hits(ball, k), PathInfo::scan(n, false))
                 }
             }
-            None if hybrid_fallback => self.scan_hamming_all(q, k),
+            None if hybrid_fallback => {
+                let (hits, n) = self.scan_hamming_all(q, k);
+                (hits, PathInfo::scan(n, true))
+            }
             None => {
                 // Degraded Table strategy: emulate the radius-2 ball by
                 // scanning, keeping the may-return-fewer semantics.
@@ -600,7 +822,8 @@ impl Traj2HashEngine {
                     .into_iter()
                     .filter(|h| h.distance <= 2.0)
                     .collect();
-                top_k_hits(ball, k)
+                let n = ball.len();
+                (top_k_hits(ball, k), PathInfo::scan(n, true))
             }
         }
     }
@@ -623,18 +846,40 @@ impl Traj2HashEngine {
     /// rename), mirroring the checkpoint discipline.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
         let path = path.as_ref();
+        let t0 = Instant::now();
         let bytes = self.snapshot_bytes()?;
+        let len = bytes.len();
         let tmp = path.with_extension("snap.tmp");
         std::fs::write(&tmp, &bytes).map_err(traj2hash::CheckpointError::Io)?;
         std::fs::rename(&tmp, path).map_err(traj2hash::CheckpointError::Io)?;
+        {
+            let mut t = tlock(&self.telemetry);
+            t.snapshot_saves += 1;
+            t.snapshot_bytes += len as u64;
+        }
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.snapshot.saves", 1);
+            traj_obs::counter("engine.snapshot.bytes_written", len as u64);
+            traj_obs::observe_secs("engine.snapshot.save_secs", t0.elapsed().as_secs_f64());
+        }
         Ok(())
     }
 
     /// Reads and validates a snapshot written by
     /// [`Traj2HashEngine::save_snapshot`].
     pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let t0 = Instant::now();
         let bytes = std::fs::read(path).map_err(traj2hash::CheckpointError::Io)?;
-        Self::from_snapshot_bytes(&bytes)
+        let engine = Self::from_snapshot_bytes(&bytes);
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.snapshot.loads", 1);
+            traj_obs::counter("engine.snapshot.bytes_read", bytes.len() as u64);
+            traj_obs::observe_secs("engine.snapshot.load_secs", t0.elapsed().as_secs_f64());
+            if engine.is_err() {
+                traj_obs::counter("engine.snapshot.load_failures", 1);
+            }
+        }
+        engine
     }
 
     // Snapshot internals need field access without making fields public.

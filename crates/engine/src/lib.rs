@@ -28,9 +28,11 @@ pub mod ann;
 pub mod engine;
 pub mod error;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use ann::{AnnIndex, BruteForceEuclidean, BruteForceHamming, IndexKind, QueryRep};
 pub use engine::{
     EngineConfig, EngineStats, EuclideanBackend, Hit, Strategy, Traj2HashEngine,
 };
 pub use error::EngineError;
+pub use telemetry::{EngineTelemetry, QueryInfo, StrategyTelemetry};

@@ -1,0 +1,7 @@
+pub fn report_load(rows: usize, corrupt: usize) {
+    println!("loaded {rows} rows ({corrupt} corrupt)");
+}
+
+pub fn warn_divergence(count: usize) {
+    eprintln!("divergence guard fired {count} time(s)");
+}

@@ -1,0 +1,21 @@
+pub fn report_load(rows: usize, corrupt: usize) {
+    traj_obs::event("data.load", &[("rows", rows.into()), ("corrupt", corrupt.into())]);
+}
+
+pub fn usage_text() -> String {
+    "usage: tool [--flag]".to_string()
+}
+
+pub fn usage(msg: &str) -> ! {
+    // lint: allow(raw-print) — CLI usage text goes to stderr by design
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("debug output in tests is exempt");
+    }
+}

@@ -40,6 +40,7 @@ pub const RULES: &[&str] = &[
     "no-unwrap-in-lib",
     "no-silent-clamp",
     "no-panic-in-engine",
+    "no-raw-print-in-lib",
     "checkpoint-magic-registry",
 ];
 
@@ -50,6 +51,7 @@ fn rule_aliases(rule: &str) -> &[&str] {
         "no-unwrap-in-lib" => &["unwrap", "no-unwrap-in-lib"],
         "no-silent-clamp" => &["silent-clamp", "no-silent-clamp"],
         "no-panic-in-engine" => &["panic", "no-panic-in-engine"],
+        "no-raw-print-in-lib" => &["raw-print", "no-raw-print-in-lib"],
         "checkpoint-magic-registry" => &["magic", "checkpoint-magic-registry"],
         _ => &[],
     }
@@ -159,6 +161,31 @@ pub fn no_panic_in_engine(file: &ScannedFile, out: &mut Vec<Finding>) {
     );
 }
 
+/// `no-raw-print-in-lib`: library modules must not write to
+/// stdout/stderr directly — diagnostics route through `traj_obs`
+/// (events/counters a sink can format or export) or come back as
+/// return values the caller renders. Binary targets (`src/bin/`,
+/// `main.rs`) own the terminal and are exempt; deliberate CLI output
+/// elsewhere carries `// lint: allow(raw-print)`.
+pub fn no_raw_print_in_lib(file: &ScannedFile, out: &mut Vec<Finding>) {
+    let path = &file.path;
+    let in_lib_module = path.contains("crates/")
+        && path.contains("/src/")
+        && !path.contains("/src/bin/")
+        && !path.ends_with("/main.rs");
+    if !in_lib_module {
+        return;
+    }
+    const PATTERNS: &[&str] = &["println!", "eprintln!", "print!(", "eprint!("];
+    scan_lines(
+        file,
+        "no-raw-print-in-lib",
+        "raw stdout/stderr print in library code; emit a traj_obs event or return the text",
+        out,
+        |masked| PATTERNS.iter().any(|p| masked.contains(p)),
+    );
+}
+
 /// `checkpoint-magic-registry`: every container magic (a 4–8 character
 /// uppercase-alphanumeric byte-string like `T2HSNAP1`) must be declared
 /// in [`crate::registry::KNOWN_MAGICS`], so two serialization formats
@@ -202,6 +229,7 @@ pub fn check_file(file: &ScannedFile, lib_crate: bool, out: &mut Vec<Finding>) {
     }
     no_silent_clamp(file, out);
     no_panic_in_engine(file, out);
+    no_raw_print_in_lib(file, out);
     checkpoint_magic_registry(file, out);
 }
 
@@ -255,6 +283,20 @@ mod tests {
         let mut out = Vec::new();
         check_file(&other, true, &mut out);
         assert!(out.iter().all(|f| f.rule != "no-panic-in-engine"));
+    }
+
+    #[test]
+    fn raw_print_rule_is_scoped_to_lib_modules() {
+        let src = "fn f() { println!(\"hi\"); }\n";
+        assert!(findings_for(src, false).iter().any(|f| f.rule == "no-raw-print-in-lib"));
+        for bin_path in ["crates/demo/src/bin/tool.rs", "crates/demo/src/main.rs"] {
+            let file = scan(bin_path, src, false);
+            let mut out = Vec::new();
+            check_file(&file, false, &mut out);
+            assert!(out.iter().all(|f| f.rule != "no-raw-print-in-lib"), "{bin_path}");
+        }
+        let allowed = "// lint: allow(raw-print) — CLI usage text\nfn f() { eprintln!(\"x\"); }\n";
+        assert!(findings_for(allowed, false).is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn run_rule(rule: &str, fixture: &Path, which: &str) -> Vec<Finding> {
         "no-unwrap-in-lib" => rules::no_unwrap_in_lib(&file, &mut out),
         "no-silent-clamp" => rules::no_silent_clamp(&file, &mut out),
         "no-panic-in-engine" => rules::no_panic_in_engine(&file, &mut out),
+        "no-raw-print-in-lib" => rules::no_raw_print_in_lib(&file, &mut out),
         "checkpoint-magic-registry" => rules::checkpoint_magic_registry(&file, &mut out),
         other => panic!("unknown rule {other}"),
     }
@@ -96,6 +97,11 @@ fn fixture_no_silent_clamp() {
 #[test]
 fn fixture_no_panic_in_engine() {
     check_rule_fixtures("no-panic-in-engine");
+}
+
+#[test]
+fn fixture_no_raw_print_in_lib() {
+    check_rule_fixtures("no-raw-print-in-lib");
 }
 
 #[test]

@@ -1,0 +1,272 @@
+//! In-memory aggregation: the recorder tests assert against, and the
+//! shared [`Aggregates`] state every sink renders its human-readable
+//! summary from.
+
+use crate::hist::Histogram;
+use crate::{lock, Field, Recorder, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A recorded discrete event.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Event name, e.g. `train.rollback`.
+    pub name: String,
+    /// Structured fields, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl EventRecord {
+    /// The value of the named field, if present.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A recorded completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// `/`-joined ancestry path, e.g. `train/epoch`.
+    pub path: String,
+    /// Wall-clock duration.
+    pub seconds: f64,
+    /// Structured fields, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl SpanRecord {
+    /// The value of the named field, if present.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Everything a recorder has aggregated: the shared state behind both
+/// the in-memory sink and the JSONL sink's summary section.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregates {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Log-bucketed histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Every event, in order.
+    pub events: Vec<EventRecord>,
+    /// Every completed span, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+fn owned_fields(fields: &[Field]) -> Vec<(String, Value)> {
+    fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+impl Aggregates {
+    pub(crate) fn apply_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn apply_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn apply_observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    pub(crate) fn apply_event(&mut self, name: &str, fields: &[Field]) {
+        self.events.push(EventRecord { name: name.to_string(), fields: owned_fields(fields) });
+    }
+
+    pub(crate) fn apply_span(&mut self, path: &str, seconds: f64, fields: &[Field]) {
+        self.spans.push(SpanRecord {
+            path: path.to_string(),
+            seconds,
+            fields: owned_fields(fields),
+        });
+    }
+
+    /// Events with the given name, in order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventRecord> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// The value of a counter (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the aggregated state as an aligned human-readable block:
+    /// counters, gauges, histogram quantiles, per-path span totals, and
+    /// per-name event counts.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("== obs summary ==\n");
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v:.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} n={:<7} p50={} p95={} p99={} mean={} max={}",
+                    h.count(),
+                    fmt_mag(h.p50()),
+                    fmt_mag(h.p95()),
+                    fmt_mag(h.p99()),
+                    fmt_mag(h.mean()),
+                    fmt_mag(h.max()),
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            // count + total seconds per distinct path
+            let mut by_path: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+            for s in &self.spans {
+                let e = by_path.entry(&s.path).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += s.seconds;
+            }
+            out.push_str("spans:\n");
+            for (path, (n, total)) in by_path {
+                let _ = writeln!(out, "  {path:<44} n={n:<7} total={total:.3}s");
+            }
+        }
+        if !self.events.is_empty() {
+            let mut by_name: BTreeMap<&str, u64> = BTreeMap::new();
+            for e in &self.events {
+                *by_name.entry(&e.name).or_insert(0) += 1;
+            }
+            out.push_str("events:\n");
+            for (name, n) in by_name {
+                let _ = writeln!(out, "  {name:<44} n={n}");
+            }
+        }
+        out
+    }
+}
+
+/// Formats a magnitude compactly: sub-second values as latencies
+/// (ns/us/ms/s), everything at 1 or above as a plain number — histogram
+/// names say which unit they carry.
+fn fmt_mag(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v < 1e-6 {
+        format!("{:.0}ns", v * 1e9)
+    } else if v < 1e-3 {
+        format!("{:.1}us", v * 1e6)
+    } else if v < 1.0 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// A recorder that aggregates everything in memory. Cheap enough for
+/// bench runs; the primary assertion surface for tests.
+#[derive(Default)]
+pub struct InMemoryRecorder {
+    inner: Mutex<Aggregates>,
+    records: AtomicU64,
+}
+
+impl InMemoryRecorder {
+    /// A snapshot of everything recorded so far.
+    pub fn aggregates(&self) -> Aggregates {
+        lock(&self.inner).clone()
+    }
+
+    /// Total recorder invocations (counters + gauges + observations +
+    /// events + spans) — the call count the overhead gate multiplies by
+    /// the measured per-call no-op cost.
+    pub fn record_count(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Human-readable summary of the aggregated state.
+    pub fn summary(&self) -> String {
+        lock(&self.inner).summary()
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner).apply_counter(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner).apply_gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner).apply_observe(name, value);
+    }
+
+    fn event(&self, name: &str, fields: &[Field]) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner).apply_event(name, fields);
+    }
+
+    fn span_end(&self, path: &str, seconds: f64, fields: &[Field]) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner).apply_span(path, seconds, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_and_summary_cover_every_kind() {
+        let rec = InMemoryRecorder::default();
+        rec.counter("engine.inserts", 2);
+        rec.counter("engine.inserts", 1);
+        rec.gauge("train.val_hr10", 0.625);
+        for i in 1..=100 {
+            rec.observe("engine.query.mih", i as f64 * 1e-5);
+        }
+        rec.event("train.rollback", &[("epoch", 3u64.into()), ("kind", "loss spike".into())]);
+        rec.span_end("train/epoch", 0.25, &[("loss", 0.5f64.into())]);
+
+        let agg = rec.aggregates();
+        assert_eq!(agg.counter_value("engine.inserts"), 3);
+        assert_eq!(agg.counter_value("never.touched"), 0);
+        assert_eq!(agg.events_named("train.rollback").count(), 1);
+        let ev = agg.events_named("train.rollback").next().expect("event");
+        assert_eq!(ev.field("epoch"), Some(&Value::U64(3)));
+        assert_eq!(rec.record_count(), 2 + 1 + 100 + 1 + 1);
+
+        let text = rec.summary();
+        assert!(text.contains("engine.inserts"), "{text}");
+        assert!(text.contains("train.val_hr10"), "{text}");
+        assert!(text.contains("engine.query.mih"), "{text}");
+        assert!(text.contains("p99="), "{text}");
+        assert!(text.contains("train/epoch"), "{text}");
+        assert!(text.contains("train.rollback"), "{text}");
+    }
+
+    #[test]
+    fn magnitude_formatting_picks_sane_units() {
+        assert_eq!(fmt_mag(0.0), "0");
+        assert_eq!(fmt_mag(5e-8), "50ns");
+        assert_eq!(fmt_mag(2.5e-5), "25.0us");
+        assert_eq!(fmt_mag(1.5e-2), "15.00ms");
+        assert_eq!(fmt_mag(140.0), "140.00");
+    }
+}

@@ -15,6 +15,13 @@ use traj_eval::{ground_truth_top_k, hr_at_k};
 use traj2hash::{train, ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData};
 
 fn main() {
+    // 0. Telemetry is opt-in: with OBS_JSONL=path in the environment,
+    //    every epoch span, query-latency histogram, and engine event
+    //    below is exported as JSON lines (see DESIGN.md §11).
+    if std::env::var_os("OBS_JSONL").is_some() {
+        traj_obs::init_from_env().expect("OBS_JSONL path must be writable");
+    }
+
     // 1. A deterministic synthetic city (stand-in for the Porto taxi
     //    corpus; see DESIGN.md).
     let sizes = SplitSizes { seeds: 60, validation: 80, corpus: 800, query: 20, database: 400 };
@@ -120,4 +127,8 @@ fn main() {
         restored.len()
     );
     std::fs::remove_file(&path).ok();
+
+    // Write the final counter/gauge/histogram snapshots to the JSONL
+    // export (inert when no recorder was installed).
+    traj_obs::flush();
 }

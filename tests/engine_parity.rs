@@ -229,6 +229,87 @@ fn inserts_are_searchable_immediately_and_get_fresh_ids() {
     assert!(id2 > id);
 }
 
+#[test]
+fn degraded_mode_tags_queries_counts_fallbacks_and_recovers() {
+    let (dataset, model) = world();
+    let mut engine =
+        Traj2HashEngine::build_from(&model, dataset.database.clone(), EngineConfig::default())
+            .unwrap();
+    let q = &dataset.query[0];
+
+    // Healthy baseline: indexed strategies are neither degraded nor
+    // fallbacks, and the over-fetch margin is visible per query.
+    let (_, info) = engine.query_with_info(q, 5, Strategy::Mih).unwrap();
+    assert!(!info.degraded && !info.linear_fallback);
+    assert_eq!(info.strategy, Strategy::Mih);
+    assert!(info.seconds >= 0.0 && info.candidates > 0);
+    let healthy_hamming = engine.query(q, 10, Strategy::HammingBf).unwrap();
+    let healthy_euclid = engine.query(q, 10, Strategy::EuclideanBf).unwrap();
+    let healthy_mih = engine.query(q, 10, Strategy::Mih).unwrap();
+    let base = engine.telemetry();
+    assert_eq!(base.total_linear_fallbacks(), 0);
+    assert!(base.rebuilds >= 1);
+
+    // Chaos drill: drop the indexes. Every strategy must still answer
+    // (exactly — the scan path is the reference implementation), tag its
+    // QueryInfo as degraded, and the index-backed strategies must count
+    // linear fallbacks, both in engine telemetry and in the obs mirror.
+    let rec = std::sync::Arc::new(traj_obs::InMemoryRecorder::default());
+    traj_obs::with_local_recorder(rec.clone(), || {
+        engine.force_degrade();
+        for strategy in Strategy::ALL {
+            let (hits, info) = engine.query_with_info(q, 10, strategy).unwrap();
+            assert!(info.degraded, "{} not tagged degraded", strategy.name());
+            assert_eq!(info.overfetch, 0, "no indexed region, no over-fetch margin");
+            let expect_fallback =
+                matches!(strategy, Strategy::Table | Strategy::Mih | Strategy::Hybrid);
+            assert_eq!(
+                info.linear_fallback,
+                expect_fallback,
+                "{}: by-design scans are not fallbacks, index paths are",
+                strategy.name()
+            );
+            match strategy {
+                Strategy::EuclideanBf => assert_eq!(hits, healthy_euclid),
+                Strategy::HammingBf => assert_eq!(hits, healthy_hamming),
+                // Degraded Table widens to an exact Hamming top-k scan
+                // (it can no longer enumerate just the radius-2 ball);
+                // Mih and Hybrid are exact top-k either way.
+                Strategy::Table | Strategy::Hybrid | Strategy::Mih => {
+                    assert_eq!(hits, healthy_mih, "{}", strategy.name())
+                }
+            }
+        }
+    });
+    let tele = engine.telemetry();
+    assert_eq!(tele.degraded_rebuilds, base.degraded_rebuilds + 1);
+    assert_eq!(tele.total_linear_fallbacks(), 3, "Table, Mih, Hybrid fell back");
+    assert_eq!(tele.strategy(Strategy::EuclideanBf).linear_fallbacks, 0);
+    assert_eq!(tele.strategy(Strategy::Table).degraded_queries, 1);
+
+    let agg = rec.aggregates();
+    assert_eq!(agg.counter_value("engine.degraded_entries"), 1);
+    assert_eq!(agg.counter_value("engine.degraded_queries"), 5);
+    assert_eq!(agg.counter_value("engine.linear_fallbacks"), 3);
+    assert_eq!(agg.events_named("engine.degraded").count(), 1);
+    for strategy in Strategy::ALL {
+        assert_eq!(
+            agg.histograms.get(strategy.metric_name()).map(|h| h.count()),
+            Some(1),
+            "{} latency histogram missing from the obs mirror",
+            strategy.name()
+        );
+    }
+
+    // Compaction rebuilds the indexes: the engine leaves degraded mode
+    // and the fallback counters stop moving.
+    engine.compact();
+    let (hits, info) = engine.query_with_info(q, 10, Strategy::Mih).unwrap();
+    assert!(!info.degraded && !info.linear_fallback);
+    assert_eq!(hits, healthy_mih);
+    assert_eq!(engine.telemetry().total_linear_fallbacks(), 3);
+}
+
 /// Applies one op stream to an incrementally maintained engine and to a
 /// shadow list, then checks the engine agrees with a from-scratch build
 /// over exactly the shadow's survivors.

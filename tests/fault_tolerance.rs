@@ -128,6 +128,101 @@ fn nan_loss_mid_training_rolls_back_and_recovers() {
 }
 
 #[test]
+fn rollback_and_lr_backoff_events_mirror_the_train_report() {
+    let dataset = tiny_dataset(31);
+    let mcfg = ModelConfig::tiny();
+    let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 1);
+    let tcfg = TrainConfig { epochs: 4, ..TrainConfig::tiny() };
+    let data = TrainData::prepare(&dataset, Measure::Frechet, &tcfg).unwrap();
+
+    // Same injection as the recovery test above: epoch 2's loss turns
+    // NaN exactly once. This time the run is observed, and the recorder
+    // must tell exactly the story TrainReport tells — no missing events,
+    // no phantom ones.
+    let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 2);
+    let mut fired = false;
+    let hooks = TrainHooks::with_loss_hook(move |epoch, loss| {
+        if epoch == 2 && !fired {
+            fired = true;
+            f32::NAN
+        } else {
+            loss
+        }
+    });
+    let rec = std::sync::Arc::new(traj_obs::InMemoryRecorder::default());
+    let report = traj_obs::with_local_recorder(rec.clone(), || {
+        train_with_hooks(&mut model, &data, &tcfg, hooks)
+    })
+    .expect("training must survive a single NaN epoch");
+
+    assert_eq!(report.recoveries.len(), 1);
+    let agg = rec.aggregates();
+    let rollbacks: Vec<_> = agg.events_named("train.rollback").collect();
+    assert_eq!(rollbacks.len(), report.recoveries.len());
+    assert_eq!(agg.counter_value("train.rollbacks"), report.recoveries.len() as u64);
+    for (ev, recovery) in rollbacks.iter().zip(&report.recoveries) {
+        assert_eq!(ev.field("epoch"), Some(&traj_obs::Value::U64(recovery.epoch as u64)));
+        assert_eq!(ev.field("kind"), Some(&traj_obs::Value::Str(recovery.kind.to_string())));
+        assert_eq!(
+            ev.field("restored_epoch"),
+            Some(&traj_obs::Value::U64(recovery.restored_epoch as u64))
+        );
+        assert_eq!(
+            ev.field("lr_after"),
+            Some(&traj_obs::Value::F64(recovery.lr_after as f64))
+        );
+    }
+
+    let backoffs: Vec<_> = agg.events_named("train.lr_backoff").collect();
+    assert_eq!(backoffs.len(), report.recoveries.len(), "one backoff per rollback");
+    for (ev, recovery) in backoffs.iter().zip(&report.recoveries) {
+        assert_eq!(
+            ev.field("lr_after"),
+            Some(&traj_obs::Value::F64(recovery.lr_after as f64))
+        );
+        match (ev.field("lr_before"), ev.field("lr_after")) {
+            (Some(traj_obs::Value::F64(before)), Some(traj_obs::Value::F64(after))) => {
+                assert!(after < before, "backoff must reduce the learning rate")
+            }
+            other => panic!("lr_backoff event missing lr fields: {other:?}"),
+        }
+    }
+
+    // Span accounting agrees too: one epoch span per accepted epoch plus
+    // one per rolled-back attempt, with the rollback tagged on its span,
+    // and the report's timing section matching split for split.
+    let epoch_spans: Vec<_> =
+        agg.spans.iter().filter(|s| s.path == "train/epoch").collect();
+    assert_eq!(
+        epoch_spans.len(),
+        report.epoch_losses.len() + report.recoveries.len()
+    );
+    assert_eq!(
+        epoch_spans
+            .iter()
+            .filter(|s| s.field("rolled_back") == Some(&traj_obs::Value::Bool(true)))
+            .count(),
+        report.recoveries.len()
+    );
+    assert_eq!(report.timings.epoch_seconds.len(), report.epoch_losses.len());
+    assert!(report.timings.rolled_back_seconds > 0.0);
+
+    // A clean run records zero rollback/backoff events — the recorder
+    // never invents recoveries the report does not have.
+    let mut clean_model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 2);
+    let clean_rec = std::sync::Arc::new(traj_obs::InMemoryRecorder::default());
+    let clean_report = traj_obs::with_local_recorder(clean_rec.clone(), || {
+        train(&mut clean_model, &data, &tcfg)
+    })
+    .unwrap();
+    assert!(clean_report.recoveries.is_empty());
+    let clean_agg = clean_rec.aggregates();
+    assert_eq!(clean_agg.events_named("train.rollback").count(), 0);
+    assert_eq!(clean_agg.events_named("train.lr_backoff").count(), 0);
+    assert_eq!(clean_agg.counter_value("train.rollbacks"), 0);
+}
+
+#[test]
 fn unrecoverable_divergence_is_a_typed_error() {
     let dataset = tiny_dataset(32);
     let mcfg = ModelConfig::tiny();
