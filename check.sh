@@ -18,6 +18,11 @@
 #   ./check.sh lint     static analysis only: builds and runs traj-lint
 #                       over the workspace (extra args are forwarded,
 #                       e.g. ./check.sh lint --fix-list)
+#   ./check.sh soak     bounded deterministic soak: 60 ticks of the
+#                       always-on serving loop with porto→chengdu
+#                       drift, injected write faults, and degrade
+#                       drills; exports and self-validates the JSONL
+#                       telemetry stream (target/soak.jsonl)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -44,6 +49,15 @@ if [[ "${1:-}" == "engine" ]]; then
     echo "==> cargo test --test engine_parity"
     cargo test -q --test engine_parity
     echo "Engine checks passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "soak" ]]; then
+    echo "==> bounded deterministic soak (fixed seed, faults injected, JSONL self-validated)"
+    rm -rf target/soak-work
+    OBS_JSONL=target/soak.jsonl cargo run -q --release -p traj-soak -- \
+        --ticks 60 --seed 77 --workdir target/soak-work
+    echo "Soak check passed (JSONL at target/soak.jsonl)."
     exit 0
 fi
 

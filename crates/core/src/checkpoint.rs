@@ -456,17 +456,19 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` atomically: encode to a `.tmp`
-    /// sibling, then rename over the target, so a crash mid-write can
-    /// never leave a half-written checkpoint under the real name.
+    /// Writes the checkpoint to `path` atomically and durably: encode
+    /// to a unique per-process `.tmp` sibling, `fsync` it, rename over
+    /// the target, and `fsync` the parent directory (unix), so neither
+    /// a crash mid-write nor a crash immediately after the save can
+    /// leave a truncated or zero-length checkpoint under the real name.
+    /// Goes through [`crate::iofault::durable_write`], so fault plans
+    /// installed by tests and soak drills apply.
     pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let path = path.as_ref();
         let t0 = traj_obs::enabled().then(std::time::Instant::now);
-        let tmp = path.with_extension("ckpt.tmp");
         let bytes = self.encode();
         let len = bytes.len();
-        std::fs::write(&tmp, bytes)?;
-        std::fs::rename(&tmp, path)?;
+        crate::iofault::durable_write(path, &bytes)?;
         if let Some(t0) = t0 {
             traj_obs::counter("ckpt.writes", 1);
             traj_obs::counter("ckpt.bytes_written", len as u64);
@@ -475,9 +477,13 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Reads and validates a checkpoint from `path`.
+    /// Reads and validates a checkpoint from `path`. Stale staging
+    /// leftovers (`path.<pid>.<n>.tmp` from crashed writers) are
+    /// cleaned up along the way — they are never read.
     pub fn read_from_file(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        let path = path.as_ref();
         let t0 = traj_obs::enabled().then(std::time::Instant::now);
+        crate::iofault::clean_stale_tmps(path);
         let bytes = std::fs::read(path)?;
         let decoded = Checkpoint::decode(&bytes);
         if let Some(t0) = t0 {
@@ -599,7 +605,13 @@ mod tests {
         sample().write_to_file(&path).unwrap();
         let d = Checkpoint::read_from_file(&path).unwrap();
         assert_eq!(d.epoch, 7);
-        assert!(!path.with_extension("ckpt.tmp").exists(), "tmp file left behind");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

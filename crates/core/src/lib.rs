@@ -43,6 +43,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod encoder;
 pub mod error;
+pub mod iofault;
 pub mod loss;
 pub mod model;
 mod plan;
@@ -51,6 +52,10 @@ pub mod trainer;
 pub use checkpoint::{Checkpoint, CheckpointError, RecoveryEvent, RecoveryKind};
 pub use config::{ModelConfig, Readout, TrainConfig};
 pub use error::TrainError;
+pub use iofault::{
+    clean_stale_tmps, durable_write, durable_write_retry, with_fault_plan, FaultPlan, FaultRule,
+    FaultWhen, RetryPolicy, WriteFault, WriteReceipt,
+};
 pub use model::{ModelContext, ModelSpec, Traj2Hash};
 pub use trainer::{
     train, train_with_hooks, validation_hr10, TrainData, TrainHooks, TrainReport,

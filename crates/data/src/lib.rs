@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod augment;
+pub mod drift;
 pub mod normalize;
 pub mod porto_csv;
 pub mod simplify;
@@ -21,6 +22,7 @@ pub use porto_csv::{
     load_porto_csv, parse_polyline, project_lonlat, LoadError, LoadPolicy, LoadReport,
     PolylineError, PORTO_ORIGIN,
 };
+pub use drift::{DriftSchedule, DriftingGenerator};
 pub use simplify::douglas_peucker;
 pub use splits::{Dataset, SplitSizes};
 pub use synthetic::{CityGenerator, CityParams};

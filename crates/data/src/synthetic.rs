@@ -92,6 +92,44 @@ impl CityParams {
     pub fn bbox(&self) -> BoundingBox {
         BoundingBox::from_extent(self.width, self.height)
     }
+
+    /// Linear interpolation between two cities, the primitive behind
+    /// drifting workloads (city statistics shifting porto → chengdu
+    /// over time).
+    ///
+    /// This is a *checked* lerp rather than ad-hoc field mixing:
+    ///
+    /// * `t` is clamped to `[0, 1]` (and a non-finite `t` is treated
+    ///   as `0`, i.e. "no drift"), so a buggy schedule can never
+    ///   extrapolate into negative extents;
+    /// * count fields (`n_hubs`, `min_points`, `max_points`) round to
+    ///   the nearest integer and are re-clamped so `n_hubs >= 2` and
+    ///   `2 <= min_points <= max_points` keep holding;
+    /// * `heading_inertia` stays in `[0, 1)` and the spread/noise/step
+    ///   fields stay strictly positive, so the bounding box and the
+    ///   walk dynamics remain valid at every intermediate point.
+    ///
+    /// Endpoints are exact: `a.lerp(&b, 0.0) == a` and
+    /// `a.lerp(&b, 1.0) == b` for any two valid cities.
+    pub fn lerp(&self, other: &CityParams, t: f64) -> CityParams {
+        let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+        let f = |a: f64, b: f64| a + (b - a) * t;
+        let c = |a: usize, b: usize| f(a as f64, b as f64).round() as usize;
+        let min_points = c(self.min_points, other.min_points).max(2);
+        CityParams {
+            width: f(self.width, other.width).max(1.0),
+            height: f(self.height, other.height).max(1.0),
+            n_hubs: c(self.n_hubs, other.n_hubs).max(2),
+            hub_spread: f(self.hub_spread, other.hub_spread).max(f64::MIN_POSITIVE),
+            step_mean: f(self.step_mean, other.step_mean).max(f64::MIN_POSITIVE),
+            gps_noise: f(self.gps_noise, other.gps_noise).max(0.0),
+            min_points,
+            max_points: c(self.max_points, other.max_points).max(min_points),
+            heading_inertia: f(self.heading_inertia, other.heading_inertia)
+                .clamp(0.0, 1.0 - f64::EPSILON),
+            wander: f(self.wander, other.wander).max(0.0),
+        }
+    }
 }
 
 /// A seeded trajectory generator for one synthetic city.
@@ -102,20 +140,41 @@ pub struct CityGenerator {
 }
 
 impl CityGenerator {
-    /// Creates a generator; the hub layout is derived from the seed.
-    pub fn new(params: CityParams, seed: u64) -> Self {
+    fn draw_hubs(params: &CityParams, rng: &mut StdRng) -> Vec<Point> {
         assert!(params.n_hubs >= 2, "need at least two hubs");
         assert!(params.min_points >= 2 && params.min_points <= params.max_points);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let hubs = (0..params.n_hubs)
+        (0..params.n_hubs)
             .map(|_| {
                 Point::new(
                     rng.random::<f64>() * params.width,
                     rng.random::<f64>() * params.height,
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Creates a generator; the hub layout is derived from the seed.
+    pub fn new(params: CityParams, seed: u64) -> Self {
+        // Hubs and trips share one continuous stream — the historical
+        // behaviour every seeded dataset in this repo depends on.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hubs = Self::draw_hubs(&params, &mut rng);
         CityGenerator { params, hubs, rng }
+    }
+
+    /// Creates a generator whose hub layout comes from `hub_seed` while
+    /// the trip randomness comes from `trip_seed`.
+    ///
+    /// Streaming workloads need this split: keeping `hub_seed` fixed
+    /// across ticks makes hub positions *functions of the city extent*
+    /// (the same unit-square draws scaled by width/height), so a city
+    /// drifting via [`CityParams::lerp`] moves its hubs continuously
+    /// instead of reshuffling them every tick, while a per-tick
+    /// `trip_seed` still yields fresh trips.
+    pub fn with_trip_seed(params: CityParams, hub_seed: u64, trip_seed: u64) -> Self {
+        let mut hub_rng = StdRng::seed_from_u64(hub_seed);
+        let hubs = Self::draw_hubs(&params, &mut hub_rng);
+        CityGenerator { params, hubs, rng: StdRng::seed_from_u64(trip_seed) }
     }
 
     /// The city's hub locations.
@@ -253,6 +312,61 @@ mod tests {
                     max_step
                 );
             }
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_are_exact() {
+        let a = CityParams::porto_like();
+        let b = CityParams::chengdu_like();
+        let at0 = a.lerp(&b, 0.0);
+        let at1 = a.lerp(&b, 1.0);
+        assert_eq!(format!("{at0:?}"), format!("{a:?}"));
+        assert_eq!(format!("{at1:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn lerp_clamps_t_and_stays_valid() {
+        let a = CityParams::porto_like();
+        let b = CityParams::chengdu_like();
+        for t in [-3.0, -0.1, 0.25, 0.5, 0.75, 1.1, 42.0, f64::NAN, f64::INFINITY] {
+            let p = a.lerp(&b, t);
+            assert!(p.width > 0.0 && p.height > 0.0, "bbox degenerate at t={t}");
+            assert!(p.n_hubs >= 2);
+            assert!(p.min_points >= 2 && p.min_points <= p.max_points);
+            assert!((0.0..1.0).contains(&p.heading_inertia));
+            assert!(p.hub_spread > 0.0 && p.step_mean > 0.0);
+            let bb = p.bbox();
+            assert!(bb.width() > 0.0 && bb.height() > 0.0);
+            // Every intermediate city must be generator-constructible.
+            let _ = CityGenerator::new(p, 1).generate_one();
+        }
+        // Non-finite t means "no drift".
+        let nan = a.lerp(&b, f64::NAN);
+        assert_eq!(format!("{nan:?}"), format!("{a:?}"));
+    }
+
+    #[test]
+    fn lerp_midpoint_mixes_fields() {
+        let a = CityParams::porto_like();
+        let b = CityParams::chengdu_like();
+        let m = a.lerp(&b, 0.5);
+        assert!((m.width - (a.width + b.width) / 2.0).abs() < 1e-9);
+        assert_eq!(m.n_hubs, 28);
+        assert!(m.step_mean < a.step_mean && m.step_mean > b.step_mean);
+    }
+
+    #[test]
+    fn fixed_hub_seed_moves_hubs_continuously_under_drift() {
+        let a = CityParams::porto_like();
+        let b = CityParams::chengdu_like();
+        let g0 = CityGenerator::with_trip_seed(a.lerp(&b, 0.0), 7, 100);
+        let g1 = CityGenerator::with_trip_seed(a.lerp(&b, 0.05), 7, 101);
+        // Same unit draws scaled by slightly different extents: every
+        // hub moves, but only slightly.
+        assert_eq!(g0.hubs().len(), g1.hubs().len());
+        for (h0, h1) in g0.hubs().iter().zip(g1.hubs()) {
+            assert!(h0.distance(h1) < 0.06 * a.width, "hub jumped: {h0:?} -> {h1:?}");
         }
     }
 

@@ -581,6 +581,104 @@ impl Traj2HashEngine {
         }
     }
 
+    /// Builds a *replacement* engine: the current live corpus re-encoded
+    /// with `model`, preserving every stable id and `next_id`, so a
+    /// subsequent [`hot_swap`](Traj2HashEngine::hot_swap) is invisible
+    /// to callers holding ids. This is the refresh half of the live
+    /// model-update path: fine-tune a model elsewhere, `refreshed()`,
+    /// snapshot the replacement, validate it by loading it back, then
+    /// swap.
+    pub fn refreshed(&self, model: Traj2Hash) -> Result<Traj2HashEngine, EngineError> {
+        let live: Vec<usize> = (0..self.ids.len()).filter(|&s| !self.dead[s]).collect();
+        let ids: Vec<u64> = live.iter().map(|&s| self.ids[s]).collect();
+        let trajs: Vec<Trajectory> = live.iter().map(|&s| self.trajs[s].clone()).collect();
+        let embeddings = model.embed_all_with_threads(&trajs, self.cfg.encode_threads.max(1));
+        let codes: Vec<BinaryCode> =
+            embeddings.iter().map(|e| BinaryCode::from_floats(e)).collect();
+        Self::from_loaded(model, self.cfg.clone(), ids, trajs, embeddings, codes, self.next_id)
+    }
+
+    /// Atomically swaps `replacement`'s model, corpus, and indexes into
+    /// this engine, keeping the engine's *cumulative* telemetry and a
+    /// monotonically increasing generation counter. From a caller's
+    /// point of view the engine object never stops serving — queries
+    /// before the swap answer from the old state, queries after from
+    /// the new one.
+    ///
+    /// The replacement is typically produced by
+    /// [`refreshed`](Traj2HashEngine::refreshed) and round-tripped
+    /// through the `T2HSNAP1` snapshot machinery first, so the bytes
+    /// that go live are the bytes that were validated on disk.
+    pub fn hot_swap(&mut self, replacement: Traj2HashEngine) {
+        let Traj2HashEngine {
+            model,
+            cfg,
+            ids,
+            trajs,
+            embeddings,
+            codes,
+            dead,
+            dead_count,
+            dead_in_indexed,
+            next_id,
+            generation: _,
+            indexes,
+            telemetry: _,
+        } = replacement;
+        self.model = model;
+        self.cfg = cfg;
+        self.ids = ids;
+        self.trajs = trajs;
+        self.embeddings = embeddings;
+        self.codes = codes;
+        self.dead = dead;
+        self.dead_count = dead_count;
+        self.dead_in_indexed = dead_in_indexed;
+        // next_id only moves forward: a stale replacement must not make
+        // the engine re-issue ids that are already out there.
+        self.next_id = self.next_id.max(next_id);
+        self.indexes = indexes;
+        self.generation += 1;
+        let degraded = self.indexes.is_none();
+        tlock(&self.telemetry).hot_swaps += 1;
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.hot_swaps", 1);
+            traj_obs::event(
+                "engine.hot_swap",
+                &[
+                    ("generation", self.generation.into()),
+                    ("live", self.len().into()),
+                    ("degraded", degraded.into()),
+                ],
+            );
+        }
+    }
+
+    /// Attempts to leave degraded linear-scan mode by rebuilding the
+    /// generation indexes; a no-op when the engine is already healthy.
+    /// Returns `true` when the engine is healthy afterwards. This is
+    /// the recovery half of the degrade → recover drill: results were
+    /// exact throughout, only the access path (and its latency) was
+    /// degraded.
+    pub fn recover(&mut self) -> bool {
+        if self.indexes.is_some() {
+            return true;
+        }
+        self.rebuild();
+        let healthy = self.indexes.is_some();
+        if healthy {
+            tlock(&self.telemetry).recoveries += 1;
+            if traj_obs::enabled() {
+                traj_obs::counter("engine.recoveries", 1);
+                traj_obs::event(
+                    "engine.recovered",
+                    &[("generation", self.generation.into()), ("live", self.len().into())],
+                );
+            }
+        }
+        healthy
+    }
+
     /// Top-k search over the live corpus.
     ///
     /// The query is encoded once with the owned model; the selected
@@ -842,16 +940,29 @@ impl Traj2HashEngine {
         snapshot::decode(bytes)
     }
 
-    /// Writes a snapshot atomically (encode to a `.tmp` sibling, then
-    /// rename), mirroring the checkpoint discipline.
+    /// Writes a snapshot atomically and durably (unique fsync'd tmp →
+    /// rename → parent-dir fsync), mirroring the checkpoint discipline.
+    /// Goes through `traj2hash::iofault::durable_write`, so installed
+    /// fault plans apply.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        self.save_snapshot_retry(path, &traj2hash::RetryPolicy::none()).map(|_| ())
+    }
+
+    /// [`save_snapshot`](Traj2HashEngine::save_snapshot) under a
+    /// bounded retry/backoff policy; returns the write receipt
+    /// (attempts made, faults survived) so callers can log how hard
+    /// the save had to fight.
+    pub fn save_snapshot_retry(
+        &self,
+        path: impl AsRef<Path>,
+        policy: &traj2hash::RetryPolicy,
+    ) -> Result<traj2hash::WriteReceipt, EngineError> {
         let path = path.as_ref();
         let t0 = Instant::now();
         let bytes = self.snapshot_bytes()?;
         let len = bytes.len();
-        let tmp = path.with_extension("snap.tmp");
-        std::fs::write(&tmp, &bytes).map_err(traj2hash::CheckpointError::Io)?;
-        std::fs::rename(&tmp, path).map_err(traj2hash::CheckpointError::Io)?;
+        let receipt = traj2hash::durable_write_retry(path, &bytes, policy)
+            .map_err(traj2hash::CheckpointError::Io)?;
         {
             let mut t = tlock(&self.telemetry);
             t.snapshot_saves += 1;
@@ -862,13 +973,16 @@ impl Traj2HashEngine {
             traj_obs::counter("engine.snapshot.bytes_written", len as u64);
             traj_obs::observe_secs("engine.snapshot.save_secs", t0.elapsed().as_secs_f64());
         }
-        Ok(())
+        Ok(receipt)
     }
 
     /// Reads and validates a snapshot written by
-    /// [`Traj2HashEngine::save_snapshot`].
+    /// [`Traj2HashEngine::save_snapshot`]. Stale staging leftovers from
+    /// crashed writers are cleaned up along the way — they are never
+    /// read.
     pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self, EngineError> {
         let t0 = Instant::now();
+        traj2hash::clean_stale_tmps(path.as_ref());
         let bytes = std::fs::read(path).map_err(traj2hash::CheckpointError::Io)?;
         let engine = Self::from_snapshot_bytes(&bytes);
         if traj_obs::enabled() {

@@ -55,6 +55,12 @@ pub struct EngineTelemetry {
     pub snapshot_saves: u64,
     /// Total snapshot bytes written.
     pub snapshot_bytes: u64,
+    /// Live refreshes: a replacement engine's state hot-swapped in via
+    /// [`Traj2HashEngine::hot_swap`](crate::Traj2HashEngine::hot_swap).
+    pub hot_swaps: u64,
+    /// Degraded → healthy transitions performed by
+    /// [`Traj2HashEngine::recover`](crate::Traj2HashEngine::recover).
+    pub recoveries: u64,
 }
 
 impl EngineTelemetry {
@@ -111,6 +117,9 @@ impl EngineTelemetry {
                 "  snapshot_saves={} snapshot_bytes={}",
                 self.snapshot_saves, self.snapshot_bytes
             );
+        }
+        if self.hot_swaps > 0 || self.recoveries > 0 {
+            let _ = writeln!(out, "  hot_swaps={} recoveries={}", self.hot_swaps, self.recoveries);
         }
         out
     }

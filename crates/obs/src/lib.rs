@@ -45,10 +45,12 @@
 pub mod hist;
 pub mod jsonl;
 pub mod memory;
+pub mod trend;
 
 pub use hist::Histogram;
 pub use jsonl::{parse_json, validate_record, Json, JsonlRecorder, RecordSummary};
 pub use memory::{Aggregates, EventRecord, InMemoryRecorder, SpanRecord};
+pub use trend::TrendWindow;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,171 @@
+//! Windowed trend detection over a metric series.
+//!
+//! Drift detection in the soak loop needs exactly one statistical
+//! primitive: "has this metric's recent mean dropped (or risen)
+//! relative to a frozen baseline?" — applied to the validation HR@10
+//! series and to per-strategy latency aggregates. [`TrendWindow`]
+//! keeps a bounded history, freezes the first `baseline_len` samples
+//! as the reference, and compares the mean of the most recent
+//! `recent_len` samples against it. No exponential smoothing, no
+//! tunable forgetting factor: the soak loop is deterministic and its
+//! detector must be too.
+
+/// A bounded metric series with a frozen baseline prefix.
+#[derive(Debug, Clone)]
+pub struct TrendWindow {
+    baseline_len: usize,
+    recent_len: usize,
+    baseline: Vec<f64>,
+    recent: Vec<f64>,
+    pushed: u64,
+}
+
+impl TrendWindow {
+    /// A window whose first `baseline_len` finite samples become the
+    /// frozen reference and whose detection window covers the most
+    /// recent `recent_len` samples. Both must be at least 1.
+    pub fn new(baseline_len: usize, recent_len: usize) -> Self {
+        TrendWindow {
+            baseline_len: baseline_len.max(1),
+            recent_len: recent_len.max(1),
+            baseline: Vec::new(),
+            recent: Vec::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Feeds one sample. Non-finite samples are counted but excluded
+    /// from both windows — a NaN metric must never poison the detector.
+    pub fn push(&mut self, v: f64) {
+        self.pushed += 1;
+        if !v.is_finite() {
+            return;
+        }
+        if self.baseline.len() < self.baseline_len {
+            self.baseline.push(v);
+            return;
+        }
+        self.recent.push(v);
+        if self.recent.len() > self.recent_len {
+            self.recent.remove(0);
+        }
+    }
+
+    /// Total samples pushed (finite or not).
+    pub fn samples(&self) -> u64 {
+        self.pushed
+    }
+
+    /// True once the baseline is frozen and the recent window is full —
+    /// before that, [`relative_drop`](TrendWindow::relative_drop)
+    /// reports `0.0` so nothing fires on a cold detector.
+    pub fn warmed_up(&self) -> bool {
+        self.baseline.len() >= self.baseline_len && self.recent.len() >= self.recent_len
+    }
+
+    /// Mean of the frozen baseline prefix (`None` before any sample).
+    pub fn baseline_mean(&self) -> Option<f64> {
+        (!self.baseline.is_empty())
+            .then(|| self.baseline.iter().sum::<f64>() / self.baseline.len() as f64)
+    }
+
+    /// Mean of the recent window (`None` while empty).
+    pub fn recent_mean(&self) -> Option<f64> {
+        (!self.recent.is_empty())
+            .then(|| self.recent.iter().sum::<f64>() / self.recent.len() as f64)
+    }
+
+    /// Relative drop of the recent mean below the baseline mean, in
+    /// `[0, 1]`-ish units: `(baseline - recent) / baseline`. Positive
+    /// means the metric fell (bad for HR@10), negative means it rose.
+    /// Returns `0.0` until [`warmed_up`](TrendWindow::warmed_up), and
+    /// when the baseline mean is not usable as a denominator.
+    pub fn relative_drop(&self) -> f64 {
+        if !self.warmed_up() {
+            return 0.0;
+        }
+        match (self.baseline_mean(), self.recent_mean()) {
+            (Some(b), Some(r)) if b.abs() > f64::EPSILON => (b - r) / b,
+            _ => 0.0,
+        }
+    }
+
+    /// True when the recent mean sits at least `threshold` (relative)
+    /// below the baseline — the drift trigger. Never fires before
+    /// [`warmed_up`](TrendWindow::warmed_up), whatever the threshold.
+    pub fn dropped_by(&self, threshold: f64) -> bool {
+        self.warmed_up() && self.relative_drop() >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_detector_never_fires() {
+        let mut w = TrendWindow::new(3, 2);
+        assert!(!w.dropped_by(0.0));
+        w.push(1.0);
+        w.push(1.0);
+        assert!(!w.warmed_up());
+        assert_eq!(w.relative_drop(), 0.0);
+    }
+
+    #[test]
+    fn detects_a_relative_drop() {
+        let mut w = TrendWindow::new(4, 2);
+        for _ in 0..4 {
+            w.push(0.8);
+        }
+        w.push(0.8);
+        w.push(0.8);
+        assert!(w.warmed_up());
+        assert!(w.relative_drop().abs() < 1e-12);
+        assert!(!w.dropped_by(0.1));
+        // The metric collapses: recent window slides onto the bad
+        // samples.
+        w.push(0.4);
+        w.push(0.4);
+        assert!((w.relative_drop() - 0.5).abs() < 1e-12);
+        assert!(w.dropped_by(0.25));
+    }
+
+    #[test]
+    fn baseline_is_frozen_against_slow_decay() {
+        // A slow continuous decay must still trip the detector —
+        // that is exactly what a moving baseline would hide.
+        let mut w = TrendWindow::new(3, 3);
+        let mut v = 1.0;
+        for _ in 0..40 {
+            w.push(v);
+            v *= 0.93;
+        }
+        assert!(w.dropped_by(0.5));
+    }
+
+    #[test]
+    fn improvement_reads_negative() {
+        let mut w = TrendWindow::new(2, 2);
+        w.push(0.5);
+        w.push(0.5);
+        w.push(0.9);
+        w.push(0.9);
+        assert!(w.relative_drop() < 0.0);
+        assert!(!w.dropped_by(0.01));
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut w = TrendWindow::new(2, 2);
+        w.push(1.0);
+        w.push(f64::NAN);
+        w.push(1.0);
+        w.push(f64::INFINITY);
+        w.push(0.5);
+        w.push(0.5);
+        assert_eq!(w.samples(), 6);
+        assert!(w.warmed_up());
+        assert!((w.relative_drop() - 0.5).abs() < 1e-12);
+    }
+}

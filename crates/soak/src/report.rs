@@ -1,0 +1,307 @@
+//! Typed per-tick health and the end-of-run report.
+
+use std::fmt;
+
+use traj_engine::EngineStats;
+
+/// Why a tick ended degraded. Every degraded tick carries exactly one
+/// of these — there is no untyped failure state in the soak loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The degrade drill forced the engine into index-less mode.
+    ForcedIndexLoss,
+    /// An index (re)build failed and the engine fell back to linear
+    /// scans.
+    IndexBuildFailed,
+    /// An online fine-tune failed (typically an injected checkpoint
+    /// write fault); the refresh is retried on a later tick.
+    RefreshTrainFailed,
+    /// The refreshed snapshot could not be written durably even after
+    /// retries; the fine-tuned model is held and the swap is retried.
+    RefreshIoFailed,
+    /// The periodic durability snapshot could not be written even
+    /// after retries; retried next tick.
+    SnapshotWriteFailed,
+    /// The freshly written snapshot failed to load back; the previous
+    /// generation keeps serving.
+    SnapshotLoadFailed,
+}
+
+impl DegradeReason {
+    /// Stable taxonomy label used in telemetry events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeReason::ForcedIndexLoss => "forced_index_loss",
+            DegradeReason::IndexBuildFailed => "index_build_failed",
+            DegradeReason::RefreshTrainFailed => "refresh_train_failed",
+            DegradeReason::RefreshIoFailed => "refresh_io_failed",
+            DegradeReason::SnapshotWriteFailed => "snapshot_write_failed",
+            DegradeReason::SnapshotLoadFailed => "snapshot_load_failed",
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a tick ended: serving healthily, or degraded for a typed
+/// reason (still serving — degraded mode answers via linear scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickHealth {
+    /// Indexes live, no refresh pending.
+    Healthy,
+    /// Degraded for the given reason.
+    Degraded(DegradeReason),
+}
+
+impl TickHealth {
+    /// True for [`TickHealth::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, TickHealth::Healthy)
+    }
+}
+
+/// One row of the tick log.
+#[derive(Debug, Clone, Copy)]
+pub struct TickRecord {
+    /// Tick index (1-based).
+    pub tick: u64,
+    /// Drift interpolation parameter at this tick (0 = source city,
+    /// 1 = fully drifted).
+    pub drift_t: f64,
+    /// Live trajectories after ingest/eviction.
+    pub live: usize,
+    /// Engine generation (bumps on rebuild and on hot swap).
+    pub generation: u64,
+    /// Validation HR@10, when this tick evaluated.
+    pub hr10: Option<f64>,
+    /// HR@10 detector drop at this tick (0 until warmed up).
+    pub relative_drop: f64,
+    /// How the tick ended.
+    pub health: TickHealth,
+}
+
+/// Everything a finished soak run reports. The invariants the
+/// acceptance test asserts (refreshes happened, drills recovered,
+/// clean final state) are all readable from here.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Ticks completed.
+    pub ticks: u64,
+    /// Trajectories ingested.
+    pub inserts: u64,
+    /// Trajectories evicted (tombstoned) by the sliding window.
+    pub removes: u64,
+    /// Serving queries answered.
+    pub queries: u64,
+    /// HR@10 evaluations performed.
+    pub evals: u64,
+    /// Drift detections (HR@10 drop beyond threshold).
+    pub drift_detections: u64,
+    /// Completed refreshes: fine-tune, durable snapshot, hot swap.
+    pub refreshes: u64,
+    /// Refresh steps that failed and were retried on a later tick.
+    pub refresh_failures: u64,
+    /// Hot swaps performed by the engine (should equal `refreshes`).
+    pub hot_swaps: u64,
+    /// Degrade drills fired.
+    pub drills: u64,
+    /// Degraded → healthy recoveries performed by the engine.
+    pub recoveries: u64,
+    /// Ticks that ended degraded (each with a typed reason).
+    pub degraded_ticks: u64,
+    /// Latency regressions flagged (telemetry only).
+    pub latency_regressions: u64,
+    /// Periodic durability snapshots written (heartbeats, not
+    /// counting refresh snapshots).
+    pub snapshots: u64,
+    /// Write faults the plan injected.
+    pub faults_injected: u64,
+    /// Durable write attempts made while the plan was installed.
+    pub write_attempts: u64,
+    /// Snapshot write retries that were needed (beyond first attempts).
+    pub write_retries: u64,
+    /// Engine statistics at the end of the run.
+    pub final_stats: EngineStats,
+    /// Health of the final tick.
+    pub final_health: TickHealth,
+    /// The full tick log.
+    pub tick_log: Vec<TickRecord>,
+}
+
+impl SoakReport {
+    /// Structural self-checks: the tick log is complete and internally
+    /// consistent with the aggregate counters. Returns the first
+    /// violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.tick_log.len() as u64 != self.ticks {
+            return Err(format!(
+                "tick log has {} rows for {} ticks",
+                self.tick_log.len(),
+                self.ticks
+            ));
+        }
+        let degraded = self.tick_log.iter().filter(|r| !r.health.is_healthy()).count() as u64;
+        if degraded != self.degraded_ticks {
+            return Err(format!(
+                "degraded_ticks={} but the log holds {} degraded rows",
+                self.degraded_ticks, degraded
+            ));
+        }
+        if let Some(last) = self.tick_log.last() {
+            if last.health != self.final_health {
+                return Err("final_health disagrees with the last log row".into());
+            }
+        }
+        if self.final_health.is_healthy() && self.final_stats.degraded {
+            return Err("final tick healthy but engine stats say degraded".into());
+        }
+        if self.refreshes != self.hot_swaps {
+            return Err(format!(
+                "refreshes={} but hot_swaps={}",
+                self.refreshes, self.hot_swaps
+            ));
+        }
+        if self.evals < self.drift_detections {
+            return Err("more drift detections than evaluations".into());
+        }
+        Ok(())
+    }
+
+    /// Compact human-readable run summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("== soak report ==\n");
+        let _ = writeln!(
+            out,
+            "  ticks={} inserts={} removes={} queries={} evals={}",
+            self.ticks, self.inserts, self.removes, self.queries, self.evals
+        );
+        let _ = writeln!(
+            out,
+            "  drift_detections={} refreshes={} refresh_failures={} hot_swaps={}",
+            self.drift_detections, self.refreshes, self.refresh_failures, self.hot_swaps
+        );
+        let _ = writeln!(
+            out,
+            "  drills={} recoveries={} degraded_ticks={} latency_regressions={}",
+            self.drills, self.recoveries, self.degraded_ticks, self.latency_regressions
+        );
+        let _ = writeln!(
+            out,
+            "  snapshots={} faults_injected={} write_attempts={} write_retries={}",
+            self.snapshots, self.faults_injected, self.write_attempts, self.write_retries
+        );
+        let _ = writeln!(
+            out,
+            "  final: health={} live={} generation={} degraded={}",
+            match self.final_health {
+                TickHealth::Healthy => "healthy".to_string(),
+                TickHealth::Degraded(r) => format!("degraded({r})"),
+            },
+            self.final_stats.live,
+            self.final_stats.generation,
+            self.final_stats.degraded
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> EngineStats {
+        EngineStats { live: 1, indexed: 1, delta: 0, dead: 0, generation: 1, degraded: false }
+    }
+
+    fn healthy_report(ticks: u64) -> SoakReport {
+        SoakReport {
+            ticks,
+            inserts: 0,
+            removes: 0,
+            queries: 0,
+            evals: ticks,
+            drift_detections: 0,
+            refreshes: 0,
+            refresh_failures: 0,
+            hot_swaps: 0,
+            drills: 0,
+            recoveries: 0,
+            degraded_ticks: 0,
+            latency_regressions: 0,
+            snapshots: 0,
+            faults_injected: 0,
+            write_attempts: 0,
+            write_retries: 0,
+            final_stats: stats(),
+            final_health: TickHealth::Healthy,
+            tick_log: (1..=ticks)
+                .map(|t| TickRecord {
+                    tick: t,
+                    drift_t: 0.0,
+                    live: 1,
+                    generation: 1,
+                    hr10: None,
+                    relative_drop: 0.0,
+                    health: TickHealth::Healthy,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn consistent_report_passes_invariants() {
+        assert_eq!(healthy_report(3).check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn truncated_tick_log_is_caught() {
+        let mut r = healthy_report(3);
+        r.tick_log.pop();
+        assert!(r.check_invariants().is_err());
+    }
+
+    #[test]
+    fn miscounted_degraded_ticks_are_caught() {
+        let mut r = healthy_report(3);
+        r.tick_log[1].health = TickHealth::Degraded(DegradeReason::ForcedIndexLoss);
+        assert!(r.check_invariants().is_err(), "degraded row without the counter");
+        r.degraded_ticks = 1;
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn refresh_hot_swap_mismatch_is_caught() {
+        let mut r = healthy_report(2);
+        r.refreshes = 1;
+        assert!(r.check_invariants().is_err());
+        r.hot_swaps = 1;
+        assert_eq!(r.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn degraded_end_state_must_match_stats() {
+        let mut r = healthy_report(2);
+        r.final_stats.degraded = true;
+        assert!(r.check_invariants().is_err());
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        for (reason, name) in [
+            (DegradeReason::ForcedIndexLoss, "forced_index_loss"),
+            (DegradeReason::IndexBuildFailed, "index_build_failed"),
+            (DegradeReason::RefreshTrainFailed, "refresh_train_failed"),
+            (DegradeReason::RefreshIoFailed, "refresh_io_failed"),
+            (DegradeReason::SnapshotWriteFailed, "snapshot_write_failed"),
+            (DegradeReason::SnapshotLoadFailed, "snapshot_load_failed"),
+        ] {
+            assert_eq!(reason.name(), name);
+            assert_eq!(reason.to_string(), name);
+        }
+    }
+}

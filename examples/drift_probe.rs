@@ -1,0 +1,63 @@
+//! Tuning probe for the soak loop's drift detector: runs a soak with
+//! config knobs taken from env vars and prints the HR@10 evaluation
+//! series (tick, drift t, HR@10, detector drop) plus the final report.
+//! Useful for picking seeds/thresholds where detection fires cleanly.
+//!
+//! ```bash
+//! MODEL=mid EPOCHS=5 TICKS=30 SEED=5 \
+//!     cargo run --release --example drift_probe
+//! ```
+
+fn env_u64(k: &str, d: u64) -> u64 {
+    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+}
+
+fn env_usize(k: &str, d: usize) -> usize {
+    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+}
+
+fn main() {
+    let wd = std::env::temp_dir().join(format!("drift-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wd);
+    let mut cfg = traj_soak::SoakConfig::demo(wd.clone());
+    cfg.ticks = env_u64("TICKS", 60);
+    cfg.seed = env_u64("SEED", 77);
+    cfg.window = env_usize("WINDOW", 160);
+    cfg.eval_db = env_usize("EVAL_DB", 40);
+    cfg.eval_queries = env_usize("EVAL_Q", 8);
+    cfg.initial_epochs = env_usize("EPOCHS", 8);
+    cfg.model = match std::env::var("MODEL").as_deref() {
+        Ok("tiny") => traj2hash::ModelConfig::tiny(),
+        // The e2e test's configuration: 32-bit codes (enough to rank
+        // without massive ties) on a single cheap block.
+        Ok("mid") => traj2hash::ModelConfig {
+            dim: 32,
+            blocks: 1,
+            heads: 2,
+            grid_dim: 16,
+            fine_cell_m: 100.0,
+            ..traj2hash::ModelConfig::small()
+        },
+        _ => traj2hash::ModelConfig::small(),
+    };
+    let drill2 = env_u64("DRILL2", 44);
+    if drill2 != 44 {
+        cfg.degrade_drills = vec![18, drill2];
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut runner = traj_soak::SoakRunner::new(cfg).expect("soak bootstrap");
+    let boot = t0.elapsed().as_secs_f64();
+    let report = runner.run().expect("soak run");
+    for t in &report.tick_log {
+        if let Some(h) = t.hr10 {
+            println!(
+                "tick={} t={:.2} hr={:.3} drop={:.3}",
+                t.tick, t.drift_t, h, t.relative_drop
+            );
+        }
+    }
+    print!("{}", report.summary());
+    println!("boot={boot:.1}s total={:.1}s", t0.elapsed().as_secs_f64());
+    let _ = std::fs::remove_dir_all(&wd);
+}
