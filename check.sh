@@ -11,6 +11,11 @@
 #   ./check.sh engine   serving-layer suite only: traj-engine unit tests
 #                       plus the parity / incremental / snapshot
 #                       integration suite
+#   ./check.sh shard    sharded-serving suite only: the sharded==unsharded
+#                       parity proptests (shard counts 1..8, random
+#                       insert/remove interleavings, all five strategies)
+#                       and the multi-reader concurrency test (N readers
+#                       pinning generations under writer churn)
 #   ./check.sh obs      observability suite only: traj-obs unit tests,
 #                       the telemetry integration tests, and the
 #                       instrumented perf smoke with a JSONL export
@@ -52,6 +57,15 @@ if [[ "${1:-}" == "engine" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "shard" ]]; then
+    echo "==> cargo test --test shard_parity"
+    cargo test -q --test shard_parity
+    echo "==> cargo test --test shard_concurrency"
+    cargo test -q --test shard_concurrency
+    echo "Sharded-serving checks passed."
+    exit 0
+fi
+
 if [[ "${1:-}" == "soak" ]]; then
     echo "==> bounded deterministic soak (fixed seed, faults injected, JSONL self-validated)"
     rm -rf target/soak-work
@@ -73,6 +87,9 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> sharded-serving parity + concurrency (also covered by cargo test; rerun as a named gate)"
+cargo test -q --test shard_parity --test shard_concurrency
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

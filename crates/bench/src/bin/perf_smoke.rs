@@ -11,6 +11,12 @@
 //! covers epoch spans, all five query-strategy histograms, and a
 //! degradation drill. The obs numbers land in `BENCH_pr5.json`.
 //!
+//! Since PR 7 it also measures the sharded serving layer: the u64-block
+//! popcount scan against the per-code naive loop, reader-thread
+//! queries/sec at 1, 4, and max-core readers through [`ShardedEngine`],
+//! and the `query_many` batched-encode amortization. Those rows land in
+//! `BENCH_pr7.json`.
+//!
 //! Run via `./check.sh bench` (or `cargo run --release -p traj-bench
 //! --bin perf_smoke`). Each measurement repeats and takes the best run,
 //! so numbers are stable enough to compare across commits on the same
@@ -22,7 +28,10 @@ use tinynn::Tensor;
 use traj2hash::{validation_hr10, ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData};
 use traj_data::{CityParams, Dataset, SplitSizes};
 use traj_dist::Measure;
-use traj_engine::{EngineConfig, Strategy, Traj2HashEngine};
+use traj_engine::{
+    EngineConfig, ShardConfig, ShardedEngine, Strategy, Traj2HashEngine,
+};
+use traj_index::{BinaryCode, PackedCodes};
 
 /// Best-of-`reps` wall-clock seconds of `f`.
 fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -135,6 +144,144 @@ fn main() {
         let _ = validation_hr10(&model, &data);
     });
     eprintln!("validation HR@10    : {val:10.3} s");
+
+    // ---- sharded serving: popcount scan, reader scaling, query_many ---
+    // All measured with no recorder installed (the production default),
+    // before the instrumented section below swaps a recorder in.
+    let serve_corpus = dataset.corpus.clone();
+    let codes: Vec<BinaryCode> = model
+        .embed_all_with_threads(&serve_corpus, threads)
+        .iter()
+        .map(|e| BinaryCode::from_floats(e))
+        .collect();
+    let packed = PackedCodes::build(&codes).expect("pack corpus codes");
+    let probe = BinaryCode::from_floats(model.embed(&dataset.query[0]).data());
+    let scan_reps = 200usize;
+    let naive_secs = best_of(5, || {
+        let mut sink = 0u64;
+        for _ in 0..scan_reps {
+            for c in &codes {
+                sink += probe.hamming(c) as u64;
+            }
+        }
+        assert!(std::hint::black_box(sink) > 0);
+    });
+    let packed_secs = best_of(5, || {
+        let mut sink = 0u64;
+        for _ in 0..scan_reps {
+            packed.scan_into(&probe, |_, d| sink += d as u64);
+        }
+        assert!(std::hint::black_box(sink) > 0);
+    });
+    let naive_ns = naive_secs * 1e9 / (scan_reps * codes.len()) as f64;
+    let packed_ns = packed_secs * 1e9 / (scan_reps * codes.len()) as f64;
+    eprintln!(
+        "hamming scan        : {naive_ns:10.2} ns/code naive, {packed_ns:.2} ns/code packed \
+         ({:.2}x)",
+        naive_ns / packed_ns
+    );
+
+    let sharded = ShardedEngine::build_from(
+        &model,
+        serve_corpus,
+        EngineConfig::default(),
+        ShardConfig { shards: 4, fan_out_threads: 0 },
+    )
+    .expect("build sharded engine");
+    let queries = &dataset.query;
+    // Throughput comes from independent reader threads, each with its
+    // own model replica, hammering the shared shard set.
+    let reader_qps = |readers: usize| -> f64 {
+        const PER_THREAD: usize = 200;
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let specs: Vec<_> = (0..readers).map(|_| sharded.reader()).collect();
+            let t = Instant::now();
+            std::thread::scope(|scope| {
+                for spec in specs {
+                    scope.spawn(move || {
+                        let mut reader = spec.into_reader();
+                        for i in 0..PER_THREAD {
+                            let q = &queries[i % queries.len()];
+                            let hits = reader.query(q, 10, Strategy::HammingBf).unwrap();
+                            std::hint::black_box(hits);
+                        }
+                    });
+                }
+            });
+            best = best.max((readers * PER_THREAD) as f64 / t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let qps_1 = reader_qps(1);
+    let qps_4 = reader_qps(4);
+    let qps_max = if threads == 4 { qps_4 } else { reader_qps(threads.max(1)) };
+    eprintln!(
+        "sharded qps         : {qps_1:10.0} @1 reader, {qps_4:.0} @4, {qps_max:.0} @{} \
+         (HammingBf, k=10, 4 shards, {threads}-core host)",
+        threads.max(1)
+    );
+
+    let single_secs = best_of(3, || {
+        for q in queries {
+            let hits = sharded.query(q, 10, Strategy::HammingBf).unwrap();
+            std::hint::black_box(hits);
+        }
+    });
+    let batched_secs = best_of(3, || {
+        let all = sharded.query_many(queries, 10, Strategy::HammingBf).unwrap();
+        std::hint::black_box(all);
+    });
+    let single_us = single_secs * 1e6 / queries.len() as f64;
+    let batched_us = batched_secs * 1e6 / queries.len() as f64;
+    eprintln!(
+        "query_many          : {single_us:10.1} us/query one-by-one, {batched_us:.1} us/query \
+         batched ({:.2}x)",
+        single_us / batched_us
+    );
+
+    let shard_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_smoke_shard\",\n",
+            "  \"workload\": \"porto_like corpus=600 served sharded, ModelConfig::small, HammingBf k=10, 4 shards\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"hamming_scan\": {{\n",
+            "    \"naive_ns_per_code\": {:.2},\n",
+            "    \"packed_ns_per_code\": {:.2},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"sharded_queries_per_sec\": {{\n",
+            "    \"readers_1\": {:.0},\n",
+            "    \"readers_4\": {:.0},\n",
+            "    \"readers_max\": {:.0},\n",
+            "    \"max_readers\": {}\n",
+            "  }},\n",
+            "  \"query_many\": {{\n",
+            "    \"batch\": {},\n",
+            "    \"per_query_us_single\": {:.1},\n",
+            "    \"per_query_us_batched\": {:.1},\n",
+            "    \"amortization\": {:.2}\n",
+            "  }},\n",
+            "  \"note\": \"reader scaling measured on a {}-core host; with fewer than 4 cores the 4-reader row measures scheduling overhead, not speedup — the >=2x acceptance target applies to >=4-core hosts. query_many batches the fused dense layers (verified bit-identical); on this model the per-trajectory attention channels dominate query encoding, so end-to-end amortization stays near 1x\"\n",
+            "}}\n"
+        ),
+        threads,
+        naive_ns,
+        packed_ns,
+        naive_ns / packed_ns,
+        qps_1,
+        qps_4,
+        qps_max,
+        threads.max(1),
+        queries.len(),
+        single_us,
+        batched_us,
+        single_us / batched_us,
+        threads,
+    );
+    std::fs::write("BENCH_pr7.json", &shard_json).expect("write BENCH_pr7.json");
+    println!("{shard_json}");
 
     // ---- obs: disabled-recorder overhead gate -------------------------
     // Everything above ran with no recorder installed, i.e. on exactly

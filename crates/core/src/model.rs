@@ -265,6 +265,60 @@ impl Traj2Hash {
         out.into_iter().flatten().collect()
     }
 
+    /// One direction of [`Traj2Hash::embed_batch`]: the sequence
+    /// channels still run per trajectory (they are per-sequence by
+    /// nature), but their fused inputs are stacked into one `B x
+    /// fuse_in` matrix so the fuse layer and the projector each run as
+    /// a single batched matmul over the whole request batch.
+    fn encode_direction_batch(&self, ts: &[Trajectory], reverse: bool) -> Vec<Vec<f32>> {
+        let tape = Tape::new();
+        let fuse_in = if self.cfg.use_grids { 2 * self.cfg.dim } else { self.cfg.dim };
+        let mut rows = Vec::with_capacity(ts.len() * fuse_in);
+        for t in ts {
+            let rev_holder;
+            let t = if reverse {
+                rev_holder = t.reversed();
+                &rev_holder
+            } else {
+                t
+            };
+            let h_l = self.gps.forward(&tape, t);
+            let fused_in = match &self.grid {
+                Some(grid_enc) => h_l.concat_cols(&grid_enc.forward(&tape, t)),
+                None => h_l,
+            };
+            rows.extend_from_slice(fused_in.value().data());
+        }
+        let batch = tape.constant(Tensor::from_vec(ts.len(), fuse_in, rows));
+        let h = self.fuse.forward(&tape, &batch);
+        let out = h.matmul(&tape.param(&self.projector)).value();
+        out.data().chunks(out.cols()).map(|r| r.to_vec()).collect()
+    }
+
+    /// Batched inference: embeds every trajectory in `ts`, amortizing
+    /// the dense layers — one fused matmul per layer over the whole
+    /// batch instead of one per trajectory. Row `i` is bit-identical to
+    /// `embed(&ts[i])` because the blocked matmul kernel computes each
+    /// output row independently of the others in the batch.
+    pub fn embed_batch(&self, ts: &[Trajectory]) -> Vec<Vec<f32>> {
+        if ts.is_empty() {
+            return Vec::new();
+        }
+        let fwd = self.encode_direction_batch(ts, false);
+        if self.cfg.use_rev_aug {
+            let rev = self.encode_direction_batch(ts, true);
+            fwd.into_iter()
+                .zip(rev)
+                .map(|(mut f, r)| {
+                    f.extend(r);
+                    f
+                })
+                .collect()
+        } else {
+            fwd
+        }
+    }
+
     /// Batch hashing of many trajectories.
     pub fn hash_all(&self, ts: &[Trajectory]) -> Vec<Vec<i8>> {
         ts.iter().map(|t| self.hash_signs(t)).collect()
@@ -343,6 +397,22 @@ mod tests {
             (d_fwd - d_rev).abs() > 1e-4,
             "-RevAug should not satisfy reverse symmetry ({d_fwd} vs {d_rev})"
         );
+    }
+
+    #[test]
+    fn embed_batch_is_bit_identical_to_embed() {
+        // With and without reverse augmentation: the batched dense
+        // layers must reproduce the per-trajectory forward exactly —
+        // the sharded engine's `query_many` parity depends on it.
+        for cfg in [ModelConfig::tiny(), ModelConfig::tiny().without_rev_aug()] {
+            let (model, trajs) = setup(cfg);
+            assert!(model.embed_batch(&[]).is_empty());
+            let batched = model.embed_batch(&trajs);
+            assert_eq!(batched.len(), trajs.len());
+            for (t, row) in trajs.iter().zip(&batched) {
+                assert_eq!(row.as_slice(), model.embed(t).data(), "batched row differs");
+            }
+        }
     }
 
     #[test]

@@ -30,17 +30,15 @@
 //! linear scans (the whole corpus becomes "delta") until a later
 //! rebuild succeeds.
 
-use crate::ann::{AnnIndex, QueryRep};
 use crate::error::EngineError;
+use crate::shard::{self, DeltaSeg, GenIndexes, SearchCtx};
 use crate::snapshot;
 use crate::telemetry::{EngineTelemetry, QueryInfo};
 use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 use traj_data::Trajectory;
-use traj_index::search::Hit as SlotHit;
-use traj_index::topk::top_k_hits;
-use traj_index::{BinaryCode, HammingTable, MultiIndexHashing, VpTree};
+use traj_index::BinaryCode;
 use traj2hash::Traj2Hash;
 
 /// A search strategy of Section V-E.
@@ -206,20 +204,6 @@ pub(crate) type SnapshotParts<'a> = (
     u64,
 );
 
-/// The per-generation index set. Covers slots `0..covers`; slots past
-/// that are the delta region.
-struct GenIndexes {
-    /// Radius-2 bucket table (serves `Table` and `Hybrid`).
-    table: HammingTable,
-    /// Exact Hamming k-NN (serves `Mih`).
-    mih: Box<dyn AnnIndex>,
-    /// Optional Euclidean structure (serves `EuclideanBf` when
-    /// configured); `None` means brute-force scan.
-    euclid: Option<Box<dyn AnnIndex>>,
-    /// Number of slots these structures cover.
-    covers: usize,
-}
-
 /// The serving facade over encode → hash → index → search.
 pub struct Traj2HashEngine {
     model: Traj2Hash,
@@ -242,33 +226,13 @@ pub struct Traj2HashEngine {
     telemetry: Mutex<EngineTelemetry>,
 }
 
-/// How a strategy helper produced its answer, for telemetry.
-struct PathInfo {
-    /// Candidates considered before top-k selection.
-    candidates: usize,
-    /// The index could not serve the query and a full scan answered it.
-    fallback: bool,
-    /// A `Hybrid` radius-2 ball came up short and spilled into a scan.
-    spill: bool,
-}
-
-impl PathInfo {
-    fn scan(candidates: usize, fallback: bool) -> PathInfo {
-        PathInfo { candidates, fallback, spill: false }
-    }
-}
-
 /// Poison-proof telemetry lock: a panicking reader must not wedge the
 /// engine.
-fn tlock(m: &Mutex<EngineTelemetry>) -> std::sync::MutexGuard<'_, EngineTelemetry> {
+pub(crate) fn tlock(m: &Mutex<EngineTelemetry>) -> std::sync::MutexGuard<'_, EngineTelemetry> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
-}
-
-fn euclid(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| (x as f64 - y as f64).powi(2)).sum::<f64>().sqrt()
 }
 
 impl Traj2HashEngine {
@@ -506,25 +470,7 @@ impl Traj2HashEngine {
         }
         self.dead_in_indexed = 0;
         self.generation += 1;
-        let table = HammingTable::try_build(self.codes.clone());
-        let mih = MultiIndexHashing::try_build(self.codes.clone(), self.cfg.mih_tables);
-        self.indexes = match (table, mih) {
-            (Ok(table), Ok(mih)) => {
-                let euclid: Option<Box<dyn AnnIndex>> = match self.cfg.euclidean_backend {
-                    EuclideanBackend::BruteForce => None,
-                    EuclideanBackend::VpTree => {
-                        Some(Box::new(VpTree::build(self.embeddings.clone())))
-                    }
-                };
-                Some(GenIndexes {
-                    table,
-                    mih: Box::new(mih),
-                    euclid,
-                    covers: self.ids.len(),
-                })
-            }
-            _ => None,
-        };
+        self.indexes = GenIndexes::try_build(&self.codes, &self.embeddings, &self.cfg);
         let degraded = self.indexes.is_none();
         {
             let mut t = tlock(&self.telemetry);
@@ -720,22 +666,16 @@ impl Traj2HashEngine {
                 candidates: 0,
                 overfetch: 0,
                 seconds: 0.0,
+                shards: 1,
+                fanout_seconds: 0.0,
+                merge_seconds: 0.0,
             };
             return Ok((Vec::new(), info));
         }
         let t0 = Instant::now();
         let embedding = self.model.embed(q).data().to_vec();
-        let (slot_hits, path) = match strategy {
-            Strategy::EuclideanBf => self.euclidean_hits(&embedding, k),
-            Strategy::HammingBf => {
-                let (hits, n) = self.scan_hamming_all(&BinaryCode::from_floats(&embedding), k);
-                // A scan by definition: degraded mode changes nothing.
-                (hits, PathInfo::scan(n, false))
-            }
-            Strategy::Table => self.table_hits(&BinaryCode::from_floats(&embedding), k, false),
-            Strategy::Mih => self.mih_hits(&BinaryCode::from_floats(&embedding), k),
-            Strategy::Hybrid => self.table_hits(&BinaryCode::from_floats(&embedding), k, true),
-        };
+        let code = BinaryCode::from_floats(&embedding);
+        let (slot_hits, path) = shard::search(&self.search_ctx(), strategy, &embedding, &code, k);
         let hits: Vec<Hit> = slot_hits
             .into_iter()
             .map(|h| Hit { id: self.ids[h.index], distance: h.distance })
@@ -749,6 +689,9 @@ impl Traj2HashEngine {
             candidates: path.candidates,
             overfetch,
             seconds,
+            shards: 1,
+            fanout_seconds: 0.0,
+            merge_seconds: 0.0,
         };
         {
             let mut t = tlock(&self.telemetry);
@@ -784,145 +727,31 @@ impl Traj2HashEngine {
         Ok((hits, info))
     }
 
-    /// Euclidean candidates from a linear scan over `slots`, skipping
-    /// tombstones.
-    fn scan_euclid(&self, q: &[f32], slots: std::ops::Range<usize>) -> Vec<SlotHit> {
-        slots
-            .filter(|&s| !self.dead[s])
-            .map(|s| SlotHit { index: s, distance: euclid(&self.embeddings[s], q) })
-            .collect()
-    }
-
-    /// Hamming candidates from a linear scan over `slots`, skipping
-    /// tombstones.
-    fn scan_hamming(&self, q: &BinaryCode, slots: std::ops::Range<usize>) -> Vec<SlotHit> {
-        slots
-            .filter(|&s| !self.dead[s])
-            .map(|s| SlotHit { index: s, distance: self.codes[s].hamming(q) as f64 })
-            .collect()
-    }
-
-    /// Full-corpus Euclidean scan; returns the top-k and the candidate
-    /// count that fed the selection.
-    fn scan_euclid_all(&self, q: &[f32], k: usize) -> (Vec<SlotHit>, usize) {
-        let cand = self.scan_euclid(q, 0..self.ids.len());
-        let n = cand.len();
-        (top_k_hits(cand, k), n)
-    }
-
-    /// Full-corpus Hamming scan; returns the top-k and the candidate
-    /// count that fed the selection.
-    fn scan_hamming_all(&self, q: &BinaryCode, k: usize) -> (Vec<SlotHit>, usize) {
-        let cand = self.scan_hamming(q, 0..self.ids.len());
-        let n = cand.len();
-        (top_k_hits(cand, k), n)
-    }
-
-    fn euclidean_hits(&self, q: &[f32], k: usize) -> (Vec<SlotHit>, PathInfo) {
-        let Some(ix) = &self.indexes else {
-            // Only a fallback when a VP-tree would have served this
-            // query; with the brute-force backend the degraded path is
-            // the configured path.
-            let lost_index = matches!(self.cfg.euclidean_backend, EuclideanBackend::VpTree);
-            let (hits, n) = self.scan_euclid_all(q, k);
-            return (hits, PathInfo::scan(n, lost_index));
-        };
-        let Some(index) = &ix.euclid else {
-            // Configured brute force: a scan by design, not a fallback.
-            let (hits, n) = self.scan_euclid_all(q, k);
-            return (hits, PathInfo::scan(n, false));
-        };
-        // Over-fetch by the tombstone count so filtering cannot eat into
-        // the true top-k: the index is exact, so the first
-        // k + dead_in_indexed hits contain at least k live ones.
-        match index.search(QueryRep::Dense(q), k + self.dead_in_indexed) {
-            Ok(hits) => {
-                let mut hits: Vec<SlotHit> =
-                    hits.into_iter().filter(|h| !self.dead[h.index]).collect();
-                hits.extend(self.scan_euclid(q, ix.covers..self.ids.len()));
-                let n = hits.len();
-                (top_k_hits(hits, k), PathInfo::scan(n, false))
-            }
-            Err(_) => {
-                let (hits, n) = self.scan_euclid_all(q, k);
-                (hits, PathInfo::scan(n, true))
-            }
-        }
-    }
-
-    fn mih_hits(&self, q: &BinaryCode, k: usize) -> (Vec<SlotHit>, PathInfo) {
-        let Some(ix) = &self.indexes else {
-            let (hits, n) = self.scan_hamming_all(q, k);
-            return (hits, PathInfo::scan(n, true));
-        };
-        match ix.mih.search(QueryRep::Code(q), k + self.dead_in_indexed) {
-            Ok(hits) => {
-                let mut hits: Vec<SlotHit> =
-                    hits.into_iter().filter(|h| !self.dead[h.index]).collect();
-                hits.extend(self.scan_hamming(q, ix.covers..self.ids.len()));
-                let n = hits.len();
-                (top_k_hits(hits, k), PathInfo::scan(n, false))
-            }
-            Err(_) => {
-                let (hits, n) = self.scan_hamming_all(q, k);
-                (hits, PathInfo::scan(n, true))
-            }
-        }
-    }
-
-    /// Live candidates within Hamming radius 2: table lookup over the
-    /// indexed region plus a filtered scan of the delta. `None` when the
-    /// engine is degraded or the table rejects the query.
-    fn radius2_candidates(&self, q: &BinaryCode) -> Option<Vec<SlotHit>> {
-        let ix = self.indexes.as_ref()?;
-        let grouped = ix.table.lookup_within(q, 2).ok()?;
-        let mut hits: Vec<SlotHit> = grouped
-            .into_iter()
-            .flat_map(|(d, slots)| {
-                slots.into_iter().map(move |s| SlotHit { index: s, distance: d as f64 })
-            })
-            .filter(|h| !self.dead[h.index])
-            .collect();
-        for s in ix.covers..self.ids.len() {
-            if self.dead[s] {
-                continue;
-            }
-            let d = self.codes[s].hamming(q);
-            if d <= 2 {
-                hits.push(SlotHit { index: s, distance: d as f64 });
-            }
-        }
-        Some(hits)
-    }
-
-    fn table_hits(&self, q: &BinaryCode, k: usize, hybrid_fallback: bool) -> (Vec<SlotHit>, PathInfo) {
-        match self.radius2_candidates(q) {
-            Some(ball) => {
-                if hybrid_fallback && ball.len() < k {
-                    // The designed Hybrid spill — a scan, but not a
-                    // degradation.
-                    let (hits, n) = self.scan_hamming_all(q, k);
-                    (hits, PathInfo { candidates: n, fallback: false, spill: true })
-                } else {
-                    let n = ball.len();
-                    (top_k_hits(ball, k), PathInfo::scan(n, false))
-                }
-            }
-            None if hybrid_fallback => {
-                let (hits, n) = self.scan_hamming_all(q, k);
-                (hits, PathInfo::scan(n, true))
-            }
-            None => {
-                // Degraded Table strategy: emulate the radius-2 ball by
-                // scanning, keeping the may-return-fewer semantics.
-                let ball: Vec<SlotHit> = self
-                    .scan_hamming(q, 0..self.ids.len())
-                    .into_iter()
-                    .filter(|h| h.distance <= 2.0)
-                    .collect();
-                let n = ball.len();
-                (top_k_hits(ball, k), PathInfo::scan(n, true))
-            }
+    /// The borrowed search view over the current state, handed to the
+    /// shared per-shard search core (`crate::shard::search`). Healthy:
+    /// indexed region + one delta segment. Degraded: everything is one
+    /// linearly scanned delta segment.
+    fn search_ctx(&self) -> SearchCtx<'_> {
+        match &self.indexes {
+            Some(ix) => SearchCtx {
+                indexed_embeddings: &self.embeddings[..ix.covers],
+                indexes: Some(ix),
+                delta: vec![DeltaSeg {
+                    embeddings: &self.embeddings[ix.covers..],
+                    codes: &self.codes[ix.covers..],
+                }],
+                dead: &self.dead,
+                dead_in_indexed: self.dead_in_indexed,
+                euclidean_backend: self.cfg.euclidean_backend,
+            },
+            None => SearchCtx {
+                indexed_embeddings: &[],
+                indexes: None,
+                delta: vec![DeltaSeg { embeddings: &self.embeddings, codes: &self.codes }],
+                dead: &self.dead,
+                dead_in_indexed: self.dead_in_indexed,
+                euclidean_backend: self.cfg.euclidean_backend,
+            },
         }
     }
 

@@ -27,6 +27,8 @@
 pub mod ann;
 pub mod engine;
 pub mod error;
+pub(crate) mod shard;
+pub mod sharded;
 pub mod snapshot;
 pub mod telemetry;
 
@@ -35,4 +37,5 @@ pub use engine::{
     EngineConfig, EngineStats, EuclideanBackend, Hit, Strategy, Traj2HashEngine,
 };
 pub use error::EngineError;
+pub use sharded::{PinnedView, ReaderSpec, ShardConfig, ShardReader, ShardedEngine};
 pub use telemetry::{EngineTelemetry, QueryInfo, StrategyTelemetry};

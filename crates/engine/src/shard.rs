@@ -1,0 +1,701 @@
+//! The per-shard search core: one implementation of the five Section
+//! V-E strategies over a generic two-region corpus view, plus the
+//! immutable per-generation shard state the concurrent engine publishes
+//! behind `Arc` swaps.
+//!
+//! ## One search core, two engines
+//!
+//! [`Traj2HashEngine`](crate::Traj2HashEngine) (single-threaded facade)
+//! and [`ShardedEngine`](crate::ShardedEngine) (concurrent, N shards)
+//! both answer queries through [`search`] over a [`SearchCtx`]: an
+//! *indexed region* (covered by the generation's [`GenIndexes`],
+//! Hamming-scanned through the flat [`PackedCodes`] layout) followed by
+//! one or more *delta segments* that are linearly scanned. Slots number
+//! the indexed region first, then each delta segment in order; a `dead`
+//! slice over the whole range carries the tombstones. Because the logic
+//! is shared, the sharded engine is bit-identical to the facade by
+//! construction — the parity suites then prove it end to end.
+//!
+//! ## Immutable shard states
+//!
+//! [`ShardState`] is the unit the concurrent engine publishes: a frozen
+//! [`ShardBase`] (the indexed region, shared by `Arc` across
+//! generations so publishing an insert never copies the corpus) plus a
+//! small owned delta block and tombstone vector. Every mutation builds
+//! a *new* `ShardState` — readers holding an `Arc` to the old one keep
+//! a fully consistent view for as long as they please.
+
+use crate::ann::{AnnIndex, QueryRep};
+use crate::engine::{EngineConfig, EuclideanBackend, Strategy};
+use std::sync::Arc;
+use traj_data::Trajectory;
+use traj_index::search::Hit as SlotHit;
+use traj_index::topk::top_k_hits;
+use traj_index::{BinaryCode, HammingTable, MultiIndexHashing, PackedCodes, VpTree};
+
+/// The per-generation index set over one indexed region.
+pub(crate) struct GenIndexes {
+    /// Radius-2 bucket table (serves `Table` and `Hybrid`).
+    pub table: HammingTable,
+    /// Exact Hamming k-NN (serves `Mih`).
+    pub mih: Box<dyn AnnIndex>,
+    /// Optional Euclidean structure (serves `EuclideanBf` when
+    /// configured); `None` means brute-force scan.
+    pub euclid: Option<Box<dyn AnnIndex>>,
+    /// Flat packed-code mirror of the indexed region, the fast layout
+    /// for brute-force Hamming scans (4-wide popcount accumulation).
+    pub packed: PackedCodes,
+    /// Number of slots these structures cover.
+    pub covers: usize,
+}
+
+impl GenIndexes {
+    /// Builds the full index set over `codes`/`embeddings`, or `None`
+    /// when any structure fails to build (the caller degrades to linear
+    /// scans).
+    pub fn try_build(
+        codes: &[BinaryCode],
+        embeddings: &[Vec<f32>],
+        cfg: &EngineConfig,
+    ) -> Option<GenIndexes> {
+        let table = HammingTable::try_build(codes.to_vec()).ok()?;
+        let mih = MultiIndexHashing::try_build(codes.to_vec(), cfg.mih_tables).ok()?;
+        let packed = PackedCodes::build(codes).ok()?;
+        let euclid: Option<Box<dyn AnnIndex>> = match cfg.euclidean_backend {
+            EuclideanBackend::BruteForce => None,
+            EuclideanBackend::VpTree => Some(Box::new(VpTree::build(embeddings.to_vec()))),
+        };
+        Some(GenIndexes { table, mih: Box::new(mih), euclid, packed, covers: codes.len() })
+    }
+}
+
+/// How a strategy produced its answer, for telemetry.
+pub(crate) struct PathInfo {
+    /// Candidates considered before top-k selection.
+    pub candidates: usize,
+    /// The index could not serve the query and a full scan answered it.
+    pub fallback: bool,
+    /// A `Hybrid` radius-2 ball came up short and spilled into a scan.
+    pub spill: bool,
+}
+
+impl PathInfo {
+    pub fn scan(candidates: usize, fallback: bool) -> PathInfo {
+        PathInfo { candidates, fallback, spill: false }
+    }
+}
+
+/// A linearly scanned corpus segment past the indexed region.
+pub(crate) struct DeltaSeg<'a> {
+    pub embeddings: &'a [Vec<f32>],
+    pub codes: &'a [BinaryCode],
+}
+
+/// Borrowed view of one searchable corpus: an indexed region (empty
+/// when degraded) followed by delta segments, with tombstones over the
+/// combined slot range.
+pub(crate) struct SearchCtx<'a> {
+    /// Embeddings of the indexed region (`indexes.covers` slots).
+    pub indexed_embeddings: &'a [Vec<f32>],
+    /// The generation's indexes; `None` = degraded, everything scans.
+    pub indexes: Option<&'a GenIndexes>,
+    /// Delta segments, scanned linearly after the indexed region.
+    pub delta: Vec<DeltaSeg<'a>>,
+    /// Tombstones over all slots (indexed + delta, in order).
+    pub dead: &'a [bool],
+    /// Tombstones inside the indexed region — the index over-fetch
+    /// margin.
+    pub dead_in_indexed: usize,
+    /// Which structure is *supposed* to serve `EuclideanBf` (decides
+    /// whether a degraded scan counts as a fallback).
+    pub euclidean_backend: EuclideanBackend,
+}
+
+fn euclid_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x as f64 - y as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+impl SearchCtx<'_> {
+    fn total_slots(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Euclidean candidates from a linear scan of the delta segments.
+    fn scan_euclid_delta(&self, q: &[f32]) -> Vec<SlotHit> {
+        let mut hits = Vec::new();
+        let mut slot = self.indexed_embeddings.len();
+        for seg in &self.delta {
+            for e in seg.embeddings {
+                if !self.dead[slot] {
+                    hits.push(SlotHit { index: slot, distance: euclid_dist(e, q) });
+                }
+                slot += 1;
+            }
+        }
+        hits
+    }
+
+    /// Hamming candidates from a linear scan of the delta segments.
+    fn scan_hamming_delta(&self, q: &BinaryCode) -> Vec<SlotHit> {
+        let mut hits = Vec::new();
+        let mut slot = self.indexed_embeddings.len();
+        for seg in &self.delta {
+            for c in seg.codes {
+                if !self.dead[slot] {
+                    hits.push(SlotHit { index: slot, distance: c.hamming(q) as f64 });
+                }
+                slot += 1;
+            }
+        }
+        hits
+    }
+
+    /// Full-corpus Euclidean scan candidates.
+    fn scan_euclid_all(&self, q: &[f32]) -> Vec<SlotHit> {
+        let mut hits: Vec<SlotHit> = self
+            .indexed_embeddings
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| !self.dead[s])
+            .map(|(s, e)| SlotHit { index: s, distance: euclid_dist(e, q) })
+            .collect();
+        hits.extend(self.scan_euclid_delta(q));
+        hits
+    }
+
+    /// Full-corpus Hamming scan candidates; the indexed region goes
+    /// through the packed flat layout (4-wide popcount accumulators).
+    fn scan_hamming_all(&self, q: &BinaryCode) -> Vec<SlotHit> {
+        let mut hits = Vec::new();
+        if let Some(ix) = self.indexes {
+            ix.packed.scan_into(q, |s, d| {
+                if !self.dead[s] {
+                    hits.push(SlotHit { index: s, distance: d as f64 });
+                }
+            });
+        }
+        hits.extend(self.scan_hamming_delta(q));
+        hits
+    }
+
+    fn euclidean_hits(&self, q: &[f32], k: usize) -> (Vec<SlotHit>, PathInfo) {
+        let Some(ix) = self.indexes else {
+            // Only a fallback when a VP-tree would have served this
+            // query; with the brute-force backend the degraded path is
+            // the configured path.
+            let lost_index = matches!(self.euclidean_backend, EuclideanBackend::VpTree);
+            let cand = self.scan_euclid_all(q);
+            let n = cand.len();
+            return (top_k_hits(cand, k), PathInfo::scan(n, lost_index));
+        };
+        let Some(index) = &ix.euclid else {
+            // Configured brute force: a scan by design, not a fallback.
+            let cand = self.scan_euclid_all(q);
+            let n = cand.len();
+            return (top_k_hits(cand, k), PathInfo::scan(n, false));
+        };
+        // Over-fetch by the tombstone count so filtering cannot eat into
+        // the true top-k: the index is exact, so the first
+        // k + dead_in_indexed hits contain at least k live ones.
+        match index.search(QueryRep::Dense(q), k + self.dead_in_indexed) {
+            Ok(hits) => {
+                let mut hits: Vec<SlotHit> =
+                    hits.into_iter().filter(|h| !self.dead[h.index]).collect();
+                hits.extend(self.scan_euclid_delta(q));
+                let n = hits.len();
+                (top_k_hits(hits, k), PathInfo::scan(n, false))
+            }
+            Err(_) => {
+                let cand = self.scan_euclid_all(q);
+                let n = cand.len();
+                (top_k_hits(cand, k), PathInfo::scan(n, true))
+            }
+        }
+    }
+
+    fn mih_hits(&self, q: &BinaryCode, k: usize) -> (Vec<SlotHit>, PathInfo) {
+        let Some(ix) = self.indexes else {
+            let cand = self.scan_hamming_all(q);
+            let n = cand.len();
+            return (top_k_hits(cand, k), PathInfo::scan(n, true));
+        };
+        match ix.mih.search(QueryRep::Code(q), k + self.dead_in_indexed) {
+            Ok(hits) => {
+                let mut hits: Vec<SlotHit> =
+                    hits.into_iter().filter(|h| !self.dead[h.index]).collect();
+                hits.extend(self.scan_hamming_delta(q));
+                let n = hits.len();
+                (top_k_hits(hits, k), PathInfo::scan(n, false))
+            }
+            Err(_) => {
+                let cand = self.scan_hamming_all(q);
+                let n = cand.len();
+                (top_k_hits(cand, k), PathInfo::scan(n, true))
+            }
+        }
+    }
+
+    /// Live candidates within Hamming radius 2: table lookup over the
+    /// indexed region plus a filtered scan of the delta. `None` when
+    /// degraded or the table rejects the query.
+    fn radius2_candidates(&self, q: &BinaryCode) -> Option<Vec<SlotHit>> {
+        let ix = self.indexes?;
+        let grouped = ix.table.lookup_within(q, 2).ok()?;
+        let mut hits: Vec<SlotHit> = grouped
+            .into_iter()
+            .flat_map(|(d, slots)| {
+                slots.into_iter().map(move |s| SlotHit { index: s, distance: d as f64 })
+            })
+            .filter(|h| !self.dead[h.index])
+            .collect();
+        for h in self.scan_hamming_delta(q) {
+            if h.distance <= 2.0 {
+                hits.push(h);
+            }
+        }
+        Some(hits)
+    }
+
+    fn table_hits(&self, q: &BinaryCode, k: usize, hybrid_fallback: bool) -> (Vec<SlotHit>, PathInfo) {
+        match self.radius2_candidates(q) {
+            Some(ball) => {
+                if hybrid_fallback && ball.len() < k {
+                    // The designed Hybrid spill — a scan, but not a
+                    // degradation.
+                    let cand = self.scan_hamming_all(q);
+                    let n = cand.len();
+                    (top_k_hits(cand, k), PathInfo { candidates: n, fallback: false, spill: true })
+                } else {
+                    let n = ball.len();
+                    (top_k_hits(ball, k), PathInfo::scan(n, false))
+                }
+            }
+            None if hybrid_fallback => {
+                let cand = self.scan_hamming_all(q);
+                let n = cand.len();
+                (top_k_hits(cand, k), PathInfo::scan(n, true))
+            }
+            None => {
+                // Degraded Table strategy: emulate the radius-2 ball by
+                // scanning, keeping the may-return-fewer semantics.
+                let ball: Vec<SlotHit> = self
+                    .scan_hamming_all(q)
+                    .into_iter()
+                    .filter(|h| h.distance <= 2.0)
+                    .collect();
+                let n = ball.len();
+                (top_k_hits(ball, k), PathInfo::scan(n, true))
+            }
+        }
+    }
+}
+
+/// Answers one strategy over the view: the shared search core behind
+/// both the single-threaded facade and every shard of the concurrent
+/// engine. Hits carry *slot* indices into the view; callers map them to
+/// stable ids.
+pub(crate) fn search(
+    ctx: &SearchCtx<'_>,
+    strategy: Strategy,
+    q_emb: &[f32],
+    q_code: &BinaryCode,
+    k: usize,
+) -> (Vec<SlotHit>, PathInfo) {
+    if k == 0 || ctx.total_slots() == 0 {
+        return (Vec::new(), PathInfo::scan(0, false));
+    }
+    match strategy {
+        Strategy::EuclideanBf => ctx.euclidean_hits(q_emb, k),
+        Strategy::HammingBf => {
+            let cand = ctx.scan_hamming_all(q_code);
+            let n = cand.len();
+            // A scan by definition: degraded mode changes nothing.
+            (top_k_hits(cand, k), PathInfo::scan(n, false))
+        }
+        Strategy::Table => ctx.table_hits(q_code, k, false),
+        Strategy::Mih => ctx.mih_hits(q_code, k),
+        Strategy::Hybrid => ctx.table_hits(q_code, k, true),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Immutable shard state for the concurrent engine.
+// ---------------------------------------------------------------------
+
+/// The frozen indexed region of one shard. Shared by `Arc` across
+/// generations: publishing an insert or a tombstone re-uses the base
+/// untouched, so the copy cost of a mutation is the delta block, never
+/// the corpus.
+pub(crate) struct ShardBase {
+    pub ids: Vec<u64>,
+    pub trajs: Vec<Trajectory>,
+    pub embeddings: Vec<Vec<f32>>,
+    pub codes: Vec<BinaryCode>,
+    /// `None` = the index build failed; the shard serves by scans.
+    pub indexes: Option<GenIndexes>,
+}
+
+impl ShardBase {
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Builds a base over the given entries (ascending-id order),
+    /// attempting the full index set.
+    pub fn build(
+        ids: Vec<u64>,
+        trajs: Vec<Trajectory>,
+        embeddings: Vec<Vec<f32>>,
+        codes: Vec<BinaryCode>,
+        cfg: &EngineConfig,
+    ) -> ShardBase {
+        let indexes = GenIndexes::try_build(&codes, &embeddings, cfg);
+        ShardBase { ids, trajs, embeddings, codes, indexes }
+    }
+}
+
+/// The owned, small tail of a shard: entries inserted after the base
+/// was built. Cloned wholesale on every publish — bounded by the
+/// rebuild thresholds, so the copy is O(rebuild_slack), not O(corpus).
+#[derive(Clone, Default)]
+pub(crate) struct DeltaBlock {
+    pub ids: Vec<u64>,
+    pub trajs: Vec<Trajectory>,
+    pub embeddings: Vec<Vec<f32>>,
+    pub codes: Vec<BinaryCode>,
+}
+
+impl DeltaBlock {
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// One published generation of one shard: everything a reader needs to
+/// answer queries, immutable once published. `Arc<ShardState>` is the
+/// unit readers pin. Cloning is shallow on the corpus side (the base is
+/// behind an `Arc`), so republishing a state (e.g. during a hot swap)
+/// costs O(delta), not O(corpus).
+#[derive(Clone)]
+pub(crate) struct ShardState {
+    pub base: Arc<ShardBase>,
+    pub delta: DeltaBlock,
+    /// Tombstones over base then delta slots.
+    pub dead: Vec<bool>,
+    pub dead_count: usize,
+    /// Tombstones inside the indexed region (over-fetch margin); zero
+    /// when degraded.
+    pub dead_in_indexed: usize,
+    /// `true` after `force_degrade`: indexes are ignored until rebuild.
+    pub forced_degraded: bool,
+    /// Rebuild counter of this shard; bumps when a new base is built.
+    pub generation: u64,
+    /// Publish counter: bumps on *every* published state, strictly
+    /// monotone per shard. Readers assert this never moves backwards.
+    pub publish_seq: u64,
+    /// Which structure serves `EuclideanBf` (frozen from the engine
+    /// config so pinned readers need nothing else).
+    pub euclidean_backend: EuclideanBackend,
+}
+
+impl ShardState {
+    /// A fresh shard over entries in ascending-id order.
+    pub fn build(
+        ids: Vec<u64>,
+        trajs: Vec<Trajectory>,
+        embeddings: Vec<Vec<f32>>,
+        codes: Vec<BinaryCode>,
+        cfg: &EngineConfig,
+    ) -> ShardState {
+        let n = ids.len();
+        let base = ShardBase::build(ids, trajs, embeddings, codes, cfg);
+        ShardState {
+            base: Arc::new(base),
+            delta: DeltaBlock::default(),
+            dead: vec![false; n],
+            dead_count: 0,
+            dead_in_indexed: 0,
+            forced_degraded: false,
+            generation: 1,
+            publish_seq: 0,
+            euclidean_backend: cfg.euclidean_backend,
+        }
+    }
+
+    /// Total slots (live + tombstoned).
+    pub fn slots(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// Live entries.
+    pub fn live(&self) -> usize {
+        self.slots() - self.dead_count
+    }
+
+    /// True when the shard serves by scans only.
+    pub fn degraded(&self) -> bool {
+        self.forced_degraded || self.base.indexes.is_none()
+    }
+
+    /// Slots covered by a *served* index (0 when degraded).
+    pub fn indexed(&self) -> usize {
+        if self.degraded() {
+            0
+        } else {
+            self.base.indexes.as_ref().map(|ix| ix.covers).unwrap_or(0)
+        }
+    }
+
+    /// The stable id at `slot`.
+    pub fn id_at(&self, slot: usize) -> u64 {
+        if slot < self.base.len() {
+            self.base.ids[slot]
+        } else {
+            self.delta.ids[slot - self.base.len()]
+        }
+    }
+
+    /// The trajectory at `slot`.
+    pub fn traj_at(&self, slot: usize) -> &Trajectory {
+        if slot < self.base.len() {
+            &self.base.trajs[slot]
+        } else {
+            &self.delta.trajs[slot - self.base.len()]
+        }
+    }
+
+    /// The embedding at `slot`.
+    pub fn embedding_at(&self, slot: usize) -> &[f32] {
+        if slot < self.base.len() {
+            &self.base.embeddings[slot]
+        } else {
+            &self.delta.embeddings[slot - self.base.len()]
+        }
+    }
+
+    /// The code at `slot`.
+    pub fn code_at(&self, slot: usize) -> &BinaryCode {
+        if slot < self.base.len() {
+            &self.base.codes[slot]
+        } else {
+            &self.delta.codes[slot - self.base.len()]
+        }
+    }
+
+    /// The live slot holding stable id `id`. Slot order is ascending-id
+    /// within base and delta, and every delta id exceeds every base id.
+    pub fn slot_of(&self, id: u64) -> Option<usize> {
+        if let Ok(s) = self.base.ids.binary_search(&id) {
+            return (!self.dead[s]).then_some(s);
+        }
+        if let Ok(s) = self.delta.ids.binary_search(&id) {
+            let slot = self.base.len() + s;
+            return (!self.dead[slot]).then_some(slot);
+        }
+        None
+    }
+
+    /// Live `(slot, id)` pairs in ascending-id order.
+    pub fn live_slots(&self) -> Vec<(usize, u64)> {
+        (0..self.slots())
+            .filter(|&s| !self.dead[s])
+            .map(|s| (s, self.id_at(s)))
+            .collect()
+    }
+
+    /// The borrowed search view over this state. When degraded the
+    /// whole corpus becomes delta segments (pure scans).
+    pub fn ctx(&self) -> SearchCtx<'_> {
+        if self.degraded() {
+            SearchCtx {
+                indexed_embeddings: &[],
+                indexes: None,
+                delta: vec![
+                    DeltaSeg { embeddings: &self.base.embeddings, codes: &self.base.codes },
+                    DeltaSeg { embeddings: &self.delta.embeddings, codes: &self.delta.codes },
+                ],
+                dead: &self.dead,
+                dead_in_indexed: self.dead_in_indexed,
+                euclidean_backend: self.euclidean_backend,
+            }
+        } else {
+            SearchCtx {
+                indexed_embeddings: &self.base.embeddings,
+                indexes: self.base.indexes.as_ref(),
+                delta: vec![DeltaSeg {
+                    embeddings: &self.delta.embeddings,
+                    codes: &self.delta.codes,
+                }],
+                dead: &self.dead,
+                dead_in_indexed: self.dead_in_indexed,
+                euclidean_backend: self.euclidean_backend,
+            }
+        }
+    }
+
+    /// Next state with one entry appended to the delta. `id` must
+    /// exceed every id in the shard (monotone id assignment guarantees
+    /// it).
+    pub fn with_insert(
+        &self,
+        id: u64,
+        traj: Trajectory,
+        embedding: Vec<f32>,
+        code: BinaryCode,
+    ) -> ShardState {
+        debug_assert!(
+            self.delta.ids.last().copied().unwrap_or(0).max(
+                self.base.ids.last().copied().unwrap_or(0)
+            ) < id || self.slots() == 0,
+            "insert id must be monotone"
+        );
+        let mut delta = self.delta.clone();
+        delta.ids.push(id);
+        delta.trajs.push(traj);
+        delta.embeddings.push(embedding);
+        delta.codes.push(code);
+        let mut dead = self.dead.clone();
+        dead.push(false);
+        ShardState {
+            base: Arc::clone(&self.base),
+            delta,
+            dead,
+            dead_count: self.dead_count,
+            dead_in_indexed: self.dead_in_indexed,
+            forced_degraded: self.forced_degraded,
+            generation: self.generation,
+            publish_seq: self.publish_seq,
+            euclidean_backend: self.euclidean_backend,
+        }
+    }
+
+    /// Next state with `slot` tombstoned.
+    pub fn with_remove(&self, slot: usize) -> ShardState {
+        debug_assert!(!self.dead[slot], "slot already tombstoned");
+        let mut dead = self.dead.clone();
+        dead[slot] = true;
+        let in_indexed = slot < self.indexed();
+        ShardState {
+            base: Arc::clone(&self.base),
+            delta: self.delta.clone(),
+            dead,
+            dead_count: self.dead_count + 1,
+            dead_in_indexed: self.dead_in_indexed + usize::from(in_indexed),
+            forced_degraded: self.forced_degraded,
+            generation: self.generation,
+            publish_seq: self.publish_seq,
+            euclidean_backend: self.euclidean_backend,
+        }
+    }
+
+    /// Next state with the indexes dropped: every strategy linear-scans
+    /// until a rebuild. Mirrors a failed rebuild — with no indexed
+    /// region there is no over-fetch margin.
+    pub fn with_degraded(&self) -> ShardState {
+        ShardState {
+            base: Arc::clone(&self.base),
+            delta: self.delta.clone(),
+            dead: self.dead.clone(),
+            dead_count: self.dead_count,
+            dead_in_indexed: 0,
+            forced_degraded: true,
+            generation: self.generation,
+            publish_seq: self.publish_seq,
+            euclidean_backend: self.euclidean_backend,
+        }
+    }
+
+    /// Compacts live entries (order-preserving, so ascending-id) and
+    /// builds the next generation's base + indexes. This runs *off* the
+    /// publish lock: readers keep the old generation until the new one
+    /// is swapped in.
+    pub fn rebuilt(&self, cfg: &EngineConfig) -> ShardState {
+        let mut ids = Vec::with_capacity(self.live());
+        let mut trajs = Vec::with_capacity(self.live());
+        let mut embeddings = Vec::with_capacity(self.live());
+        let mut codes = Vec::with_capacity(self.live());
+        for (slot, id) in self.live_slots() {
+            ids.push(id);
+            trajs.push(self.traj_at(slot).clone());
+            embeddings.push(self.embedding_at(slot).to_vec());
+            codes.push(self.code_at(slot).clone());
+        }
+        let n = ids.len();
+        let base = ShardBase::build(ids, trajs, embeddings, codes, cfg);
+        ShardState {
+            base: Arc::new(base),
+            delta: DeltaBlock::default(),
+            dead: vec![false; n],
+            dead_count: 0,
+            dead_in_indexed: 0,
+            forced_degraded: false,
+            generation: self.generation + 1,
+            publish_seq: self.publish_seq,
+            euclidean_backend: cfg.euclidean_backend,
+        }
+    }
+
+    /// True when the delta or tombstone count crosses the configured
+    /// rebuild thresholds (applied per shard).
+    pub fn needs_rebuild(&self, cfg: &EngineConfig) -> bool {
+        let indexed = self.base.len();
+        let delta = self.delta.len();
+        let slack = cfg.rebuild_slack;
+        let delta_cap = slack.max((indexed as f64 * cfg.max_delta_fraction) as usize);
+        let dead_cap = slack.max((self.slots() as f64 * cfg.max_dead_fraction) as usize);
+        delta > delta_cap || self.dead_count > dead_cap
+    }
+
+    /// Structural self-check: every invariant a torn publish would
+    /// break. The concurrency suite runs this on pinned states while a
+    /// writer churns.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        let b = self.base.len();
+        let d = self.delta.len();
+        if self.base.trajs.len() != b
+            || self.base.embeddings.len() != b
+            || self.base.codes.len() != b
+        {
+            return Err(format!("base arrays disagree on length {b}"));
+        }
+        if self.delta.trajs.len() != d
+            || self.delta.embeddings.len() != d
+            || self.delta.codes.len() != d
+        {
+            return Err(format!("delta arrays disagree on length {d}"));
+        }
+        if self.dead.len() != b + d {
+            return Err(format!("dead covers {} slots of {}", self.dead.len(), b + d));
+        }
+        let dead_count = self.dead.iter().filter(|&&x| x).count();
+        if dead_count != self.dead_count {
+            return Err(format!("dead_count {} but {} flags set", self.dead_count, dead_count));
+        }
+        let in_indexed = self.dead[..self.indexed()].iter().filter(|&&x| x).count();
+        if in_indexed != self.dead_in_indexed {
+            return Err(format!(
+                "dead_in_indexed {} but {} tombstones in the indexed region",
+                self.dead_in_indexed, in_indexed
+            ));
+        }
+        let mut prev: Option<u64> = None;
+        for s in 0..b + d {
+            let id = self.id_at(s);
+            if let Some(p) = prev {
+                if id <= p {
+                    return Err(format!("slot order broken: id {id} after {p}"));
+                }
+            }
+            prev = Some(id);
+        }
+        if let Some(ix) = &self.base.indexes {
+            if ix.covers != b {
+                return Err(format!("indexes cover {} of {b} base slots", ix.covers));
+            }
+            if ix.packed.len() != b {
+                return Err(format!("packed mirror holds {} of {b} codes", ix.packed.len()));
+            }
+        }
+        Ok(())
+    }
+}

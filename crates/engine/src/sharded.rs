@@ -1,0 +1,1024 @@
+//! The sharded, concurrently readable serving engine.
+//!
+//! [`Traj2HashEngine`](crate::Traj2HashEngine) serves the five Section
+//! V-E strategies behind one `&mut self` facade: one writer, zero
+//! concurrent readers. [`ShardedEngine`] lifts the same semantics onto
+//! every core:
+//!
+//! * the corpus is partitioned across N shards by stable id
+//!   (`id % shards`, so the mapping survives compaction and reload);
+//! * each shard's state is an **immutable per-generation snapshot**
+//!   ([`crate::shard::ShardState`]) published behind an `Arc` swap —
+//!   readers pin a generation with one brief read-lock `Arc::clone`,
+//!   then search entirely lock-free; writers build the next state off
+//!   to the side and publish it atomically;
+//! * every query fans out across shards (sequentially or on a scoped
+//!   thread pool, [`ShardConfig::fan_out_threads`]) and per-shard hits
+//!   merge through the shared NaN-sound `topk` helper under the same
+//!   `(distance, id)` total order the facade uses — so sharded results
+//!   are **bit-for-bit identical** to unsharded, a property the
+//!   `shard_parity` proptest suite pins down;
+//! * rebuild/compaction is **per shard**: one shard compacting never
+//!   blocks reads on the others, and even the compacting shard keeps
+//!   serving its previous generation until the new one is published;
+//! * [`ShardedEngine::query_many`] answers request batches, amortizing
+//!   query encoding with one fused matmul per dense layer over the
+//!   whole batch ([`Traj2Hash::embed_batch`]).
+//!
+//! ## Reading from other threads
+//!
+//! The model's parameters live in `Rc<RefCell<..>>` cells (the autodiff
+//! tape mutates them in place during training), so a [`Traj2HashEngine`]
+//! — and the writer half of [`ShardedEngine`] — is not `Sync`. Readers
+//! therefore get their own byte-identical model replica: call
+//! [`ShardedEngine::reader`] for a [`ReaderSpec`] (cheap, `Send`), move
+//! it into the reader thread, and [`ReaderSpec::into_reader`] builds the
+//! replica locally. A [`ShardReader`] shares the engine's shard set and
+//! telemetry, refreshes its replica automatically after a hot swap, and
+//! answers queries bit-identically to the writer.
+
+use crate::engine::{
+    tlock, EngineConfig, EngineStats, Hit, Strategy, Traj2HashEngine,
+};
+use crate::error::EngineError;
+use crate::shard::{self, ShardState};
+use crate::snapshot::{self, EntryRef, SnapshotView};
+use crate::telemetry::{EngineTelemetry, QueryInfo};
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use traj_data::Trajectory;
+use traj_index::search::Hit as SlotHit;
+use traj_index::topk::top_k_hits;
+use traj_index::BinaryCode;
+use traj2hash::{ModelSpec, Traj2Hash};
+use tinynn::Tensor;
+
+/// Pre-encoded entries of one shard (or of the whole corpus, when
+/// flattened): parallel `(ids, trajs, embeddings, codes)` vectors.
+type Entries = (Vec<u64>, Vec<Trajectory>, Vec<Vec<f32>>, Vec<BinaryCode>);
+
+/// Partitions ascending-id entries across `n_shards` by `id % n_shards`.
+fn partition(entries: Entries, n_shards: usize) -> Vec<Entries> {
+    let (ids, trajs, embeddings, codes) = entries;
+    let mut parts: Vec<Entries> = (0..n_shards).map(|_| Default::default()).collect();
+    for (((id, traj), embedding), code) in ids.into_iter().zip(trajs).zip(embeddings).zip(codes)
+    {
+        let p = &mut parts[(id % n_shards as u64) as usize];
+        p.0.push(id);
+        p.1.push(traj);
+        p.2.push(embedding);
+        p.3.push(code);
+    }
+    parts
+}
+
+/// Sharding knobs, on top of the per-shard [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards the corpus partitions into (`id % shards`).
+    pub shards: usize,
+    /// Scoped worker threads a single query fans out on. `0` or `1`
+    /// searches the shards sequentially on the calling thread — the
+    /// right default when throughput comes from many reader threads
+    /// each running their own queries.
+    pub fan_out_threads: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { shards: 4, fan_out_threads: 0 }
+    }
+}
+
+impl ShardConfig {
+    fn validate(&self) -> Result<(), EngineError> {
+        if self.shards == 0 {
+            return Err(EngineError::InvalidConfig("shards must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The `Send + Sync` recipe readers rebuild their model replica from.
+/// `version` bumps on every hot swap so readers know to refresh.
+struct ModelBlueprint {
+    spec: ModelSpec,
+    values: Vec<Tensor>,
+    version: u64,
+}
+
+impl ModelBlueprint {
+    fn of(model: &Traj2Hash, version: u64) -> ModelBlueprint {
+        ModelBlueprint { spec: model.spec(), values: model.params.clone_values(), version }
+    }
+
+    fn instantiate(&self) -> Traj2Hash {
+        Traj2Hash::from_spec(&self.spec, &self.values)
+    }
+}
+
+/// Poison-proof read of an `RwLock` (a panicked writer must not wedge
+/// readers; the published `Arc` is always internally consistent).
+fn rread<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn rwrite<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One shard's publish point. Readers pin the current state with a
+/// brief read lock; the writer swaps in the next generation under the
+/// write lock. `publish` stamps a strictly monotone per-shard sequence
+/// number, which is what the concurrency suite asserts never moves
+/// backwards under a pinned reader.
+struct ShardCell {
+    state: RwLock<Arc<ShardState>>,
+}
+
+impl ShardCell {
+    fn new(state: ShardState) -> ShardCell {
+        ShardCell { state: RwLock::new(Arc::new(state)) }
+    }
+
+    fn pin(&self) -> Arc<ShardState> {
+        Arc::clone(&rread(&self.state))
+    }
+
+    fn publish(&self, mut next: ShardState) {
+        let mut guard = rwrite(&self.state);
+        next.publish_seq = guard.publish_seq + 1;
+        *guard = Arc::new(next);
+    }
+}
+
+/// Everything shared between the writer and its readers: the shard
+/// cells, the cumulative telemetry, and the model blueprint.
+struct ShardSet {
+    cells: Vec<ShardCell>,
+    telemetry: Mutex<EngineTelemetry>,
+    model: RwLock<Arc<ModelBlueprint>>,
+}
+
+impl ShardSet {
+    fn pin_all(&self) -> Vec<Arc<ShardState>> {
+        self.cells.iter().map(|c| c.pin()).collect()
+    }
+}
+
+/// A pinned, fully consistent view of every shard at one instant. The
+/// corpus it describes cannot change underneath the holder — that is
+/// the generation-pinning read protocol.
+pub struct PinnedView {
+    states: Vec<Arc<ShardState>>,
+}
+
+impl PinnedView {
+    /// Per-shard publish sequence numbers (strictly monotone per shard).
+    pub fn publish_seqs(&self) -> Vec<u64> {
+        self.states.iter().map(|s| s.publish_seq).collect()
+    }
+
+    /// Per-shard rebuild generation counters.
+    pub fn generations(&self) -> Vec<u64> {
+        self.states.iter().map(|s| s.generation).collect()
+    }
+
+    /// Live entries across all shards.
+    pub fn live(&self) -> usize {
+        self.states.iter().map(|s| s.live()).sum()
+    }
+
+    /// Verifies every structural invariant of every pinned shard state
+    /// (array lengths, tombstone counts, slot ordering, index
+    /// coverage). A torn publish would trip this; the concurrency suite
+    /// runs it continuously under writer churn.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        for (i, s) in self.states.iter().enumerate() {
+            s.check_consistent().map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated fan-out outcome for one query.
+struct FanInfo {
+    candidates: usize,
+    fallback: bool,
+    degraded: bool,
+    spill: bool,
+    overfetch: usize,
+    fanout_seconds: f64,
+    merge_seconds: f64,
+}
+
+/// Searches every pinned shard and merges to the global top-k. Hits are
+/// merged under the `(distance, id)` total order — identical to the
+/// facade's `(distance, slot)` order because facade slots are ascending
+/// in id — so the result is bit-for-bit what a single-shard engine
+/// returns.
+fn fan_out(
+    states: &[Arc<ShardState>],
+    strategy: Strategy,
+    q_emb: &[f32],
+    q_code: &BinaryCode,
+    k: usize,
+    threads: usize,
+) -> (Vec<Hit>, FanInfo) {
+    let t0 = Instant::now();
+    let n = states.len();
+    let mut results: Vec<(Vec<SlotHit>, shard::PathInfo)> =
+        (0..n).map(|_| (Vec::new(), shard::PathInfo::scan(0, false))).collect();
+    if threads <= 1 || n <= 1 {
+        for (st, slot) in states.iter().zip(results.iter_mut()) {
+            *slot = shard::search(&st.ctx(), strategy, q_emb, q_code, k);
+        }
+    } else {
+        let workers = threads.min(n);
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in results.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    for (j, slot) in out_chunk.iter_mut().enumerate() {
+                        let st = &states[base + j];
+                        *slot = shard::search(&st.ctx(), strategy, q_emb, q_code, k);
+                    }
+                });
+            }
+        });
+    }
+    let fanout_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut merged: Vec<SlotHit> = Vec::new();
+    let mut info = FanInfo {
+        candidates: 0,
+        fallback: false,
+        degraded: false,
+        spill: false,
+        overfetch: 0,
+        fanout_seconds,
+        merge_seconds: 0.0,
+    };
+    for (st, (hits, path)) in states.iter().zip(results) {
+        let shard_degraded = st.degraded();
+        info.candidates += path.candidates;
+        info.fallback |= path.fallback;
+        info.degraded |= shard_degraded;
+        info.spill |= path.spill;
+        if !shard_degraded && !path.fallback {
+            info.overfetch += st.dead_in_indexed;
+        }
+        // Re-key per-shard slot hits by stable id: `top_k_hits` breaks
+        // distance ties by ascending index, so keying by id reproduces
+        // the facade's ascending-slot (== ascending-id) tie-break.
+        merged.extend(hits.into_iter().map(|h| SlotHit {
+            index: st.id_at(h.index) as usize,
+            distance: h.distance,
+        }));
+    }
+    let top = top_k_hits(merged, k);
+    let hits = top
+        .into_iter()
+        .map(|h| Hit { id: h.index as u64, distance: h.distance })
+        .collect();
+    info.merge_seconds = t1.elapsed().as_secs_f64();
+    (hits, info)
+}
+
+/// Folds one answered query into telemetry and the obs recorder,
+/// returning the [`QueryInfo`].
+fn record_query(
+    set: &ShardSet,
+    strategy: Strategy,
+    k_shards: usize,
+    info: &FanInfo,
+    seconds: f64,
+) -> QueryInfo {
+    let q = QueryInfo {
+        strategy,
+        degraded: info.degraded,
+        linear_fallback: info.fallback,
+        candidates: info.candidates,
+        overfetch: info.overfetch,
+        seconds,
+        shards: k_shards,
+        fanout_seconds: info.fanout_seconds,
+        merge_seconds: info.merge_seconds,
+    };
+    {
+        let mut t = tlock(&set.telemetry);
+        let s = &mut t.strategies[strategy.index()];
+        s.queries += 1;
+        s.latency.record(seconds);
+        s.candidates.record(info.candidates as f64);
+        if info.fallback {
+            s.linear_fallbacks += 1;
+        }
+        if info.degraded {
+            s.degraded_queries += 1;
+        }
+        if info.spill {
+            t.hybrid_spills += 1;
+        }
+        t.overfetch.record(info.overfetch as f64);
+    }
+    if traj_obs::enabled() {
+        traj_obs::observe_secs(strategy.metric_name(), seconds);
+        traj_obs::observe_value("engine.query.candidates", info.candidates as f64);
+        traj_obs::observe_value("engine.query.overfetch", info.overfetch as f64);
+        traj_obs::observe_secs("engine.query.fanout_secs", info.fanout_seconds);
+        traj_obs::observe_secs("engine.query.merge_secs", info.merge_seconds);
+        traj_obs::observe_value("engine.query.shards", k_shards as f64);
+        if info.fallback {
+            traj_obs::counter("engine.linear_fallbacks", 1);
+        }
+        if info.degraded {
+            traj_obs::counter("engine.degraded_queries", 1);
+        }
+        if info.spill {
+            traj_obs::counter("engine.hybrid_spills", 1);
+        }
+    }
+    q
+}
+
+fn empty_query_info(strategy: Strategy, degraded: bool, shards: usize) -> QueryInfo {
+    QueryInfo {
+        strategy,
+        degraded,
+        linear_fallback: false,
+        candidates: 0,
+        overfetch: 0,
+        seconds: 0.0,
+        shards,
+        fanout_seconds: 0.0,
+        merge_seconds: 0.0,
+    }
+}
+
+/// The sharded, concurrently readable serving engine. Same search
+/// semantics as [`Traj2HashEngine`] — bit-identical results on all five
+/// strategies — plus lock-free multi-reader serving via
+/// [`ShardedEngine::reader`] and batched [`ShardedEngine::query_many`].
+pub struct ShardedEngine {
+    model: Traj2Hash,
+    cfg: EngineConfig,
+    scfg: ShardConfig,
+    set: Arc<ShardSet>,
+    next_id: u64,
+    generation: u64,
+}
+
+impl ShardedEngine {
+    /// Builds a sharded engine over `corpus`; trajectories receive ids
+    /// `0..corpus.len()` and land on shard `id % shards`.
+    pub fn build(
+        model: Traj2Hash,
+        corpus: Vec<Trajectory>,
+        cfg: EngineConfig,
+        scfg: ShardConfig,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        scfg.validate()?;
+        let embeddings = model.embed_all_with_threads(&corpus, cfg.encode_threads.max(1));
+        let codes: Vec<BinaryCode> =
+            embeddings.iter().map(|e| BinaryCode::from_floats(e)).collect();
+        let n = corpus.len();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        Self::from_parts(model, cfg, scfg, ids, corpus, embeddings, codes, n as u64)
+    }
+
+    /// Builds from a borrowed model (byte-identical replica via
+    /// [`Traj2Hash::spec`]); the caller keeps the original.
+    pub fn build_from(
+        model: &Traj2Hash,
+        corpus: Vec<Trajectory>,
+        cfg: EngineConfig,
+        scfg: ShardConfig,
+    ) -> Result<Self, EngineError> {
+        let replica = Traj2Hash::from_spec(&model.spec(), &model.params.clone_values());
+        Self::build(replica, corpus, cfg, scfg)
+    }
+
+    /// Assembles the engine from pre-encoded entries in ascending-id
+    /// order, distributing them across shards by `id % shards`.
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        model: Traj2Hash,
+        cfg: EngineConfig,
+        scfg: ShardConfig,
+        ids: Vec<u64>,
+        trajs: Vec<Trajectory>,
+        embeddings: Vec<Vec<f32>>,
+        codes: Vec<BinaryCode>,
+        next_id: u64,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        scfg.validate()?;
+        let n_shards = scfg.shards;
+        let cells: Vec<ShardCell> = partition((ids, trajs, embeddings, codes), n_shards)
+            .into_iter()
+            .map(|(ids, trajs, embeddings, codes)| {
+                ShardCell::new(ShardState::build(ids, trajs, embeddings, codes, &cfg))
+            })
+            .collect();
+        let set = Arc::new(ShardSet {
+            cells,
+            telemetry: Mutex::new(EngineTelemetry::default()),
+            model: RwLock::new(Arc::new(ModelBlueprint::of(&model, 1))),
+        });
+        {
+            // Construction counts as each shard's first rebuild, like
+            // the facade's build-time rebuild.
+            let mut t = tlock(&set.telemetry);
+            t.rebuilds += n_shards as u64;
+        }
+        Ok(ShardedEngine { model, cfg, scfg, set, next_id, generation: 1 })
+    }
+
+    fn shard_of(&self, id: u64) -> usize {
+        (id % self.scfg.shards as u64) as usize
+    }
+
+    /// The writer's model (for direct embedding access).
+    pub fn model(&self) -> &Traj2Hash {
+        &self.model
+    }
+
+    /// The per-shard engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The sharding configuration.
+    pub fn shard_config(&self) -> &ShardConfig {
+        &self.scfg
+    }
+
+    /// Consumes the engine, returning the writer's model.
+    pub fn into_model(self) -> Traj2Hash {
+        self.model
+    }
+
+    /// Number of live trajectories across all shards.
+    pub fn len(&self) -> usize {
+        self.set.pin_all().iter().map(|s| s.live()).sum()
+    }
+
+    /// True when no live trajectory remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live ids in ascending order (collected across shards).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .set
+            .pin_all()
+            .iter()
+            .flat_map(|s| s.live_slots().into_iter().map(|(_, id)| id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// True when `id` refers to a live trajectory.
+    pub fn contains(&self, id: u64) -> bool {
+        self.set.cells[self.shard_of(id)].pin().slot_of(id).is_some()
+    }
+
+    /// The live trajectory with stable id `id` (cloned out of the
+    /// pinned shard state).
+    pub fn get(&self, id: u64) -> Option<Trajectory> {
+        let state = self.set.cells[self.shard_of(id)].pin();
+        state.slot_of(id).map(|s| state.traj_at(s).clone())
+    }
+
+    /// Cumulative telemetry (shared with every reader).
+    pub fn telemetry(&self) -> EngineTelemetry {
+        tlock(&self.set.telemetry).clone()
+    }
+
+    /// Aggregated lifecycle counters. `generation` is the engine-level
+    /// swap/build counter; per-shard rebuild generations are visible
+    /// through [`ShardedEngine::pin`].
+    pub fn stats(&self) -> EngineStats {
+        let states = self.set.pin_all();
+        EngineStats {
+            live: states.iter().map(|s| s.live()).sum(),
+            indexed: states.iter().map(|s| s.indexed()).sum(),
+            delta: states.iter().map(|s| s.slots() - s.indexed()).sum(),
+            dead: states.iter().map(|s| s.dead_count).sum(),
+            generation: self.generation,
+            degraded: states.iter().any(|s| s.degraded()),
+        }
+    }
+
+    /// Pins a consistent view of every shard (the generation-pinning
+    /// read protocol, exposed for tests and diagnostics).
+    pub fn pin(&self) -> PinnedView {
+        PinnedView { states: self.set.pin_all() }
+    }
+
+    /// A `Send` handle for spawning readers on other threads.
+    pub fn reader(&self) -> ReaderSpec {
+        ReaderSpec { set: Arc::clone(&self.set) }
+    }
+
+    /// Top-k search over the live corpus; results are bit-identical to
+    /// [`Traj2HashEngine::query`] on the same corpus and model.
+    pub fn query(
+        &self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<Vec<Hit>, EngineError> {
+        self.query_with_info(q, k, strategy).map(|(hits, _)| hits)
+    }
+
+    /// [`query`](ShardedEngine::query) plus per-query diagnostics,
+    /// including the per-shard fan-out and merge timings.
+    pub fn query_with_info(
+        &self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+        let states = self.set.pin_all();
+        query_pinned(&self.set, &states, &self.model, q, k, strategy, self.scfg.fan_out_threads)
+    }
+
+    /// Answers a batch of queries, encoding them all in one batched
+    /// forward pass ([`Traj2Hash::embed_batch`] — one fused matmul per
+    /// dense layer over the whole batch) and fanning each query across
+    /// the shards pinned once for the whole batch. Results are
+    /// bit-identical to calling [`ShardedEngine::query`] per query.
+    pub fn query_many(
+        &self,
+        qs: &[Trajectory],
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<Vec<Vec<Hit>>, EngineError> {
+        let states = self.set.pin_all();
+        let live: usize = states.iter().map(|s| s.live()).sum();
+        if k == 0 || live == 0 {
+            return Ok(qs.iter().map(|_| Vec::new()).collect());
+        }
+        let t0 = Instant::now();
+        let embeddings = self.model.embed_batch(qs);
+        let encode_seconds = t0.elapsed().as_secs_f64();
+        if traj_obs::enabled() && !qs.is_empty() {
+            traj_obs::observe_secs(
+                "engine.query.batch_encode_secs",
+                encode_seconds / qs.len() as f64,
+            );
+        }
+        let mut out = Vec::with_capacity(qs.len());
+        for embedding in &embeddings {
+            let tq = Instant::now();
+            let code = BinaryCode::from_floats(embedding);
+            let (hits, info) =
+                fan_out(&states, strategy, embedding, &code, k, self.scfg.fan_out_threads);
+            record_query(&self.set, strategy, states.len(), &info, tq.elapsed().as_secs_f64());
+            out.push(hits);
+        }
+        Ok(out)
+    }
+
+    /// Encodes and inserts a trajectory, returning its stable id. Only
+    /// the owning shard republishes; reads on every other shard are
+    /// untouched, and reads on the owning shard keep their pinned
+    /// generation.
+    pub fn insert(&mut self, t: Trajectory) -> u64 {
+        let embedding = self.model.embed(&t).data().to_vec();
+        let code = BinaryCode::from_floats(&embedding);
+        let id = self.next_id;
+        self.next_id += 1;
+        let si = self.shard_of(id);
+        let cell = &self.set.cells[si];
+        let next = cell.pin().with_insert(id, t, embedding, code);
+        cell.publish(next);
+        tlock(&self.set.telemetry).inserts += 1;
+        traj_obs::counter("engine.inserts", 1);
+        self.maybe_rebuild_shard(si);
+        id
+    }
+
+    /// Tombstones the trajectory with stable id `id` on its shard.
+    pub fn remove(&mut self, id: u64) -> Result<(), EngineError> {
+        let si = self.shard_of(id);
+        let cell = &self.set.cells[si];
+        let pinned = cell.pin();
+        let slot = pinned.slot_of(id).ok_or(EngineError::UnknownId(id))?;
+        cell.publish(pinned.with_remove(slot));
+        tlock(&self.set.telemetry).removes += 1;
+        traj_obs::counter("engine.removes", 1);
+        self.maybe_rebuild_shard(si);
+        Ok(())
+    }
+
+    fn maybe_rebuild_shard(&self, si: usize) {
+        if self.set.cells[si].pin().needs_rebuild(&self.cfg) {
+            self.rebuild_shard(si);
+        }
+    }
+
+    /// Compacts and re-indexes one shard. The next generation is built
+    /// entirely off the publish lock — readers (on this shard and all
+    /// others) keep serving the previous generation until the single
+    /// atomic publish at the end.
+    fn rebuild_shard(&self, si: usize) {
+        let t0 = Instant::now();
+        let prev = self.set.cells[si].pin();
+        let compacting = prev.dead_count > 0;
+        let next = prev.rebuilt(&self.cfg);
+        let degraded = next.base.indexes.is_none();
+        let generation = next.generation;
+        let covers = next.base.len();
+        self.set.cells[si].publish(next);
+        {
+            let mut t = tlock(&self.set.telemetry);
+            t.rebuilds += 1;
+            if compacting {
+                t.compactions += 1;
+            }
+            if degraded {
+                t.degraded_rebuilds += 1;
+            }
+        }
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.rebuilds", 1);
+            if compacting {
+                traj_obs::counter("engine.compactions", 1);
+            }
+            traj_obs::event(
+                "engine.shard.rebuild",
+                &[
+                    ("shard", si.into()),
+                    ("generation", generation.into()),
+                    ("covers", covers.into()),
+                    ("compacted", compacting.into()),
+                    ("degraded", degraded.into()),
+                    ("seconds", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+            if degraded {
+                traj_obs::counter("engine.degraded_entries", 1);
+            }
+        }
+    }
+
+    /// Forces compaction + re-index of every shard, one at a time (each
+    /// shard keeps serving while the others rebuild).
+    pub fn compact(&mut self) {
+        for si in 0..self.set.cells.len() {
+            self.rebuild_shard(si);
+        }
+    }
+
+    /// Drops every shard's indexes, forcing degraded linear-scan
+    /// serving until [`recover`](ShardedEngine::recover) or a rebuild.
+    /// Results stay exact; only the access path changes.
+    pub fn force_degrade(&mut self) {
+        for cell in &self.set.cells {
+            let next = cell.pin().with_degraded();
+            cell.publish(next);
+        }
+        tlock(&self.set.telemetry).degraded_rebuilds += 1;
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.degraded_entries", 1);
+            traj_obs::event(
+                "engine.degraded",
+                &[("reason", "forced".into()), ("generation", self.generation.into())],
+            );
+        }
+    }
+
+    /// Rebuilds every degraded shard; returns `true` when all shards
+    /// are healthy afterwards.
+    pub fn recover(&mut self) -> bool {
+        let mut was_degraded = false;
+        for si in 0..self.set.cells.len() {
+            if self.set.cells[si].pin().degraded() {
+                was_degraded = true;
+                self.rebuild_shard(si);
+            }
+        }
+        let healthy = !self.set.pin_all().iter().any(|s| s.degraded());
+        if was_degraded && healthy {
+            tlock(&self.set.telemetry).recoveries += 1;
+            if traj_obs::enabled() {
+                traj_obs::counter("engine.recoveries", 1);
+                traj_obs::event(
+                    "engine.recovered",
+                    &[("generation", self.generation.into()), ("live", self.len().into())],
+                );
+            }
+        }
+        healthy
+    }
+
+    /// Flattens every live entry across shards into ascending-id order:
+    /// `(ids, trajs, embeddings, codes)`.
+    fn flattened(states: &[Arc<ShardState>]) -> Entries {
+        let mut entries: Vec<(u64, usize, usize)> = Vec::new();
+        for (si, st) in states.iter().enumerate() {
+            for (slot, id) in st.live_slots() {
+                entries.push((id, si, slot));
+            }
+        }
+        entries.sort_unstable_by_key(|&(id, _, _)| id);
+        let mut ids = Vec::with_capacity(entries.len());
+        let mut trajs = Vec::with_capacity(entries.len());
+        let mut embeddings = Vec::with_capacity(entries.len());
+        let mut codes = Vec::with_capacity(entries.len());
+        for (id, si, slot) in entries {
+            let st = &states[si];
+            ids.push(id);
+            trajs.push(st.traj_at(slot).clone());
+            embeddings.push(st.embedding_at(slot).to_vec());
+            codes.push(st.code_at(slot).clone());
+        }
+        (ids, trajs, embeddings, codes)
+    }
+
+    /// Builds a *replacement* engine: the current live corpus re-encoded
+    /// with `model`, preserving every stable id and `next_id`, ready for
+    /// [`hot_swap`](ShardedEngine::hot_swap).
+    pub fn refreshed(&self, model: Traj2Hash) -> Result<ShardedEngine, EngineError> {
+        let states = self.set.pin_all();
+        let (ids, trajs, _, _) = Self::flattened(&states);
+        let embeddings = model.embed_all_with_threads(&trajs, self.cfg.encode_threads.max(1));
+        let codes: Vec<BinaryCode> =
+            embeddings.iter().map(|e| BinaryCode::from_floats(e)).collect();
+        Self::from_parts(
+            model,
+            self.cfg.clone(),
+            self.scfg.clone(),
+            ids,
+            trajs,
+            embeddings,
+            codes,
+            self.next_id,
+        )
+    }
+
+    /// Atomically swaps `replacement`'s model and corpus into this
+    /// engine, shard by shard, keeping cumulative telemetry and the
+    /// monotone per-shard publish sequence. Readers that pinned before
+    /// the swap finish their queries on the old generation; readers
+    /// that pin after see the new one (and refresh their model replica
+    /// via the bumped blueprint version).
+    pub fn hot_swap(&mut self, replacement: ShardedEngine) {
+        let rep_states = replacement.set.pin_all();
+        let rep_next = replacement.next_id;
+        let model = replacement.into_model();
+        if rep_states.len() == self.set.cells.len() {
+            for (cell, st) in self.set.cells.iter().zip(&rep_states) {
+                cell.publish((**st).clone());
+            }
+        } else {
+            // Shard counts differ: redistribute by id under *this*
+            // engine's mapping.
+            let parts = partition(Self::flattened(&rep_states), self.scfg.shards);
+            for (cell, (ids, trajs, embeddings, codes)) in self.set.cells.iter().zip(parts) {
+                cell.publish(ShardState::build(ids, trajs, embeddings, codes, &self.cfg));
+            }
+        }
+        {
+            let mut guard = rwrite(&self.set.model);
+            let version = guard.version + 1;
+            *guard = Arc::new(ModelBlueprint::of(&model, version));
+        }
+        self.model = model;
+        // next_id only moves forward: a stale replacement must not make
+        // the engine re-issue ids that are already out there.
+        self.next_id = self.next_id.max(rep_next);
+        self.generation += 1;
+        let degraded = self.set.pin_all().iter().any(|s| s.degraded());
+        tlock(&self.set.telemetry).hot_swaps += 1;
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.hot_swaps", 1);
+            traj_obs::event(
+                "engine.hot_swap",
+                &[
+                    ("generation", self.generation.into()),
+                    ("live", self.len().into()),
+                    ("degraded", degraded.into()),
+                ],
+            );
+        }
+    }
+
+    /// Serializes the engine into the same `T2HSNAP1` container the
+    /// facade writes: entries are flattened back to ascending-id order,
+    /// so the snapshot is shard-layout-free and loads into either
+    /// engine (with any shard count).
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, EngineError> {
+        let states = self.set.pin_all();
+        let mut entries: Vec<(u64, usize, usize)> = Vec::new();
+        for (si, st) in states.iter().enumerate() {
+            for (slot, id) in st.live_slots() {
+                entries.push((id, si, slot));
+            }
+        }
+        entries.sort_unstable_by_key(|&(id, _, _)| id);
+        let entries: Vec<EntryRef<'_>> = entries
+            .iter()
+            .map(|&(id, si, slot)| EntryRef {
+                id,
+                traj: states[si].traj_at(slot),
+                embedding: states[si].embedding_at(slot),
+                code: states[si].code_at(slot),
+            })
+            .collect();
+        snapshot::encode_view(&SnapshotView {
+            model: &self.model,
+            cfg: &self.cfg,
+            entries,
+            next_id: self.next_id,
+        })
+    }
+
+    /// Restores a sharded engine from snapshot bytes written by either
+    /// engine, distributing entries across `scfg.shards` shards.
+    pub fn from_snapshot_bytes(bytes: &[u8], scfg: ShardConfig) -> Result<Self, EngineError> {
+        let d = snapshot::decode_parts(bytes)?;
+        Self::from_parts(d.model, d.cfg, scfg, d.ids, d.trajs, d.embeddings, d.codes, d.next_id)
+    }
+
+    /// Writes a snapshot atomically and durably (fsync'd tmp → rename →
+    /// parent fsync), like the facade.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        self.save_snapshot_retry(path, &traj2hash::RetryPolicy::none()).map(|_| ())
+    }
+
+    /// [`save_snapshot`](ShardedEngine::save_snapshot) under a bounded
+    /// retry/backoff policy, returning the write receipt.
+    pub fn save_snapshot_retry(
+        &self,
+        path: impl AsRef<Path>,
+        policy: &traj2hash::RetryPolicy,
+    ) -> Result<traj2hash::WriteReceipt, EngineError> {
+        let path = path.as_ref();
+        let t0 = Instant::now();
+        let bytes = self.snapshot_bytes()?;
+        let len = bytes.len();
+        let receipt = traj2hash::durable_write_retry(path, &bytes, policy)
+            .map_err(traj2hash::CheckpointError::Io)?;
+        {
+            let mut t = tlock(&self.set.telemetry);
+            t.snapshot_saves += 1;
+            t.snapshot_bytes += len as u64;
+        }
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.snapshot.saves", 1);
+            traj_obs::counter("engine.snapshot.bytes_written", len as u64);
+            traj_obs::observe_secs("engine.snapshot.save_secs", t0.elapsed().as_secs_f64());
+        }
+        Ok(receipt)
+    }
+
+    /// Reads and validates a snapshot from disk, cleaning stale staging
+    /// leftovers along the way.
+    pub fn load_snapshot(path: impl AsRef<Path>, scfg: ShardConfig) -> Result<Self, EngineError> {
+        let t0 = Instant::now();
+        traj2hash::clean_stale_tmps(path.as_ref());
+        let bytes = std::fs::read(path).map_err(traj2hash::CheckpointError::Io)?;
+        let engine = Self::from_snapshot_bytes(&bytes, scfg);
+        if traj_obs::enabled() {
+            traj_obs::counter("engine.snapshot.loads", 1);
+            traj_obs::counter("engine.snapshot.bytes_read", bytes.len() as u64);
+            traj_obs::observe_secs("engine.snapshot.load_secs", t0.elapsed().as_secs_f64());
+            if engine.is_err() {
+                traj_obs::counter("engine.snapshot.load_failures", 1);
+            }
+        }
+        engine
+    }
+
+    /// Materializes a single-shard [`Traj2HashEngine`] with the same
+    /// live corpus, model, and ids (primarily for parity testing).
+    pub fn to_unsharded(&self) -> Result<Traj2HashEngine, EngineError> {
+        let states = self.set.pin_all();
+        let (ids, trajs, embeddings, codes) = Self::flattened(&states);
+        Traj2HashEngine::from_loaded(
+            Traj2Hash::from_spec(&self.model.spec(), &self.model.params.clone_values()),
+            self.cfg.clone(),
+            ids,
+            trajs,
+            embeddings,
+            codes,
+            self.next_id,
+        )
+    }
+}
+
+/// Shared query path: encode with the given model, pin-free (states
+/// already pinned), fan out, merge, record.
+fn query_pinned(
+    set: &ShardSet,
+    states: &[Arc<ShardState>],
+    model: &Traj2Hash,
+    q: &Trajectory,
+    k: usize,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+    let degraded = states.iter().any(|s| s.degraded());
+    let live: usize = states.iter().map(|s| s.live()).sum();
+    if k == 0 || live == 0 {
+        return Ok((Vec::new(), empty_query_info(strategy, degraded, states.len())));
+    }
+    let t0 = Instant::now();
+    let embedding = model.embed(q).data().to_vec();
+    let code = BinaryCode::from_floats(&embedding);
+    let (hits, info) = fan_out(states, strategy, &embedding, &code, k, threads);
+    let q_info = record_query(set, strategy, states.len(), &info, t0.elapsed().as_secs_f64());
+    Ok((hits, q_info))
+}
+
+/// A `Send` recipe for building a [`ShardReader`] on another thread.
+/// The model itself is not `Send` (its parameters are `Rc`-backed), so
+/// the spec + values blueprint travels instead and the replica is built
+/// on the destination thread.
+pub struct ReaderSpec {
+    set: Arc<ShardSet>,
+}
+
+impl ReaderSpec {
+    /// Builds the reader (instantiating a local model replica from the
+    /// current blueprint). Call this *on the reader thread*.
+    pub fn into_reader(self) -> ShardReader {
+        let (model, version) = {
+            let bp = rread(&self.set.model);
+            (bp.instantiate(), bp.version)
+        };
+        ShardReader { set: self.set, model, model_version: version }
+    }
+}
+
+/// A per-thread query handle over the shared shard set. Queries are
+/// lock-free after the per-shard generation pin and bit-identical to
+/// the writer's: same shared search core, same merge order, and a model
+/// replica rebuilt from the blueprint whenever a hot swap bumps its
+/// version.
+pub struct ShardReader {
+    set: Arc<ShardSet>,
+    model: Traj2Hash,
+    model_version: u64,
+}
+
+impl ShardReader {
+    /// Refreshes the local model replica if a hot swap published a new
+    /// blueprint since this reader last looked.
+    fn refresh_model(&mut self) {
+        let current = rread(&self.set.model).version;
+        if current != self.model_version {
+            let bp = Arc::clone(&rread(&self.set.model));
+            self.model = bp.instantiate();
+            self.model_version = bp.version;
+        }
+    }
+
+    /// Pins a consistent view of every shard.
+    pub fn pin(&self) -> PinnedView {
+        PinnedView { states: self.set.pin_all() }
+    }
+
+    /// Top-k search; bit-identical to the owning engine's
+    /// [`ShardedEngine::query`]. `&mut self` only because the model
+    /// replica may need refreshing after a hot swap — the shared state
+    /// is never written.
+    pub fn query(
+        &mut self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<Vec<Hit>, EngineError> {
+        self.query_with_info(q, k, strategy).map(|(hits, _)| hits)
+    }
+
+    /// [`query`](ShardReader::query) plus diagnostics.
+    pub fn query_with_info(
+        &mut self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+        self.refresh_model();
+        let states = self.set.pin_all();
+        // Readers fan out sequentially: reader-side parallelism comes
+        // from running many readers, not from splitting one query.
+        query_pinned(&self.set, &states, &self.model, q, k, strategy, 1)
+    }
+}

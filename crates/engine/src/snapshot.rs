@@ -65,8 +65,56 @@ fn read_f32s(r: &mut PayloadReader) -> Result<Vec<f32>, CheckpointError> {
     Ok(out)
 }
 
+/// One live corpus entry, borrowed from whichever engine is saving.
+pub(crate) struct EntryRef<'a> {
+    pub id: u64,
+    pub traj: &'a Trajectory,
+    pub embedding: &'a [f32],
+    pub code: &'a BinaryCode,
+}
+
+/// Everything the snapshot format serializes, borrowed: both the
+/// single-shard facade and the sharded engine flatten themselves into
+/// this view, so there is exactly one byte layout (`T2HSNAP1`) and a
+/// snapshot written by either engine loads into either. Entries must be
+/// in ascending-id order (the sharded engine re-sorts its interleaved
+/// shards before saving).
+pub(crate) struct SnapshotView<'a> {
+    pub model: &'a Traj2Hash,
+    pub cfg: &'a EngineConfig,
+    pub entries: Vec<EntryRef<'a>>,
+    pub next_id: u64,
+}
+
+/// A fully decoded snapshot, owned: the caller reassembles whichever
+/// engine it wants (the shard layout is *not* serialized — the sharded
+/// engine redistributes entries by id on load).
+pub(crate) struct DecodedSnapshot {
+    pub model: Traj2Hash,
+    pub cfg: EngineConfig,
+    pub ids: Vec<u64>,
+    pub trajs: Vec<Trajectory>,
+    pub embeddings: Vec<Vec<f32>>,
+    pub codes: Vec<BinaryCode>,
+    pub next_id: u64,
+}
+
 pub(crate) fn encode(engine: &Traj2HashEngine) -> Result<Vec<u8>, EngineError> {
     let (model, cfg, ids, trajs, embeddings, codes, dead, next_id) = engine.snapshot_parts();
+    let entries = (0..ids.len())
+        .filter(|&s| !dead[s])
+        .map(|s| EntryRef {
+            id: ids[s],
+            traj: &trajs[s],
+            embedding: &embeddings[s],
+            code: &codes[s],
+        })
+        .collect();
+    encode_view(&SnapshotView { model, cfg, entries, next_id })
+}
+
+pub(crate) fn encode_view(view: &SnapshotView<'_>) -> Result<Vec<u8>, EngineError> {
+    let (model, cfg, next_id) = (view.model, view.cfg, view.next_id);
     let spec = model.spec();
     let mut w = PayloadWriter::new();
 
@@ -128,21 +176,19 @@ pub(crate) fn encode(engine: &Traj2HashEngine) -> Result<Vec<u8>, EngineError> {
     w.f64(cfg.max_dead_fraction);
     w.u64(next_id);
 
-    // Corpus section: live entries only, in slot (= ascending id) order.
-    let live: Vec<usize> = (0..ids.len()).filter(|&s| !dead[s]).collect();
-    w.u64(live.len() as u64);
-    for &s in &live {
-        w.u64(ids[s]);
-        w.u64(trajs[s].points.len() as u64);
-        for p in &trajs[s].points {
+    // Corpus section: live entries only, in ascending-id order.
+    w.u64(view.entries.len() as u64);
+    for e in &view.entries {
+        w.u64(e.id);
+        w.u64(e.traj.points.len() as u64);
+        for p in &e.traj.points {
             w.f64(p.x);
             w.f64(p.y);
         }
-        write_f32s(&mut w, &embeddings[s]);
-        let code = &codes[s];
-        w.u64(code.len() as u64);
-        w.u64(code.words().len() as u64);
-        for &word in code.words() {
+        write_f32s(&mut w, e.embedding);
+        w.u64(e.code.len() as u64);
+        w.u64(e.code.words().len() as u64);
+        for &word in e.code.words() {
             w.u64(word);
         }
     }
@@ -150,6 +196,11 @@ pub(crate) fn encode(engine: &Traj2HashEngine) -> Result<Vec<u8>, EngineError> {
 }
 
 pub(crate) fn decode(bytes: &[u8]) -> Result<Traj2HashEngine, EngineError> {
+    let d = decode_parts(bytes)?;
+    Traj2HashEngine::from_loaded(d.model, d.cfg, d.ids, d.trajs, d.embeddings, d.codes, d.next_id)
+}
+
+pub(crate) fn decode_parts(bytes: &[u8]) -> Result<DecodedSnapshot, EngineError> {
     let (_, payload) = decode_container(bytes, MAGIC, VERSION)?;
     let mut r = PayloadReader::new(payload);
 
@@ -278,7 +329,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Traj2HashEngine, EngineError> {
         codes.push(code);
     }
     r.expect_end()?;
-    Traj2HashEngine::from_loaded(model, engine_cfg, ids, trajs, embeddings, codes, next_id)
+    Ok(DecodedSnapshot { model, cfg: engine_cfg, ids, trajs, embeddings, codes, next_id })
 }
 
 fn read_bool(r: &mut PayloadReader, what: &str) -> Result<bool, EngineError> {

@@ -143,4 +143,13 @@ pub struct QueryInfo {
     pub overfetch: usize,
     /// Wall-clock seconds spent answering.
     pub seconds: f64,
+    /// Shards the query fanned out across (1 for the single-shard
+    /// facade).
+    pub shards: usize,
+    /// Seconds spent fanning the query out across shards (0 for the
+    /// single-shard facade, where there is no fan-out stage).
+    pub fanout_seconds: f64,
+    /// Seconds spent merging per-shard hits through the shared top-k
+    /// helper (0 for the single-shard facade).
+    pub merge_seconds: f64,
 }

@@ -13,6 +13,7 @@ pub mod cluster;
 pub mod code;
 pub mod error;
 pub mod mih;
+pub mod packed;
 pub mod search;
 pub mod topk;
 pub mod vptree;
@@ -21,6 +22,7 @@ pub use cluster::{dbscan_hamming, Assignment, Clustering};
 pub use code::BinaryCode;
 pub use error::SearchError;
 pub use mih::MultiIndexHashing;
+pub use packed::{hamming_words, PackedCodes};
 pub use search::{euclidean_top_k, hamming_top_k, HammingTable, Hit};
 pub use topk::{sort_hits, top_k_hits};
 pub use vptree::VpTree;

@@ -66,6 +66,10 @@ pub struct SoakConfig {
     /// many ticks (0 disables the heartbeat). These writes go through
     /// the fault plan like every other durable write.
     pub snapshot_every: u64,
+    /// Shards of the serving engine's corpus partition (the soak loop
+    /// serves through the sharded engine so the refresh/hot-swap
+    /// machinery is proven per-shard).
+    pub shards: usize,
     /// Ticks at which the degrade drill fires: the engine is forced
     /// into index-less degraded mode and must recover on its own.
     pub degrade_drills: Vec<u64>,
@@ -109,6 +113,7 @@ impl SoakConfig {
             refresh_seeds: 20,
             refresh_validation: 16,
             snapshot_every: 9,
+            shards: 3,
             degrade_drills: vec![18, 44],
             faults: vec![
                 FaultRule { when: FaultWhen::Nth(2), fault: WriteFault::TornWrite { keep_fraction: 0.5 } },
@@ -166,6 +171,9 @@ impl SoakConfig {
         if !(self.drop_threshold.is_finite() && self.drop_threshold > 0.0) {
             return Err("drop_threshold must be finite and > 0".into());
         }
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
         Ok(())
     }
 }
@@ -203,6 +211,10 @@ mod tests {
 
         let mut c = demo();
         c.refresh_seeds = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = demo();
+        c.shards = 0;
         assert!(c.validate().is_err());
     }
 

@@ -9,7 +9,7 @@ use traj2hash::{
     train, with_fault_plan, FaultPlan, ModelContext, Traj2Hash, TrainData, TrainError,
 };
 use traj_data::{Dataset, DriftSchedule, DriftingGenerator, Trajectory};
-use traj_engine::{EngineConfig, EngineError, Strategy, Traj2HashEngine};
+use traj_engine::{EngineConfig, EngineError, ShardConfig, ShardedEngine, Strategy};
 use traj_obs::TrendWindow;
 
 use crate::config::SoakConfig;
@@ -78,7 +78,7 @@ enum RefreshState {
 /// degraded state and retrying.
 pub struct SoakRunner {
     cfg: SoakConfig,
-    engine: Traj2HashEngine,
+    engine: ShardedEngine,
     ingest: DriftingGenerator,
     serve: DriftingGenerator,
     eval: DriftingGenerator,
@@ -122,9 +122,10 @@ impl SoakRunner {
         train(&mut model, &data, &train_cfg)?;
 
         let engine_cfg = EngineConfig { rebuild_slack: 24, ..EngineConfig::default() };
-        let engine = Traj2HashEngine::build(model, corpus.clone(), engine_cfg)?;
+        let shard_cfg = ShardConfig { shards: cfg.shards, fan_out_threads: 0 };
+        let engine = ShardedEngine::build(model, corpus.clone(), engine_cfg, shard_cfg)?;
         let live: VecDeque<(u64, Trajectory)> =
-            engine.ids().zip(corpus).collect();
+            engine.ids().into_iter().zip(corpus).collect();
 
         let hr_trend = TrendWindow::new(cfg.baseline_evals, cfg.recent_evals);
         let lat_trends =
@@ -175,7 +176,7 @@ impl SoakRunner {
     }
 
     /// The serving engine (for post-run parity checks).
-    pub fn engine(&self) -> &Traj2HashEngine {
+    pub fn engine(&self) -> &ShardedEngine {
         &self.engine
     }
 
@@ -504,7 +505,10 @@ impl SoakRunner {
                 return Err((Box::new(replacement.into_model()), DegradeReason::RefreshIoFailed));
             }
         }
-        let loaded = match Traj2HashEngine::load_snapshot(&self.snapshot_path) {
+        let loaded = match ShardedEngine::load_snapshot(
+            &self.snapshot_path,
+            self.engine.shard_config().clone(),
+        ) {
             Ok(l) => l,
             Err(e) => {
                 traj_obs::event(

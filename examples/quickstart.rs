@@ -10,7 +10,7 @@
 use std::time::Instant;
 use traj_data::{CityParams, Dataset, SplitSizes};
 use traj_dist::Measure;
-use traj_engine::{EngineConfig, Strategy, Traj2HashEngine};
+use traj_engine::{EngineConfig, ShardConfig, ShardedEngine, Strategy, Traj2HashEngine};
 use traj_eval::{ground_truth_top_k, hr_at_k};
 use traj2hash::{train, ModelConfig, ModelContext, Traj2Hash, TrainConfig, TrainData};
 
@@ -127,6 +127,45 @@ fn main() {
         restored.len()
     );
     std::fs::remove_file(&path).ok();
+
+    // 8. Scale-out serving: the same corpus behind the sharded engine.
+    //    The corpus partitions across shards by stable id; each shard
+    //    publishes immutable generations behind an Arc swap, so any
+    //    number of reader threads query lock-free (pin → search →
+    //    drop) while the writer inserts, removes, and compacts.
+    //    Answers are bit-identical to the single-shard engine above,
+    //    and `query_many` amortizes query encoding over a batch.
+    let sharded = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        ShardConfig { shards: 4, fan_out_threads: 0 },
+    )
+    .expect("sharded engine build");
+    let batch: Vec<_> = dataset.query.iter().take(4).cloned().collect();
+    let batched = sharded.query_many(&batch, 3, Strategy::Hybrid).expect("batched query");
+    let agree = batch
+        .iter()
+        .zip(&batched)
+        .all(|(q, hits)| *hits == engine.query(q, 3, Strategy::Hybrid).expect("query"));
+    let from_reader = std::thread::scope(|scope| {
+        let spec = sharded.reader(); // Send; the model replica is built on the reader thread
+        scope
+            .spawn(move || {
+                let mut reader = spec.into_reader();
+                reader.query(&batch[0], 3, Strategy::Hybrid).expect("reader query")
+            })
+            .join()
+            .expect("reader thread")
+    });
+    println!(
+        "sharded engine: {} shards over {} trajectories; batched answers match \
+         the single-shard engine: {}; reader-thread answer matches: {}",
+        sharded.shard_config().shards,
+        sharded.len(),
+        agree,
+        from_reader == batched[0],
+    );
 
     // Write the final counter/gauge/histogram snapshots to the JSONL
     // export (inert when no recorder was installed).

@@ -1,0 +1,314 @@
+//! Sharded == unsharded, bit for bit.
+//!
+//! The sharded engine's whole correctness story is one claim: for any
+//! corpus, any shard count, any interleaving of inserts and removes,
+//! and all five Section V-E strategies, [`ShardedEngine`] answers every
+//! query with exactly the hits — ids *and* distances, in order — that
+//! the single-writer [`Traj2HashEngine`] facade returns. This suite
+//! pins that claim down:
+//!
+//! * fresh builds across shard counts 1..8, every strategy, several k;
+//! * property-based random insert/remove interleavings applied to both
+//!   engines in lockstep (with a tiny rebuild threshold so per-shard
+//!   compactions actually fire mid-stream);
+//! * [`ShardedEngine::query_many`] == per-query [`ShardedEngine::query`];
+//! * [`ShardReader`] (the replica-model reader path) == the writer;
+//! * threaded fan-out == sequential fan-out;
+//! * snapshots interchange between the two engines in both directions.
+
+use proptest::prelude::*;
+use traj_data::{CityParams, Dataset, SplitSizes, Trajectory};
+use traj_engine::{
+    EngineConfig, EngineError, ShardConfig, ShardedEngine, Strategy, Traj2HashEngine,
+};
+use traj2hash::{ModelConfig, ModelContext, Traj2Hash};
+
+/// Same deterministic world as the engine parity suite: synthetic city,
+/// untrained tiny model.
+fn world() -> (Dataset, Traj2Hash) {
+    let sizes = SplitSizes { seeds: 16, validation: 20, corpus: 150, query: 8, database: 90 };
+    let dataset = Dataset::generate(CityParams::test_city(), sizes, 11);
+    let mcfg = ModelConfig::tiny();
+    let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 11);
+    let model = Traj2Hash::new(mcfg, &ctx, 13);
+    (dataset, model)
+}
+
+fn scfg(shards: usize) -> ShardConfig {
+    ShardConfig { shards, fan_out_threads: 0 }
+}
+
+#[test]
+fn fresh_sharded_matches_unsharded_for_every_shard_count_and_strategy() {
+    let (dataset, model) = world();
+    let corpus = dataset.database.clone();
+    let flat =
+        Traj2HashEngine::build_from(&model, corpus.clone(), EngineConfig::default()).unwrap();
+    for shards in 1..8 {
+        let sharded =
+            ShardedEngine::build_from(&model, corpus.clone(), EngineConfig::default(), scfg(shards))
+                .unwrap();
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.ids(), flat.ids().collect::<Vec<_>>());
+        for q in &dataset.query {
+            for k in [1usize, 5, 10, 37] {
+                for strategy in Strategy::ALL {
+                    assert_eq!(
+                        sharded.query(q, k, strategy).unwrap(),
+                        flat.query(q, k, strategy).unwrap(),
+                        "{} diverged at shards={shards} k={k}",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_fan_out_matches_sequential() {
+    let (dataset, model) = world();
+    let seq = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        ShardConfig { shards: 5, fan_out_threads: 0 },
+    )
+    .unwrap();
+    let par = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        ShardConfig { shards: 5, fan_out_threads: 3 },
+    )
+    .unwrap();
+    for q in &dataset.query {
+        for strategy in Strategy::ALL {
+            assert_eq!(
+                par.query(q, 12, strategy).unwrap(),
+                seq.query(q, 12, strategy).unwrap(),
+                "{} diverged between threaded and sequential fan-out",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn query_many_matches_per_query_exactly() {
+    let (dataset, model) = world();
+    let engine = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        scfg(4),
+    )
+    .unwrap();
+    for k in [1usize, 10] {
+        for strategy in Strategy::ALL {
+            let batched = engine.query_many(&dataset.query, k, strategy).unwrap();
+            assert_eq!(batched.len(), dataset.query.len());
+            for (q, got) in dataset.query.iter().zip(&batched) {
+                assert_eq!(
+                    *got,
+                    engine.query(q, k, strategy).unwrap(),
+                    "{} batched answer diverged at k={k}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+    // Degenerate batches answer with the right shape, never panic.
+    let none: Vec<Trajectory> = Vec::new();
+    assert!(engine.query_many(&none, 10, Strategy::Mih).unwrap().is_empty());
+    let zero_k = engine.query_many(&dataset.query, 0, Strategy::Mih).unwrap();
+    assert_eq!(zero_k.len(), dataset.query.len());
+    assert!(zero_k.iter().all(|h| h.is_empty()));
+}
+
+#[test]
+fn reader_replica_answers_like_the_writer() {
+    let (dataset, model) = world();
+    let mut engine = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        scfg(3),
+    )
+    .unwrap();
+    let mut reader = engine.reader().into_reader();
+    for q in dataset.query.iter().take(4) {
+        for strategy in Strategy::ALL {
+            assert_eq!(
+                reader.query(q, 10, strategy).unwrap(),
+                engine.query(q, 10, strategy).unwrap(),
+                "{} reader diverged from writer",
+                strategy.name()
+            );
+        }
+    }
+    // A hot swap re-encodes the corpus under a (here: identical) new
+    // model and bumps the blueprint; the reader must refresh its replica
+    // and keep matching the writer.
+    let replacement = engine
+        .refreshed(Traj2Hash::from_spec(&model.spec(), &model.params.clone_values()))
+        .unwrap();
+    engine.hot_swap(replacement);
+    for q in dataset.query.iter().take(4) {
+        assert_eq!(
+            reader.query(q, 10, Strategy::Hybrid).unwrap(),
+            engine.query(q, 10, Strategy::Hybrid).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn sharded_lifecycle_matches_unsharded_semantics() {
+    let (dataset, model) = world();
+    let mut engine = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        scfg(4),
+    )
+    .unwrap();
+    // Unknown and double removals are typed errors on the owning shard.
+    assert!(matches!(engine.remove(999_999), Err(EngineError::UnknownId(999_999))));
+    engine.remove(3).unwrap();
+    assert!(matches!(engine.remove(3), Err(EngineError::UnknownId(3))));
+    assert!(!engine.contains(3));
+    assert!(engine.get(3).is_none());
+    // Inserts get fresh monotone ids, never recycled.
+    let novel = dataset.query[2].clone();
+    let id = engine.insert(novel.clone());
+    assert_eq!(id, dataset.database.len() as u64);
+    assert!(engine.contains(id));
+    let top = engine.query(&novel, 1, Strategy::EuclideanBf).unwrap();
+    assert_eq!((top[0].id, top[0].distance), (id, 0.0));
+    engine.remove(id).unwrap();
+    engine.compact();
+    assert!(engine.insert(novel) > id);
+    // Degrade/recover mirror the facade: exact answers throughout.
+    let healthy = engine.query(&dataset.query[0], 10, Strategy::EuclideanBf).unwrap();
+    engine.force_degrade();
+    assert!(engine.stats().degraded);
+    assert_eq!(engine.query(&dataset.query[0], 10, Strategy::EuclideanBf).unwrap(), healthy);
+    assert!(engine.recover());
+    assert!(!engine.stats().degraded);
+    assert_eq!(engine.query(&dataset.query[0], 10, Strategy::EuclideanBf).unwrap(), healthy);
+}
+
+#[test]
+fn snapshots_interchange_between_engines_in_both_directions() {
+    let (dataset, model) = world();
+    let mut sharded = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        scfg(3),
+    )
+    .unwrap();
+    // Dirty the state so the snapshot covers delta + tombstones too.
+    sharded.insert(dataset.query[0].clone());
+    sharded.remove(5).unwrap();
+    sharded.remove(41).unwrap();
+
+    // Sharded snapshot → unsharded engine.
+    let bytes = sharded.snapshot_bytes().unwrap();
+    let flat = Traj2HashEngine::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(flat.ids().collect::<Vec<_>>(), sharded.ids());
+    // Unsharded snapshot → sharded engine, with a *different* shard
+    // count than the writer used (the layout is not serialized).
+    let back = ShardedEngine::from_snapshot_bytes(&flat.snapshot_bytes().unwrap(), scfg(6)).unwrap();
+    assert_eq!(back.ids(), sharded.ids());
+    for q in &dataset.query {
+        for strategy in Strategy::ALL {
+            let want = sharded.query(q, 12, strategy).unwrap();
+            assert_eq!(
+                flat.query(q, 12, strategy).unwrap(),
+                want,
+                "{} diverged after sharded→flat reload",
+                strategy.name()
+            );
+            assert_eq!(
+                back.query(q, 12, strategy).unwrap(),
+                want,
+                "{} diverged after flat→sharded reload",
+                strategy.name()
+            );
+        }
+    }
+}
+
+/// Applies one op stream to a sharded engine and to the unsharded
+/// facade in lockstep, then checks every strategy answers identically
+/// (including through `to_unsharded` and `query_many`).
+fn check_sharded_matches_unsharded(shards: usize, ops: &[(bool, usize)]) {
+    let (dataset, model) = world();
+    // Tiny slack so the op stream crosses per-shard rebuild thresholds.
+    let cfg = EngineConfig { rebuild_slack: 4, ..EngineConfig::default() };
+    let initial: Vec<Trajectory> = dataset.database[..12].to_vec();
+    let mut flat = Traj2HashEngine::build_from(&model, initial.clone(), cfg.clone()).unwrap();
+    let mut sharded =
+        ShardedEngine::build_from(&model, initial, cfg, scfg(shards)).unwrap();
+
+    let mut live: Vec<u64> = (0..12).collect();
+    let mut pool = dataset.database[12..].iter().cloned().cycle();
+    for &(insert, pick) in ops {
+        if insert {
+            let t = pool.next().unwrap();
+            let a = flat.insert(t.clone());
+            let b = sharded.insert(t);
+            assert_eq!(a, b, "id streams diverged");
+            live.push(a);
+        } else if !live.is_empty() {
+            let id = live.remove(pick % live.len());
+            flat.remove(id).unwrap();
+            sharded.remove(id).unwrap();
+        }
+    }
+
+    assert_eq!(sharded.len(), flat.len());
+    assert_eq!(sharded.ids(), flat.ids().collect::<Vec<_>>());
+
+    let queries: Vec<Trajectory> = dataset.query.iter().take(3).cloned().collect();
+    for q in &queries {
+        for k in [1usize, 7] {
+            for strategy in Strategy::ALL {
+                assert_eq!(
+                    sharded.query(q, k, strategy).unwrap(),
+                    flat.query(q, k, strategy).unwrap(),
+                    "{} diverged after {} ops at shards={shards} k={k}",
+                    strategy.name(),
+                    ops.len()
+                );
+            }
+        }
+    }
+    // The batched path agrees too, and the materialized single-shard
+    // twin is the same engine the facade would have built.
+    let batched = sharded.query_many(&queries, 7, Strategy::Hybrid).unwrap();
+    for (q, got) in queries.iter().zip(batched) {
+        assert_eq!(got, flat.query(q, 7, Strategy::Hybrid).unwrap());
+    }
+    let twin = sharded.to_unsharded().unwrap();
+    assert_eq!(twin.ids().collect::<Vec<_>>(), sharded.ids());
+    for q in &queries {
+        assert_eq!(
+            twin.query(q, 7, Strategy::Mih).unwrap(),
+            flat.query(q, 7, Strategy::Mih).unwrap(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_matches_unsharded_under_random_interleavings(
+        shards in 1usize..8,
+        ops in proptest::collection::vec((proptest::bool::ANY, 0usize..64), 0..20),
+    ) {
+        check_sharded_matches_unsharded(shards, &ops);
+    }
+}
