@@ -23,6 +23,11 @@
 #   ./check.sh lint     static analysis only: builds and runs traj-lint
 #                       over the workspace (extra args are forwarded,
 #                       e.g. ./check.sh lint --fix-list)
+#   ./check.sh prune    pruned-driver suite only: the pruned==dense
+#                       parity proptests (every measure, random corpora,
+#                       thread counts) plus a 10K-database gt_bench
+#                       smoke run that verifies recall 1.0 and reports
+#                       the pruning rate
 #   ./check.sh soak     bounded deterministic soak: 60 ticks of the
 #                       always-on serving loop with porto→chengdu
 #                       drift, injected write faults, and degrade
@@ -75,6 +80,15 @@ if [[ "${1:-}" == "soak" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "prune" ]]; then
+    echo "==> cargo test --test prune_parity (pruned == dense, property-based)"
+    cargo test -q --test prune_parity
+    echo "==> gt_bench --smoke (10K database; asserts recall 1.0, reports pruning rate)"
+    cargo run -q --release -p traj-bench --bin gt_bench -- --smoke
+    echo "Pruned-driver checks passed."
+    exit 0
+fi
+
 if [[ "${1:-}" == "lint" ]]; then
     shift
     echo "==> traj-lint"
@@ -90,6 +104,10 @@ cargo test -q
 
 echo "==> sharded-serving parity + concurrency (also covered by cargo test; rerun as a named gate)"
 cargo test -q --test shard_parity --test shard_concurrency
+
+echo "==> pruned-driver parity + gt_bench smoke (also covered by cargo test; rerun as a named gate)"
+cargo test -q --test prune_parity
+cargo run -q --release -p traj-bench --bin gt_bench -- --smoke
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

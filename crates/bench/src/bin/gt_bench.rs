@@ -1,0 +1,103 @@
+//! Ground-truth scale benchmark CLI: runs the bucket-pruned exact
+//! top-k driver against the dense oracle on large synthetic corpora
+//! and prints pruning rate, recall (must be 1.0 — exactness), and
+//! wall-clock speedup.
+//!
+//! ```text
+//! gt_bench --smoke                 # 10K database, seconds (check.sh gate)
+//! gt_bench --full                  # 100K database (BENCH_pr8.json workload)
+//! gt_bench --db 50000 --queries 100 --measure frechet
+//! ```
+
+use traj_bench::{run_gt_bench, GtBenchConfig};
+use traj_dist::Measure;
+
+fn usage(msg: &str) -> ! {
+    // lint: allow(raw-print) — CLI usage text goes to stderr by design
+    eprintln!(
+        "{msg}\n\nusage: gt_bench [--smoke|--full] [--db N] [--queries N] \
+         [--dense-queries N] [--k N] [--cell-m M] \
+         [--measure dtw|frechet|hausdorff|cdtw(N)|erp(x,y)|edr(eps)] [--seed N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args(args: &[String]) -> GtBenchConfig {
+    let mut cfg = GtBenchConfig::smoke();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg = GtBenchConfig::smoke(),
+            "--full" => cfg = GtBenchConfig::full(),
+            "--db" => {
+                i += 1;
+                cfg.database = num(args.get(i), "--db");
+            }
+            "--queries" => {
+                i += 1;
+                cfg.queries = num(args.get(i), "--queries");
+            }
+            "--dense-queries" => {
+                i += 1;
+                cfg.dense_queries = num(args.get(i), "--dense-queries");
+            }
+            "--k" => {
+                i += 1;
+                cfg.k = num(args.get(i), "--k");
+            }
+            "--cell-m" => {
+                i += 1;
+                cfg.cell_m = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--cell-m needs a number"));
+            }
+            "--measure" => {
+                i += 1;
+                cfg.measure = args
+                    .get(i)
+                    .and_then(|s| Measure::from_name(s))
+                    .unwrap_or_else(|| usage("unknown measure"));
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--help" | "-h" => usage("gt_bench options"),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+fn num(arg: Option<&String>, flag: &str) -> usize {
+    arg.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs an integer")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = parse_args(&args);
+    // lint: allow(raw-print) — benchmark binaries report to stdout
+    println!(
+        "gt_bench: db={} queries={} dense_queries={} k={} cell_m={} measure={} seed={}",
+        cfg.database, cfg.queries, cfg.dense_queries, cfg.k, cfg.cell_m, cfg.measure, cfg.seed
+    );
+    let report = run_gt_bench(&cfg);
+    // lint: allow(raw-print)
+    println!("generated corpus in {:.2}s", report.generate_secs);
+    // lint: allow(raw-print)
+    println!("{}", report.summary());
+    // lint: allow(raw-print)
+    println!(
+        "pairs: total={} bucket_pruned={} lb_pruned={} exact={}",
+        report.stats.pairs_total,
+        report.stats.pairs_pruned_bucket,
+        report.stats.pairs_pruned_lb,
+        report.stats.pairs_exact
+    );
+}

@@ -283,6 +283,49 @@ fn main() {
     std::fs::write("BENCH_pr7.json", &shard_json).expect("write BENCH_pr7.json");
     println!("{shard_json}");
 
+    // ---- ground truth at 100K: pruned driver vs dense scan ------------
+    // The PR 8 headline: exact top-k ground truth over a 100K-trajectory
+    // database through the bucket-pruned driver, with the dense all-pairs
+    // scan timed on a query prefix as the honest "before" number (each
+    // dense query costs exactly |database| distance computations, so the
+    // linear projection to the full query set is sound). run_gt_bench
+    // verifies recall == 1.0 against the dense rows before returning.
+    let gt_cfg = traj_bench::GtBenchConfig::full();
+    eprintln!(
+        "ground truth 100K   : generating {} trajectories...",
+        gt_cfg.database + gt_cfg.queries
+    );
+    let gt = traj_bench::run_gt_bench(&gt_cfg);
+    eprintln!("ground truth 100K   : {}", gt.summary());
+    assert!(
+        gt.pruning_rate >= 0.90,
+        "pruning-rate gate failed: {:.1}% < 90% at 100K",
+        gt.pruning_rate * 100.0
+    );
+    let gt_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_smoke_ground_truth\",\n",
+            "  \"workload\": \"porto_like database=100000 queries=200 k=50, exact top-k ground truth\",\n",
+            "  \"before_dense\": {{\n",
+            "    \"queries_measured\": {},\n",
+            "    \"secs_measured\": {:.3},\n",
+            "    \"secs_projected_all_queries\": {:.3},\n",
+            "    \"note\": \"dense scan timed on a query prefix and projected linearly; each dense query costs exactly |database| distance computations\"\n",
+            "  }},\n",
+            "  \"after_pruned\": {gt_report},\n",
+            "  \"gate_pruning_rate_at_least_90pct\": true,\n",
+            "  \"gate_recall_exactly_1\": true\n",
+            "}}\n"
+        ),
+        gt.cfg.dense_queries,
+        gt.dense_secs_measured,
+        gt.dense_secs_projected,
+        gt_report = gt.to_json().trim_start(),
+    );
+    std::fs::write("BENCH_pr8.json", &gt_json).expect("write BENCH_pr8.json");
+    println!("{gt_json}");
+
     // ---- obs: disabled-recorder overhead gate -------------------------
     // Everything above ran with no recorder installed, i.e. on exactly
     // the instrumented-but-disabled path shipped by default. Measure

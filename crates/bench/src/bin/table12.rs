@@ -43,6 +43,7 @@ fn main() {
         for measure in args.measures() {
             let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
             let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
+            let dense_sim = data.sim.to_dense();
             let head_cfg = HashHeadConfig {
                 bits,
                 alpha: scale.train.alpha,
@@ -58,7 +59,7 @@ fn main() {
                 push(&mut euclid_table, city.name(), method.name(), measure.name(), &me);
 
                 let seed_embs = enc.embed_all(&dataset.seeds);
-                let (head, _) = HashHead::train(&seed_embs, &data.sim, &head_cfg);
+                let (head, _) = HashHead::train(&seed_embs, &dense_sim, &head_cfg);
                 let mh = eval_hamming(&head.hash_all(&db_emb), &head.hash_all(&q_emb), &truth);
                 push(&mut hamming_table, city.name(), method.name(), measure.name(), &mh);
                 eprintln!(

@@ -32,6 +32,7 @@ fn main() {
         for measure in args.measures() {
             let truth = test_ground_truth(&dataset.query, &dataset.database, measure);
             let data = TrainData::prepare(&dataset, measure, &scale.train).expect("failed to prepare training supervision");
+            let dense_sim = data.sim.to_dense();
             let head_cfg = HashHeadConfig {
                 bits,
                 alpha: scale.train.alpha,
@@ -42,7 +43,7 @@ fn main() {
             for method in DenseMethod::all() {
                 let enc = train_dense(method, &dataset, &ctx, &data, scale, args.seed);
                 let seed_embs = enc.embed_all(&dataset.seeds);
-                let (head, _) = HashHead::train(&seed_embs, &data.sim, &head_cfg);
+                let (head, _) = HashHead::train(&seed_embs, &dense_sim, &head_cfg);
                 let db = head.hash_all(&enc.embed_all(&dataset.database));
                 let q = head.hash_all(&enc.embed_all(&dataset.query));
                 let m = eval_hamming(&db, &q, &truth);

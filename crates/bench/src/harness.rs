@@ -8,13 +8,14 @@ use traj_eval::{ground_truth_top_k, pack_codes, rank_euclidean, rank_hamming, Me
 use traj_index::{BinaryCode, HammingTable};
 
 /// Exact ground truth for the test protocol: each query's true top-50 in
-/// the database.
+/// the database, via the bucket-pruned exact driver.
 pub fn test_ground_truth(
     queries: &[Trajectory],
     database: &[Trajectory],
     measure: Measure,
 ) -> Vec<Vec<usize>> {
     ground_truth_top_k(queries, database, measure, 50)
+        .expect("ground truth computation failed")
 }
 
 /// Euclidean-space metrics of a method given its embeddings.

@@ -6,10 +6,12 @@
 //! applicable `--city` / `--measure` filters; results print as aligned
 //! text tables in the same layout as the paper's.
 
+pub mod gtbench;
 pub mod harness;
 pub mod methods;
 pub mod scale;
 
+pub use gtbench::*;
 pub use harness::*;
 pub use methods::*;
 pub use scale::*;

@@ -177,12 +177,19 @@ impl CommonArgs {
                 }
                 "--measure" => {
                     i += 1;
+                    // anything Measure::from_name accepts works here,
+                    // including parameterized forms like cdtw(16)
                     out.measure = match args.get(i).map(String::as_str) {
-                        Some("frechet") => Some(Measure::Frechet),
-                        Some("hausdorff") => Some(Measure::Hausdorff),
-                        Some("dtw") => Some(Measure::Dtw),
                         Some("all") => None,
-                        _ => usage("--measure frechet|hausdorff|dtw|all"),
+                        Some(name) => match Measure::from_name(name) {
+                            Some(m) => Some(m),
+                            None => usage(
+                                "--measure dtw|frechet|hausdorff|cdtw(N)|erp(x,y)|edr(eps)|all",
+                            ),
+                        },
+                        None => usage(
+                            "--measure dtw|frechet|hausdorff|cdtw(N)|erp(x,y)|edr(eps)|all",
+                        ),
                     };
                 }
                 "--help" | "-h" => usage("harness options"),
@@ -214,7 +221,7 @@ fn usage(msg: &str) -> ! {
     // lint: allow(raw-print) — CLI usage text goes to stderr by design
     eprintln!(
         "{msg}\n\nusage: <bin> [--scale tiny|small|medium] [--seed N] \
-         [--city porto|chengdu|both] [--measure frechet|hausdorff|dtw|all]"
+         [--city porto|chengdu|both] [--measure dtw|frechet|hausdorff|cdtw(N)|erp(x,y)|edr(eps)|all]"
     );
     std::process::exit(2)
 }
@@ -245,6 +252,17 @@ mod tests {
         assert_eq!(parsed.seed, 7);
         assert_eq!(parsed.cities(), vec![City::Porto]);
         assert_eq!(parsed.measures(), vec![Measure::Dtw]);
+    }
+
+    #[test]
+    fn measure_filter_accepts_parameterized_names() {
+        let args: Vec<String> =
+            ["--measure", "cdtw(16)"].iter().map(|s| s.to_string()).collect();
+        let parsed = CommonArgs::parse(&args);
+        assert_eq!(parsed.measures(), vec![Measure::CDtw(16)]);
+        let args: Vec<String> =
+            ["--measure", "Hausdorff"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(CommonArgs::parse(&args).measures(), vec![Measure::Hausdorff]);
     }
 
     #[test]

@@ -126,7 +126,14 @@ pub struct TrainConfig {
     /// Additive increase of `beta` per epoch.
     pub beta_step: f32,
     /// Coarse cell size for fast triplet generation, meters (paper: 500).
+    /// Also the bucket grid of the sparse supervision sweep.
     pub coarse_cell_m: f64,
+    /// Stored neighbours per seed in the sparse similarity supervision:
+    /// the pruned self-join keeps each anchor's `supervision_k` nearest
+    /// exact distances and upper-bounds the rest by the pruning
+    /// threshold. When `supervision_k >= seeds - 1` every pair is stored
+    /// and the supervision is bit-identical to the dense matrix.
+    pub supervision_k: usize,
     /// Similarity temperature target for `auto_theta` (median similarity).
     pub theta_target: f64,
     /// Disable the generated-triplet loss `L_t` (ablation `-Triplets`).
@@ -179,6 +186,7 @@ impl Default for TrainConfig {
             beta0: 1.0,
             beta_step: 0.5,
             coarse_cell_m: 500.0,
+            supervision_k: 50,
             theta_target: 0.5,
             use_triplets: true,
             clip_norm: 5.0,
@@ -259,6 +267,12 @@ impl TrainConfig {
         if !(self.coarse_cell_m.is_finite() && self.coarse_cell_m > 0.0) {
             return fail(format!("coarse_cell_m must be positive, got {}", self.coarse_cell_m));
         }
+        if self.supervision_k < self.samples_per_anchor {
+            return fail(format!(
+                "supervision_k must be at least samples_per_anchor ({}), got {}",
+                self.samples_per_anchor, self.supervision_k
+            ));
+        }
         if !(self.theta_target.is_finite() && 0.0 < self.theta_target && self.theta_target < 1.0) {
             return fail(format!("theta_target must lie in (0, 1), got {}", self.theta_target));
         }
@@ -322,6 +336,7 @@ mod tests {
             (TrainConfig { gamma: f32::NAN, ..ok() }, "gamma"),
             (TrainConfig { clip_norm: 0.0, ..ok() }, "clip_norm"),
             (TrainConfig { coarse_cell_m: 0.0, ..ok() }, "coarse_cell_m"),
+            (TrainConfig { supervision_k: 0, ..ok() }, "supervision_k"),
             (TrainConfig { theta_target: 0.0, ..ok() }, "theta_target"),
             (TrainConfig { theta_target: 1.0, ..ok() }, "theta_target"),
             (TrainConfig { triplet_batch: 0, ..ok() }, "triplet_batch"),

@@ -4,6 +4,7 @@
 
 use crate::checkpoint::CheckpointError;
 use std::fmt;
+use traj_dist::PruneError;
 
 /// Why training could not start or complete.
 #[derive(Debug)]
@@ -17,6 +18,9 @@ pub enum TrainError {
     },
     /// Triplet generation needs a non-empty corpus.
     EmptyCorpus,
+    /// The sparse supervision sweep failed (an invalid bucket cell size
+    /// or a worker panic inside the pruned exact driver).
+    Supervision(PruneError),
     /// The divergence guard exhausted its rollback budget: the loss
     /// kept spiking or going non-finite after every retry.
     Diverged {
@@ -47,6 +51,7 @@ impl fmt::Display for TrainError {
                 write!(f, "need at least two seed trajectories, got {got}")
             }
             TrainError::EmptyCorpus => write!(f, "triplet generation needs a non-empty corpus"),
+            TrainError::Supervision(e) => write!(f, "sparse supervision sweep failed: {e}"),
             TrainError::Diverged { epoch, loss, retries } => write!(
                 f,
                 "training diverged at epoch {epoch} (loss {loss}) and did not recover \
@@ -67,6 +72,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Checkpoint(e) => Some(e),
+            TrainError::Supervision(e) => Some(e),
             _ => None,
         }
     }
@@ -75,5 +81,11 @@ impl std::error::Error for TrainError {
 impl From<CheckpointError> for TrainError {
     fn from(e: CheckpointError) -> Self {
         TrainError::Checkpoint(e)
+    }
+}
+
+impl From<PruneError> for TrainError {
+    fn from(e: PruneError) -> Self {
+        TrainError::Supervision(e)
     }
 }

@@ -5,6 +5,7 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use tinynn::{Tape, Var};
+use traj_dist::SparseSimilarity;
 
 /// The model's similarity approximation
 /// `g(T_i, T_j) = exp(-Euclidean(h_f^i, h_f^j))` as a tape variable.
@@ -67,6 +68,23 @@ pub fn sample_companions(
     }
     chosen.sort_by(by_similarity_desc(sim_row));
     chosen
+}
+
+/// [`sample_companions`] over the sparse supervision structure: the
+/// anchor's row is materialized — exact stored similarities plus the
+/// per-row pruning floor for every unstored pair — and fed through the
+/// same sampling logic. The anchor's true `k` nearest neighbours are
+/// always stored with similarity at least the floor, so the "most
+/// similar" half of the sample is exact whenever `supervision_k`
+/// covers it; and a fully-stored row draws the bit-identical companion
+/// sequence the dense path would.
+pub fn sample_companions_sparse(
+    i: usize,
+    sim: &SparseSimilarity,
+    m: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    sample_companions(i, &sim.dense_row(i), m, rng)
 }
 
 /// Descending-similarity comparator with explicit NaN policy: a NaN
@@ -163,6 +181,56 @@ mod tests {
         // sorted by descending similarity
         for w in c.windows(2) {
             assert!(sim[w[0]] >= sim[w[1]]);
+        }
+    }
+
+    #[test]
+    fn sparse_sampling_matches_dense_when_fully_stored() {
+        use traj_data::{CityGenerator, CityParams};
+        use traj_dist::{
+            auto_theta, distance_matrix, pruned_self_top_k, similarity_matrix,
+            sparse_similarity, Measure, PrunedTopK,
+        };
+        let trajs = CityGenerator::new(CityParams::test_city(), 11).generate(12);
+        let n = trajs.len();
+        let cfg = PrunedTopK::new(n - 1).keeping_distances();
+        let sd = pruned_self_top_k(&trajs, Measure::Dtw, &cfg).unwrap().distances.unwrap();
+        let dense_d = distance_matrix(&trajs, Measure::Dtw);
+        let theta = auto_theta(&dense_d, 0.5);
+        let sparse = sparse_similarity(&sd, theta);
+        let dense = similarity_matrix(&dense_d, theta);
+        for i in 0..n {
+            let mut r1 = StdRng::seed_from_u64(9 + i as u64);
+            let mut r2 = StdRng::seed_from_u64(9 + i as u64);
+            assert_eq!(
+                sample_companions_sparse(i, &sparse, 6, &mut r1),
+                sample_companions(i, dense.row(i), 6, &mut r2),
+                "anchor {i} sampled differently through the sparse row"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_sampling_takes_nearest_half_from_stored_pairs() {
+        use traj_data::{CityGenerator, CityParams};
+        use traj_dist::{
+            auto_theta_sparse, pruned_self_top_k, sparse_similarity, Measure, PrunedTopK,
+        };
+        let trajs = CityGenerator::new(CityParams::test_city(), 13).generate(60);
+        let cfg = PrunedTopK::new(8).keeping_distances();
+        let sd = pruned_self_top_k(&trajs, Measure::Hausdorff, &cfg).unwrap().distances.unwrap();
+        let sparse = sparse_similarity(&sd, auto_theta_sparse(&sd, 0.5));
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..trajs.len() {
+            let c = sample_companions_sparse(i, &sparse, 6, &mut rng);
+            assert_eq!(c.len(), 6);
+            let (cols, _) = sparse.row(i);
+            // the 8 true nearest neighbours are all stored, so the exact
+            // half of the sample (m/2 = 3 most similar) must come from
+            // the stored row, never from a floor-valued pruned pair
+            for &j in &c[..3] {
+                assert!(cols.contains(&j), "anchor {i}: near companion {j} is not stored");
+            }
         }
     }
 

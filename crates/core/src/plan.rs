@@ -15,7 +15,7 @@
 //! debug-build hook on the first batch of every epoch.
 
 use crate::config::TrainConfig;
-use crate::loss::{rank_pairs, rank_weights, sample_companions};
+use crate::loss::{rank_pairs, rank_weights, sample_companions_sparse};
 use crate::trainer::TrainData;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -214,7 +214,7 @@ pub(crate) fn wmse_plan<'a>(
     let mut trajs: Vec<&Trajectory> = Vec::new();
     let mut terms: Vec<LossTerm> = Vec::new();
     for &i in batch {
-        let companions = sample_companions(i, data.sim.row(i), cfg.samples_per_anchor, rng);
+        let companions = sample_companions_sparse(i, &data.sim, cfg.samples_per_anchor, rng);
         if companions.is_empty() {
             continue;
         }

@@ -22,17 +22,23 @@ use rand::{RngExt, SeedableRng};
 use std::sync::mpsc;
 use tinynn::{clip_grad_norm, verify_tape, Adam, Param, Tape, Tensor, Var};
 use traj_data::{Dataset, Trajectory};
-use traj_dist::{auto_theta, distance_matrix, similarity_matrix, DistanceMatrix, Measure};
+use traj_dist::{
+    auto_theta_sparse, pruned_self_top_k, sparse_similarity, Measure, PrunedTopK, SparseDistances,
+    SparseSimilarity,
+};
 use traj_grid::{generate_triplets, GridSpec, Triplet};
 
 /// Supervision assembled once before training.
 pub struct TrainData {
     /// Seed trajectories.
     pub seeds: Vec<Trajectory>,
-    /// Similarity supervision `S` over the seeds (Eq. 17's targets).
-    pub sim: DistanceMatrix,
-    /// Exact distance matrix over the seeds (kept for diagnostics).
-    pub dist: DistanceMatrix,
+    /// Sparse similarity supervision `S` over the seeds (Eq. 17's
+    /// targets): each anchor's `supervision_k` nearest pairs stored
+    /// exactly, everything else upper-bounded by the row's pruning floor.
+    pub sim: SparseSimilarity,
+    /// The exact distances the pruned self-join computed and kept
+    /// (diagnostics; the diagonal is implicit zero).
+    pub dist: SparseDistances,
     /// Unlabelled corpus used by the fast triplet generation.
     pub corpus: Vec<Trajectory>,
     /// Generated `(anchor, positive, negative)` corpus triplets.
@@ -47,14 +53,20 @@ pub struct TrainData {
 }
 
 impl TrainData {
-    /// Computes all supervision: the parallel exact distance matrix over
-    /// the seeds, its similarity transform, the coarse-grid triplets, and
-    /// the validation ground truth.
+    /// Computes all supervision via the bucket-pruned sparse pipeline:
+    /// the pruned exact self-join over the seeds (each anchor keeps its
+    /// `supervision_k` nearest distances; see `traj_dist::sparse` for
+    /// the exactness argument), its sparse similarity transform, the
+    /// coarse-grid triplets, and the validation ground truth through the
+    /// same pruned driver. Nothing here is O(seeds²) unless the corpus
+    /// is so small that nothing prunes — in which case the supervision
+    /// is bit-identical to the dense matrices it replaced.
     ///
     /// Returns [`TrainError::EmptyCorpus`] when the dataset has no
-    /// corpus trajectories to generate triplets from, and
+    /// corpus trajectories to generate triplets from,
     /// [`TrainError::TooFewSeeds`] when the similarity supervision
-    /// would be degenerate.
+    /// would be degenerate, and [`TrainError::Supervision`] when the
+    /// pruned sweep itself fails.
     pub fn prepare(
         dataset: &Dataset,
         measure: Measure,
@@ -64,19 +76,27 @@ impl TrainData {
         if dataset.seeds.len() < 2 {
             return Err(TrainError::TooFewSeeds { got: dataset.seeds.len() });
         }
-        let dist = distance_matrix(&dataset.seeds, measure);
-        let theta = auto_theta(&dist, cfg.theta_target);
-        let sim = similarity_matrix(&dist, theta);
+        let sup_cfg = PrunedTopK::new(cfg.supervision_k)
+            .with_cell_m(cfg.coarse_cell_m)
+            .keeping_distances();
+        let sup = pruned_self_top_k(&dataset.seeds, measure, &sup_cfg)?;
+        let dist = sup
+            .distances
+            .expect("keeping_distances() guarantees the sweep retains its distances");
+        let theta = auto_theta_sparse(&dist, cfg.theta_target);
+        let sim = sparse_similarity(&dist, theta);
 
         let bbox = traj_data::BoundingBox::of_dataset(&dataset.corpus)
             .ok_or(TrainError::EmptyCorpus)?;
         let coarse = GridSpec::new(bbox, cfg.coarse_cell_m);
         let triplets = generate_triplets(&dataset.corpus, &coarse, 20_000, cfg.seed);
 
-        let val_dist = distance_matrix(&dataset.validation, measure);
         let n_queries = dataset.validation.len().min(40);
         let val_queries: Vec<usize> = (0..n_queries).collect();
-        let val_truth = val_queries.iter().map(|&q| val_dist.top_k_row(q, 10)).collect();
+        let val_cfg = PrunedTopK::new(10).with_cell_m(cfg.coarse_cell_m);
+        let mut val_top = pruned_self_top_k(&dataset.validation, measure, &val_cfg)?.top_k;
+        val_top.truncate(n_queries);
+        let val_truth = val_top;
 
         Ok(TrainData {
             seeds: dataset.seeds.clone(),
@@ -874,15 +894,53 @@ mod tests {
         let dataset = tiny_dataset();
         let tcfg = TrainConfig::tiny();
         let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg).unwrap();
-        assert_eq!(data.sim.n(), dataset.seeds.len());
-        // similarity diagonal is 1, distances diagonal is 0
-        for i in 0..data.sim.n() {
+        let n = dataset.seeds.len();
+        assert_eq!(data.sim.n(), n);
+        // similarity diagonal is implicit 1, distances diagonal is unstored
+        for i in 0..n {
             assert!((data.sim.get(i, i) - 1.0).abs() < 1e-9);
-            assert_eq!(data.dist.get(i, i), 0.0);
+            assert_eq!(data.dist.get(i, i), None);
         }
+        // supervision_k >= seeds - 1 on the tiny corpus: every
+        // off-diagonal pair is stored exactly
+        assert!(tcfg.supervision_k >= n - 1);
+        assert_eq!(data.dist.nnz(), n * (n - 1));
         assert_eq!(data.val_truth.len(), data.val_queries.len());
         for t in &data.val_truth {
             assert_eq!(t.len(), 10);
+        }
+    }
+
+    #[test]
+    fn sparse_supervision_is_dense_equivalent_on_tiny_corpora() {
+        // With supervision_k >= seeds - 1 nothing prunes, so theta, every
+        // similarity, and the validation ground truth must be exactly
+        // what the dense O(n^2) pipeline produced before the refactor.
+        use traj_dist::{auto_theta, distance_matrix, similarity_matrix};
+        let dataset = tiny_dataset();
+        let tcfg = TrainConfig::tiny();
+        let data = TrainData::prepare(&dataset, Measure::Dtw, &tcfg).unwrap();
+
+        let dense_dist = distance_matrix(&dataset.seeds, Measure::Dtw);
+        let theta = auto_theta(&dense_dist, tcfg.theta_target);
+        let dense_sim = similarity_matrix(&dense_dist, theta);
+        assert_eq!(data.sim.theta(), theta, "theta must match the dense path exactly");
+        for i in 0..data.sim.n() {
+            for j in 0..data.sim.n() {
+                assert_eq!(
+                    data.sim.get(i, j),
+                    dense_sim.get(i, j),
+                    "similarity ({i},{j}) diverged from the dense supervision"
+                );
+                if i != j {
+                    assert_eq!(data.dist.get(i, j), Some(dense_dist.get(i, j)));
+                }
+            }
+        }
+
+        let val_dense = distance_matrix(&dataset.validation, Measure::Dtw);
+        for (qi, &q) in data.val_queries.iter().enumerate() {
+            assert_eq!(data.val_truth[qi], val_dense.top_k_row(q, 10));
         }
     }
 

@@ -7,7 +7,7 @@
 //! (Eq. 13): the first token's embedding is used as the trajectory
 //! embedding, and reverse augmentation covers the last-point bound.
 
-use traj_data::Trajectory;
+use traj_data::{BoundingBox, Point, Trajectory};
 
 /// `d(first(a), first(b))` — a lower bound of DTW and Fréchet (Lemma 1).
 pub fn first_point_bound(a: &Trajectory, b: &Trajectory) -> f64 {
@@ -29,6 +29,69 @@ pub fn endpoint_bound(a: &Trajectory, b: &Trajectory) -> f64 {
 /// first and last points.
 pub fn lb_kim(a: &Trajectory, b: &Trajectory) -> f64 {
     first_point_bound(a, b).max(last_point_bound(a, b))
+}
+
+/// Bounding-box lower bound on the symmetric Hausdorff distance (and
+/// therefore on discrete Fréchet, DTW, and cDTW, which all dominate it).
+///
+/// Why it is a lower bound: let `a*` be the point of `A` attaining
+/// `A.min_x`, and suppose `B.min_x >= A.min_x`. Every point of `B` has
+/// `x >= B.min_x`, so `d(a*, b) >= B.min_x - A.min_x` for all `b in B`
+/// and the directed Hausdorff `h(A→B) >= B.min_x - A.min_x`. The
+/// symmetric case covers `A.min_x >= B.min_x`, so the symmetric
+/// Hausdorff dominates `|A.min_x - B.min_x|`; the same argument applies
+/// to each of the other three edges. Fréchet and DTW dominate the
+/// symmetric Hausdorff because a warping path matches every point of
+/// each trajectory at least once (DTW *sums* the matched distances;
+/// Fréchet takes their max), and cDTW only restricts the path set, so
+/// it dominates DTW.
+pub fn bbox_bound(a: &BoundingBox, b: &BoundingBox) -> f64 {
+    (a.min_x - b.min_x)
+        .abs()
+        .max((a.max_x - b.max_x).abs())
+        .max((a.min_y - b.min_y).abs())
+        .max((a.max_y - b.max_y).abs())
+}
+
+/// Precomputed per-trajectory features consumed by the lower bounds:
+/// endpoints (Lemma 1) and the axis-aligned bounding box
+/// ([`bbox_bound`]). Building profiles once turns every pairwise bound
+/// evaluation into O(1) work, which is what makes lower-bound pruning
+/// cheaper than the exact distances it avoids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundProfile {
+    /// First point of the trajectory.
+    pub first: Point,
+    /// Last point of the trajectory.
+    pub last: Point,
+    /// Axis-aligned bounding box of the trajectory.
+    pub bbox: BoundingBox,
+}
+
+impl BoundProfile {
+    /// Builds the profile of one trajectory.
+    ///
+    /// An empty trajectory gets a degenerate profile at the origin; the
+    /// exact measures panic on empty inputs anyway, so such a profile is
+    /// never compared against a real distance.
+    pub fn of(t: &Trajectory) -> BoundProfile {
+        match t.bbox() {
+            Some(bbox) => BoundProfile { first: t.first(), last: t.last(), bbox },
+            None => {
+                let origin = Point::new(0.0, 0.0);
+                BoundProfile {
+                    first: origin,
+                    last: origin,
+                    bbox: BoundingBox::from_extent(0.0, 0.0),
+                }
+            }
+        }
+    }
+
+    /// Profiles for a whole corpus.
+    pub fn of_all(trajectories: &[Trajectory]) -> Vec<BoundProfile> {
+        trajectories.iter().map(BoundProfile::of).collect()
+    }
 }
 
 #[cfg(test)]
@@ -69,6 +132,37 @@ mod tests {
             assert!(first_point_bound(&a, &b) <= f + 1e-9);
             assert!(last_point_bound(&a, &b) <= f + 1e-9);
         }
+    }
+
+    #[test]
+    fn bbox_bound_holds_for_hausdorff_dtw_frechet() {
+        use crate::hausdorff::hausdorff;
+        for s in 0..40 {
+            let a = zigzag(s, 3 + (s % 6) as usize);
+            let b = zigzag(s + 1000, 2 + (s % 5) as usize);
+            let pa = BoundProfile::of(&a);
+            let pb = BoundProfile::of(&b);
+            let lb = bbox_bound(&pa.bbox, &pb.bbox);
+            assert!(lb <= hausdorff(&a, &b) + 1e-9, "bbox bound exceeds Hausdorff");
+            assert!(lb <= dtw(&a, &b) + 1e-9, "bbox bound exceeds DTW");
+            assert!(lb <= frechet(&a, &b) + 1e-9, "bbox bound exceeds Frechet");
+        }
+    }
+
+    #[test]
+    fn bbox_bound_is_tight_for_translated_boxes() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        let b = Trajectory::from_xy(&[(10.0, 0.0), (11.0, 1.0)]);
+        let pa = BoundProfile::of(&a);
+        let pb = BoundProfile::of(&b);
+        assert_eq!(bbox_bound(&pa.bbox, &pb.bbox), 10.0);
+    }
+
+    #[test]
+    fn profile_of_empty_trajectory_is_degenerate() {
+        let p = BoundProfile::of(&Trajectory::default());
+        assert_eq!(p.first, p.last);
+        assert_eq!(p.bbox.width(), 0.0);
     }
 
     #[test]

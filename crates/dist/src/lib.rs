@@ -15,11 +15,18 @@ pub mod frechet;
 pub mod hausdorff;
 pub mod matrix;
 pub mod measure;
+pub mod sparse;
 
-pub use bounds::{endpoint_bound, first_point_bound, last_point_bound};
+pub use bounds::{
+    bbox_bound, endpoint_bound, first_point_bound, last_point_bound, BoundProfile,
+};
 pub use dtw::{cdtw, dtw};
 pub use edit::{edr, erp};
 pub use frechet::frechet;
 pub use hausdorff::{directed_hausdorff, hausdorff};
 pub use matrix::{auto_theta, distance_matrix, similarity_matrix, DistanceMatrix};
 pub use measure::Measure;
+pub use sparse::{
+    auto_theta_sparse, pruned_self_top_k, pruned_top_k, sparse_similarity, PruneError,
+    PruneStats, PrunedResult, PrunedTopK, SparseDistances, SparsePairs, SparseSimilarity,
+};

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use traj_data::{Point, Trajectory};
 use traj_dist::{
-    cdtw, dtw, edr, endpoint_bound, erp, frechet, hausdorff, Measure,
+    bbox_bound, cdtw, dtw, edr, endpoint_bound, erp, frechet, hausdorff, BoundProfile, Measure,
 };
 
 fn trajectory_strategy(max_len: usize) -> impl Strategy<Value = Trajectory> {
@@ -63,6 +63,38 @@ proptest! {
         let lb = endpoint_bound(&a, &b);
         prop_assert!(lb <= dtw(&a, &b) + 1e-9);
         prop_assert!(lb <= frechet(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn bbox_bound_lower_bounds_every_geometric_measure(
+        a in trajectory_strategy(10),
+        b in trajectory_strategy(10),
+    ) {
+        // The bounding-box bound (dist/bounds.rs) under-estimates
+        // Hausdorff, and transitively Frechet, DTW, and cDTW.
+        let lb = bbox_bound(&BoundProfile::of(&a).bbox, &BoundProfile::of(&b).bbox);
+        prop_assert!(lb <= hausdorff(&a, &b) + 1e-9, "bbox {} > hausdorff", lb);
+        prop_assert!(lb <= frechet(&a, &b) + 1e-9);
+        prop_assert!(lb <= dtw(&a, &b) + 1e-9);
+        prop_assert!(lb <= cdtw(&a, &b, 2) + 1e-9);
+    }
+
+    #[test]
+    fn combined_lower_bound_never_exceeds_the_distance(
+        a in trajectory_strategy(10),
+        b in trajectory_strategy(10),
+    ) {
+        // Measure::lower_bound is what the pruned driver trusts: for
+        // every measure (including ERP/EDR, whose bound is the trivial
+        // 0) it must never exceed the exact distance.
+        let pa = BoundProfile::of(&a);
+        let pb = BoundProfile::of(&b);
+        for m in [Measure::Dtw, Measure::Frechet, Measure::Hausdorff, Measure::CDtw(4),
+                  Measure::Erp(Point::new(0.0, 0.0)), Measure::Edr(10.0)] {
+            let lb = m.lower_bound(&pa, &pb);
+            let d = m.distance(&a, &b);
+            prop_assert!(lb <= d + 1e-9, "{}: lower bound {} exceeds distance {}", m, lb, d);
+        }
     }
 
     #[test]

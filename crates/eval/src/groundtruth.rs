@@ -1,32 +1,106 @@
 //! Exact ground-truth top-k computation for the test protocol
 //! (Section V-A2): each query's true nearest neighbours in the database
-//! under the chosen measure, computed in parallel.
+//! under the chosen measure.
+//!
+//! The default path is the bucket-pruned sparse driver
+//! ([`traj_dist::pruned_top_k`]): coarse-grid candidate seeding plus
+//! lower-bound pruning skips the vast majority of exact distance
+//! computations while returning bit-for-bit the dense result (see
+//! `traj_dist::sparse` for the exactness argument). The dense
+//! all-pairs scan is kept behind [`GroundTruthOptions::dense_oracle`] as
+//! the parity oracle the pruned path is tested against, and for
+//! measures/workloads where pruning cannot win.
 
+use crate::error::EvalError;
 use traj_data::Trajectory;
-use traj_dist::Measure;
+use traj_dist::{pruned_top_k, Measure, PruneStats, PrunedTopK};
 use traj_index::{top_k_hits, Hit};
 
+/// How ground truth is computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruthOptions {
+    /// Coarse-grid cell size (meters) for the pruned driver's buckets.
+    pub cell_m: f64,
+    /// Compute via the dense all-pairs scan instead of the pruned
+    /// driver — the parity oracle.
+    pub dense_oracle: bool,
+    /// Worker thread cap; `None` uses the available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for GroundTruthOptions {
+    fn default() -> Self {
+        GroundTruthOptions { cell_m: 500.0, dense_oracle: false, threads: None }
+    }
+}
+
 /// Computes, for every query, the indices of its `k` nearest database
-/// trajectories under `measure`. Parallelized over queries.
+/// trajectories under `measure`, via the bucket-pruned exact driver.
+/// Parallelized over queries; worker failures surface as [`EvalError`].
 pub fn ground_truth_top_k(
     queries: &[Trajectory],
     database: &[Trajectory],
     measure: Measure,
     k: usize,
-) -> Vec<Vec<usize>> {
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    let threads = threads.min(queries.len().max(1));
-    if threads <= 1 {
-        return queries.iter().map(|q| top_k_one(q, database, measure, k)).collect();
+) -> Result<Vec<Vec<usize>>, EvalError> {
+    ground_truth_top_k_with(queries, database, measure, k, &GroundTruthOptions::default())
+        .map(|(rows, _)| rows)
+}
+
+/// [`ground_truth_top_k`] with explicit options, also returning the
+/// pruning counters (all-exact counters on the dense oracle path).
+pub fn ground_truth_top_k_with(
+    queries: &[Trajectory],
+    database: &[Trajectory],
+    measure: Measure,
+    k: usize,
+    opts: &GroundTruthOptions,
+) -> Result<(Vec<Vec<usize>>, PruneStats), EvalError> {
+    if opts.dense_oracle {
+        let rows = dense_ground_truth_top_k(queries, database, measure, k, opts.threads)?;
+        let pairs = (queries.len() * database.len()) as u64;
+        let stats = PruneStats {
+            pairs_total: pairs,
+            pairs_exact: pairs,
+            ..PruneStats::default()
+        };
+        return Ok((rows, stats));
     }
-    let mut results: Vec<Option<Vec<usize>>> = vec![None; queries.len()];
-    std::thread::scope(|scope| {
+    let cfg = PrunedTopK {
+        k,
+        cell_m: opts.cell_m,
+        keep_distances: false,
+        threads: opts.threads,
+    };
+    let result = pruned_top_k(queries, database, measure, &cfg)?;
+    Ok((result.top_k, result.stats))
+}
+
+/// The dense all-pairs oracle: every query scanned against every
+/// database trajectory, parallelized over queries with typed errors on
+/// worker failure.
+pub fn dense_ground_truth_top_k(
+    queries: &[Trajectory],
+    database: &[Trajectory],
+    measure: Measure,
+    k: usize,
+    threads: Option<usize>,
+) -> Result<Vec<Vec<usize>>, EvalError> {
+    let nq = queries.len();
+    let threads = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1))
+        .clamp(1, nq.max(1));
+    if threads <= 1 {
+        return Ok(queries.iter().map(|q| top_k_one(q, database, measure, k)).collect());
+    }
+    let mut results: Vec<Option<Vec<usize>>> = vec![None; nq];
+    let joined: Result<(), EvalError> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut i = t;
-                    while i < queries.len() {
+                    while i < nq {
                         out.push((i, top_k_one(&queries[i], database, measure, k)));
                         i += threads;
                     }
@@ -35,12 +109,22 @@ pub fn ground_truth_top_k(
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("ground truth worker panicked") {
+            let worker = h.join().map_err(|_| EvalError::WorkerPanicked)?;
+            for (i, r) in worker {
                 results[i] = Some(r);
             }
         }
+        Ok(())
     });
-    results.into_iter().map(|r| r.expect("row computed")).collect()
+    joined?;
+    let mut rows = Vec::with_capacity(nq);
+    for r in results {
+        match r {
+            Some(row) => rows.push(row),
+            None => return Err(EvalError::WorkerPanicked),
+        }
+    }
+    Ok(rows)
 }
 
 /// Delegates to the shared NaN-sound selection helper
@@ -61,10 +145,35 @@ mod tests {
     use traj_data::{CityGenerator, CityParams};
 
     #[test]
+    fn pruned_matches_dense_oracle() {
+        let trajs = CityGenerator::new(CityParams::test_city(), 3).generate(60);
+        let (queries, database) = trajs.split_at(10);
+        for measure in Measure::paper_suite() {
+            let pruned = ground_truth_top_k(queries, database, measure, 5).unwrap();
+            let dense =
+                dense_ground_truth_top_k(queries, database, measure, 5, None).unwrap();
+            assert_eq!(pruned, dense, "parity failed for {measure}");
+        }
+    }
+
+    #[test]
+    fn dense_oracle_flag_routes_to_dense_path() {
+        let trajs = CityGenerator::new(CityParams::test_city(), 5).generate(40);
+        let (queries, database) = trajs.split_at(8);
+        let opts = GroundTruthOptions { dense_oracle: true, ..GroundTruthOptions::default() };
+        let (rows, stats) =
+            ground_truth_top_k_with(queries, database, Measure::Dtw, 5, &opts).unwrap();
+        assert_eq!(rows, dense_ground_truth_top_k(queries, database, Measure::Dtw, 5, None).unwrap());
+        assert_eq!(stats.pairs_total, stats.pairs_exact);
+        assert_eq!(stats.pairs_total, (queries.len() * database.len()) as u64);
+        assert_eq!(stats.pairs_pruned_bucket + stats.pairs_pruned_lb, 0);
+    }
+
+    #[test]
     fn parallel_matches_serial() {
         let trajs = CityGenerator::new(CityParams::test_city(), 3).generate(40);
         let (queries, database) = trajs.split_at(10);
-        let par = ground_truth_top_k(queries, database, Measure::Dtw, 5);
+        let par = ground_truth_top_k(queries, database, Measure::Dtw, 5).unwrap();
         let ser: Vec<Vec<usize>> = queries
             .iter()
             .map(|q| top_k_one(q, database, Measure::Dtw, 5))
@@ -76,7 +185,7 @@ mod tests {
     fn results_are_sorted_by_distance() {
         let trajs = CityGenerator::new(CityParams::test_city(), 4).generate(30);
         let (queries, database) = trajs.split_at(5);
-        let truth = ground_truth_top_k(queries, database, Measure::Frechet, 10);
+        let truth = ground_truth_top_k(queries, database, Measure::Frechet, 10).unwrap();
         for (q, t) in queries.iter().zip(&truth) {
             assert_eq!(t.len(), 10);
             let dists: Vec<f64> =
@@ -85,5 +194,15 @@ mod tests {
                 assert!(w[0] <= w[1] + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn bad_cell_size_is_a_typed_error() {
+        let trajs = CityGenerator::new(CityParams::test_city(), 6).generate(10);
+        let opts = GroundTruthOptions { cell_m: 0.0, ..GroundTruthOptions::default() };
+        assert_eq!(
+            ground_truth_top_k_with(&trajs[..2], &trajs[2..], Measure::Dtw, 3, &opts),
+            Err(EvalError::InvalidCellSize)
+        );
     }
 }

@@ -6,12 +6,16 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod groundtruth;
 pub mod metrics;
 pub mod rank;
 pub mod table;
 
-pub use groundtruth::ground_truth_top_k;
+pub use error::EvalError;
+pub use groundtruth::{
+    dense_ground_truth_top_k, ground_truth_top_k, ground_truth_top_k_with, GroundTruthOptions,
+};
 pub use metrics::{hr_at_k, r10_at_50, recall_k1_at_k2, Metrics};
 pub use rank::{pack_codes, pack_codes_from_floats, rank_euclidean, rank_hamming};
 pub use table::{fmt4, fmt_ms, TextTable};

@@ -16,4 +16,7 @@ pub mod triplets;
 pub use embedding::{DecomposedGridEmbedding, GridEmbedding, NceConfig};
 pub use grid::{GridSpec, GridTrajectory};
 pub use node2vec::{Node2vecConfig, Node2vecEmbedding};
-pub use triplets::{cluster_by_grid, generate_triplets, GridClusters, Triplet};
+pub use triplets::{
+    bucket_by_grid, cluster_by_grid, generate_triplets, EndpointKey, GridBuckets, GridClusters,
+    Triplet,
+};

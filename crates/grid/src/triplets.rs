@@ -29,16 +29,128 @@ pub struct GridClusters {
     pub max_cluster: usize,
 }
 
-/// Groups trajectories by their canonical coarse grid trajectory.
-pub fn cluster_by_grid(trajectories: &[Trajectory], spec: &GridSpec) -> GridClusters {
+/// Endpoint key of a bucket: the first and last cell coordinates of the
+/// shared canonical grid trajectory, `(fx, fy, lx, ly)`.
+pub type EndpointKey = (u32, u32, u32, u32);
+
+/// Sentinel key for the (degenerate) bucket of empty trajectories.
+const EMPTY_KEY: EndpointKey = (u32::MAX, u32::MAX, u32::MAX, u32::MAX);
+
+/// Every coarse-grid bucket — singletons included, unlike
+/// [`GridClusters`] — plus an endpoint-cell index so callers can gather
+/// "this bucket and its spatial neighbors" as candidate sets. This is
+/// the region-granularity first filter of the pruned exact-distance
+/// pipeline: trajectories sharing (or bordering) start and end cells are
+/// the most likely nearest neighbors, so they seed a tight top-k
+/// threshold before the lower-bound sweep over everything else.
+#[derive(Debug, Clone)]
+pub struct GridBuckets {
+    /// Member lists, each ascending, in deterministic bucket order.
+    pub buckets: Vec<Vec<usize>>,
+    /// Bucket id of each trajectory.
+    pub bucket_of: Vec<usize>,
+    keys: Vec<EndpointKey>,
+    endpoint_index: HashMap<EndpointKey, Vec<usize>>,
+    spec: GridSpec,
+}
+
+/// Groups trajectories into buckets by canonical coarse grid trajectory,
+/// keeping every bucket (singletons included) and indexing buckets by
+/// their endpoint cells.
+pub fn bucket_by_grid(trajectories: &[Trajectory], spec: &GridSpec) -> GridBuckets {
     let mut map: HashMap<GridTrajectory, Vec<usize>> = HashMap::new();
     for (i, t) in trajectories.iter().enumerate() {
         map.entry(spec.canonical_grid_trajectory(t)).or_default().push(i);
     }
+    // Deterministic ordering regardless of HashMap iteration order:
+    // member lists are ascending and disjoint, so sorting by them totally
+    // orders the buckets.
+    let mut entries: Vec<(GridTrajectory, Vec<usize>)> = map.into_iter().collect();
+    entries.sort_by(|a, b| a.1.cmp(&b.1));
+
+    let mut buckets = Vec::with_capacity(entries.len());
+    let mut keys = Vec::with_capacity(entries.len());
+    let mut bucket_of = vec![usize::MAX; trajectories.len()];
+    let mut endpoint_index: HashMap<EndpointKey, Vec<usize>> = HashMap::new();
+    for (bi, (cells, members)) in entries.into_iter().enumerate() {
+        let key = match (cells.first(), cells.last()) {
+            (Some(&(fx, fy)), Some(&(lx, ly))) => (fx, fy, lx, ly),
+            _ => EMPTY_KEY,
+        };
+        for &m in &members {
+            bucket_of[m] = bi;
+        }
+        endpoint_index.entry(key).or_default().push(bi);
+        keys.push(key);
+        buckets.push(members);
+    }
+    GridBuckets { buckets, bucket_of, keys, endpoint_index, spec: spec.clone() }
+}
+
+impl GridBuckets {
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Endpoint key of bucket `b`.
+    pub fn bucket_key(&self, b: usize) -> EndpointKey {
+        self.keys[b]
+    }
+
+    /// Endpoint key of an arbitrary trajectory under this bucketing's
+    /// grid (the canonical grid trajectory keeps the first and last
+    /// cells, so locating the endpoints directly is equivalent).
+    pub fn endpoint_key(&self, t: &Trajectory) -> EndpointKey {
+        if t.is_empty() {
+            return EMPTY_KEY;
+        }
+        let (fx, fy) = self.spec.locate(t.first());
+        let (lx, ly) = self.spec.locate(t.last());
+        (fx, fy, lx, ly)
+    }
+
+    /// Bucket ids whose endpoint cells are each within Chebyshev
+    /// distance 1 of `t`'s endpoint cells — `t`'s own bucket (if the
+    /// trajectory came from this corpus) plus its spatial neighbors.
+    /// Sorted ascending; deterministic.
+    pub fn candidate_buckets(&self, t: &Trajectory) -> Vec<usize> {
+        let key = self.endpoint_key(t);
+        if key == EMPTY_KEY {
+            return self.endpoint_index.get(&EMPTY_KEY).cloned().unwrap_or_default();
+        }
+        let (fx, fy, lx, ly) = key;
+        let mut out = Vec::new();
+        for dfx in -1i64..=1 {
+            for dfy in -1i64..=1 {
+                for dlx in -1i64..=1 {
+                    for dly in -1i64..=1 {
+                        let nf = (fx as i64 + dfx, fy as i64 + dfy);
+                        let nl = (lx as i64 + dlx, ly as i64 + dly);
+                        if nf.0 < 0 || nf.1 < 0 || nl.0 < 0 || nl.1 < 0 {
+                            continue;
+                        }
+                        let probe =
+                            (nf.0 as u32, nf.1 as u32, nl.0 as u32, nl.1 as u32);
+                        if let Some(ids) = self.endpoint_index.get(&probe) {
+                            out.extend_from_slice(ids);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Groups trajectories by their canonical coarse grid trajectory.
+pub fn cluster_by_grid(trajectories: &[Trajectory], spec: &GridSpec) -> GridClusters {
+    let bucketing = bucket_by_grid(trajectories, spec);
     let mut clusters = Vec::new();
     let mut singletons = 0;
     let mut max_cluster = 0;
-    for (_, members) in map {
+    for members in bucketing.buckets {
         max_cluster = max_cluster.max(members.len());
         if members.len() >= 2 {
             clusters.push(members);
@@ -46,8 +158,7 @@ pub fn cluster_by_grid(trajectories: &[Trajectory], spec: &GridSpec) -> GridClus
             singletons += 1;
         }
     }
-    // Deterministic ordering regardless of HashMap iteration order.
-    clusters.sort();
+    // Bucket order is already the sorted member-list order.
     GridClusters { clusters, singletons, max_cluster }
 }
 
@@ -134,6 +245,61 @@ mod tests {
         assert_eq!(c.clusters[0], vec![0, 1]);
         assert_eq!(c.singletons, 1);
         assert_eq!(c.max_cluster, 2);
+    }
+
+    #[test]
+    fn buckets_keep_singletons_and_agree_with_clusters() {
+        let params = CityParams::test_city();
+        let trajs = CityGenerator::new(params.clone(), 8).generate(200);
+        let spec = coarse_spec(params.width, 500.0);
+        let buckets = bucket_by_grid(&trajs, &spec);
+        let clusters = cluster_by_grid(&trajs, &spec);
+        // every trajectory belongs to exactly one bucket
+        let mut seen = vec![false; trajs.len()];
+        for (bi, members) in buckets.buckets.iter().enumerate() {
+            assert!(!members.is_empty());
+            for &m in members {
+                assert!(!seen[m], "trajectory in two buckets");
+                seen[m] = true;
+                assert_eq!(buckets.bucket_of[m], bi);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // clusters are exactly the multi-member buckets
+        let multi: Vec<Vec<usize>> =
+            buckets.buckets.iter().filter(|b| b.len() >= 2).cloned().collect();
+        assert_eq!(clusters.clusters, multi);
+        let singles = buckets.buckets.iter().filter(|b| b.len() == 1).count();
+        assert_eq!(clusters.singletons, singles);
+    }
+
+    #[test]
+    fn candidate_buckets_include_own_and_touching_neighbors() {
+        let spec = coarse_spec(1000.0, 100.0);
+        let trajs = vec![
+            Trajectory::from_xy(&[(50.0, 50.0), (250.0, 50.0)]),  // cells (0,0)->(2,0)
+            Trajectory::from_xy(&[(150.0, 50.0), (350.0, 50.0)]), // (1,0)->(3,0): both endpoints adjacent
+            Trajectory::from_xy(&[(850.0, 850.0), (950.0, 950.0)]), // far away
+        ];
+        let buckets = bucket_by_grid(&trajs, &spec);
+        let cands = buckets.candidate_buckets(&trajs[0]);
+        assert!(cands.contains(&buckets.bucket_of[0]), "own bucket present");
+        assert!(cands.contains(&buckets.bucket_of[1]), "adjacent-endpoint bucket present");
+        assert!(!cands.contains(&buckets.bucket_of[2]), "distant bucket absent");
+    }
+
+    #[test]
+    fn candidate_buckets_are_deterministic_and_sorted() {
+        let params = CityParams::test_city();
+        let trajs = CityGenerator::new(params.clone(), 11).generate(150);
+        let spec = coarse_spec(params.width, 500.0);
+        let buckets = bucket_by_grid(&trajs, &spec);
+        for t in trajs.iter().take(20) {
+            let a = buckets.candidate_buckets(t);
+            let b = buckets.candidate_buckets(t);
+            assert_eq!(a, b);
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        }
     }
 
     #[test]

@@ -144,18 +144,20 @@ pub fn no_silent_clamp(file: &ScannedFile, out: &mut Vec<Finding>) {
     );
 }
 
-/// `no-panic-in-engine`: the serving crate must never panic on the
-/// query path — a poisoned query must surface as `EngineError`, not
-/// take the process down. Applies to `crates/engine/src` only.
+/// `no-panic-in-engine`: crates on the serving and evaluation paths
+/// must never panic on operational input — a poisoned query or a dead
+/// worker must surface as a typed error (`EngineError`, `EvalError`),
+/// not take the process down. Applies to `crates/engine/src` and
+/// `crates/eval/src`.
 pub fn no_panic_in_engine(file: &ScannedFile, out: &mut Vec<Finding>) {
-    if !file.path.contains("crates/engine/src") {
+    if !file.path.contains("crates/engine/src") && !file.path.contains("crates/eval/src") {
         return;
     }
     const PATTERNS: &[&str] = &["panic!", ".expect(", "unreachable!", "todo!", "unimplemented!"];
     scan_lines(
         file,
         "no-panic-in-engine",
-        "potential panic in the serving crate; return EngineError instead",
+        "potential panic on a no-panic path; return a typed error (EngineError/EvalError)",
         out,
         |masked| PATTERNS.iter().any(|p| masked.contains(p)),
     );
@@ -275,10 +277,12 @@ mod tests {
     #[test]
     fn engine_panic_rule_is_path_scoped() {
         let src = "fn f() { panic!(\"boom\"); }\n";
-        let engine = scan("crates/engine/src/engine.rs", src, false);
-        let mut out = Vec::new();
-        check_file(&engine, true, &mut out);
-        assert!(out.iter().any(|f| f.rule == "no-panic-in-engine"));
+        for covered in ["crates/engine/src/engine.rs", "crates/eval/src/groundtruth.rs"] {
+            let file = scan(covered, src, false);
+            let mut out = Vec::new();
+            check_file(&file, true, &mut out);
+            assert!(out.iter().any(|f| f.rule == "no-panic-in-engine"), "{covered}");
+        }
         let other = scan("crates/core/src/lib.rs", src, false);
         let mut out = Vec::new();
         check_file(&other, true, &mut out);

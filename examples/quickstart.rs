@@ -72,7 +72,8 @@ fn main() {
     );
 
     // 4. One `query` call per strategy — no per-strategy plumbing.
-    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 10);
+    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 10)
+        .expect("ground truth computation failed");
     println!("top-10 search vs exact {measure:?}:");
     for strategy in Strategy::ALL {
         let mut hr = 0.0;

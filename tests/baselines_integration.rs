@@ -19,7 +19,8 @@ fn world() -> Dataset {
 fn wmse_trained_gru_beats_untrained_on_search() {
     let dataset = world();
     let measure = Measure::Dtw;
-    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50);
+    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50)
+        .expect("ground truth computation failed");
     let norm = NormStats::fit(&dataset.training_visible());
     let d = distance_matrix(&dataset.seeds, measure);
     let sim = similarity_matrix(&d, auto_theta(&d, 0.5));
@@ -47,7 +48,8 @@ fn wmse_trained_gru_beats_untrained_on_search() {
 fn hash_head_gives_baseline_a_working_hamming_representation() {
     let dataset = world();
     let measure = Measure::Frechet;
-    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50);
+    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50)
+        .expect("ground truth computation failed");
     let norm = NormStats::fit(&dataset.training_visible());
     let d = distance_matrix(&dataset.seeds, measure);
     let sim = similarity_matrix(&d, auto_theta(&d, 0.5));

@@ -61,7 +61,8 @@ fn hamming_metrics(model: &Traj2Hash, dataset: &Dataset, truth: &[Vec<usize>]) -
 fn training_improves_over_untrained_in_both_spaces() {
     let (dataset, ctx, tcfg) = tiny_world();
     let measure = Measure::Frechet;
-    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50);
+    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50)
+        .expect("ground truth computation failed");
     let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 6);
 
     let before_e = euclidean_metrics(&model, &dataset, &truth);
@@ -140,7 +141,8 @@ fn hash_codes_beat_random_codes() {
     use rand::{RngExt, SeedableRng};
     let (dataset, ctx, tcfg) = tiny_world();
     let measure = Measure::Frechet;
-    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50);
+    let truth = ground_truth_top_k(&dataset.query, &dataset.database, measure, 50)
+        .expect("ground truth computation failed");
     let mut model = Traj2Hash::new(ModelConfig::tiny(), &ctx, 9);
     let data = TrainData::prepare(&dataset, measure, &tcfg).expect("failed to prepare training supervision");
     train(&mut model, &data, &tcfg).expect("training failed");

@@ -1,0 +1,103 @@
+//! Property tests of the bucket-pruned exact top-k driver: whatever the
+//! corpus shape, measure, k, grid resolution, or thread count, the
+//! pruned sweep must return bit-for-bit the dense all-pairs result.
+//! This is the workspace-level guarantee the supervision pipeline and
+//! the evaluation protocol both lean on (see `traj_dist::sparse` for
+//! the exactness argument).
+
+use proptest::prelude::*;
+use traj_data::{CityGenerator, CityParams, Point, Trajectory};
+use traj_dist::{pruned_self_top_k, pruned_top_k, Measure, PrunedTopK};
+use traj_eval::dense_ground_truth_top_k;
+
+/// Raw random trajectories — no road structure, adversarial for the
+/// bucket seeding (endpoints land anywhere).
+fn trajectory_strategy(max_len: usize) -> impl Strategy<Value = Trajectory> {
+    proptest::collection::vec((-2000.0f64..2000.0, -2000.0f64..2000.0), 1..max_len)
+        .prop_map(|xy| Trajectory::from_xy(&xy))
+}
+
+/// Every measure the repo implements, parameterized variants included.
+fn all_measures() -> Vec<Measure> {
+    vec![
+        Measure::Dtw,
+        Measure::Frechet,
+        Measure::Hausdorff,
+        Measure::CDtw(8),
+        Measure::Erp(Point::new(0.0, 0.0)),
+        Measure::Edr(25.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn pruned_top_k_matches_dense_on_random_trajectories(
+        trajs in proptest::collection::vec(trajectory_strategy(10), 12..60),
+        nq in 1usize..8,
+        cell_m in 100.0f64..3000.0,
+    ) {
+        let nq = nq.min(trajs.len() - 1);
+        let (queries, database) = trajs.split_at(nq);
+        for measure in all_measures() {
+            for k in [1usize, 10, 50] {
+                let cfg = PrunedTopK::new(k).with_cell_m(cell_m);
+                let pruned = pruned_top_k(queries, database, measure, &cfg).unwrap();
+                let dense =
+                    dense_ground_truth_top_k(queries, database, measure, k, Some(1)).unwrap();
+                prop_assert_eq!(
+                    &pruned.top_k, &dense,
+                    "parity failed: measure {} k {} cell {}", measure, k, cell_m
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_self_join_matches_dense_on_city_corpora(
+        seed in 0u64..1000,
+        n in 20usize..80,
+        k in 1usize..12,
+    ) {
+        // Road-following city trajectories: the workload the bucket
+        // seeding is designed for, where pruning actually fires.
+        let trajs = CityGenerator::new(CityParams::test_city(), seed).generate(n);
+        for measure in Measure::paper_suite() {
+            let result =
+                pruned_self_top_k(&trajs, measure, &PrunedTopK::new(k)).unwrap();
+            for (i, row) in result.top_k.iter().enumerate() {
+                let mut rest: Vec<Trajectory> = trajs.clone();
+                let q = rest.remove(i);
+                let dense = dense_ground_truth_top_k(
+                    std::slice::from_ref(&q), &rest, measure, k, Some(1),
+                ).unwrap();
+                // map the diagonal-free indexing back to corpus indices
+                let dense_row: Vec<usize> = dense[0]
+                    .iter()
+                    .map(|&j| if j >= i { j + 1 } else { j })
+                    .collect();
+                prop_assert_eq!(
+                    row.clone(), dense_row,
+                    "self-join row {} diverged for {}", i, measure
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results(
+        trajs in proptest::collection::vec(trajectory_strategy(8), 16..48),
+        threads in 2usize..6,
+    ) {
+        let (queries, database) = trajs.split_at(6);
+        let serial = PrunedTopK::new(10).with_threads(1);
+        let parallel = PrunedTopK::new(10).with_threads(threads);
+        for measure in [Measure::Dtw, Measure::Hausdorff, Measure::Edr(25.0)] {
+            let a = pruned_top_k(queries, database, measure, &serial).unwrap();
+            let b = pruned_top_k(queries, database, measure, &parallel).unwrap();
+            prop_assert_eq!(&a.top_k, &b.top_k, "threads={} diverged for {}", threads, measure);
+            prop_assert_eq!(a.stats, b.stats);
+        }
+    }
+}
