@@ -103,6 +103,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         let mut table = [0u32; 256];
         let mut i = 0;
         while i < 256 {
+            // lint: allow(lossy-cast) — table index i < 256 (const-fn loop bound)
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
@@ -117,6 +118,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     const TABLE: [u32; 256] = build_table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // lint: allow(lossy-cast) — b widens from u8; the table index is masked to 8 bits
         c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -268,11 +270,21 @@ impl<'a> PayloadReader<'a> {
         // lint: allow(unwrap) — take(8) returned exactly 8 bytes
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+    /// Reads a `u64` that the format stores as a machine-word quantity
+    /// (an epoch number, a cursor, a count), rejecting values that do
+    /// not fit a `usize` on this platform instead of silently
+    /// truncating them. `what` names the field in the error.
+    pub fn u64_usize(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        let raw = self.u64()?;
+        usize::try_from(raw).map_err(|_| {
+            CheckpointError::Malformed(format!("{what} {raw} does not fit usize"))
+        })
+    }
     /// Reads a `u64` element count for a vector of `elem_size`-byte
     /// elements, rejecting counts that could not possibly fit in the
     /// payload before the caller allocates.
     pub fn len_prefix(&mut self, elem_size: usize) -> Result<usize, CheckpointError> {
-        let n = self.u64()? as usize;
+        let n = self.u64_usize("length prefix")?;
         // Reject absurd lengths before allocating.
         if n.saturating_mul(elem_size.max(1)) > self.bytes.len() {
             return Err(CheckpointError::Malformed(format!(
@@ -402,11 +414,11 @@ impl Checkpoint {
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
         let (_, payload) = decode_container(bytes, MAGIC, VERSION)?;
         let mut r = PayloadReader::new(payload);
-        let epoch = r.u64()? as usize;
+        let epoch = r.u64_usize("epoch")?;
         let adam_steps = r.u64()?;
-        let triplet_cursor = r.u64()? as usize;
+        let triplet_cursor = r.u64_usize("triplet cursor")?;
         let lr = r.f32()?;
-        let best_epoch = r.u64()? as usize;
+        let best_epoch = r.u64_usize("best epoch")?;
         let has_best = r.u8()?;
         let best_raw = r.f64()?;
         let best_val = match has_best {
@@ -429,14 +441,14 @@ impl Checkpoint {
         let n = r.len_prefix(25)?;
         let mut recoveries = Vec::with_capacity(n);
         for _ in 0..n {
-            let epoch = r.u64()? as usize;
+            let epoch = r.u64_usize("recovery epoch")?;
             let kind = match r.u8()? {
                 0 => RecoveryKind::NonFiniteLoss,
                 1 => RecoveryKind::LossSpike,
                 t => return Err(CheckpointError::Malformed(format!("bad recovery kind {t}"))),
             };
             let loss = r.f32()?;
-            let restored_epoch = r.u64()? as usize;
+            let restored_epoch = r.u64_usize("restored epoch")?;
             let lr_after = r.f32()?;
             recoveries.push(RecoveryEvent { epoch, kind, loss, restored_epoch, lr_after });
         }

@@ -3,6 +3,7 @@
 use crate::config::{ModelConfig, Readout};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
+use tinynn::sync::{cread, cwrite};
 use tinynn::{layers::positional_encoding_cached, Linear, Mlp, Param, ParamSet, Tape, Tensor, Var};
 use traj_data::{NormStats, Trajectory};
 use traj_grid::{GridEmbedding, GridSpec};
@@ -84,11 +85,11 @@ impl GridChannelEncoder {
     /// stores exactly what [`Self::grid_input_uncached`] produced).
     pub fn grid_input(&self, t: &Trajectory) -> Arc<Tensor> {
         let key = trajectory_key(t);
-        if let Some(hit) = self.cache.read().expect("grid cache poisoned").get(&key) {
+        if let Some(hit) = cread(&self.cache).get(&key) {
             return Arc::clone(hit);
         }
         let fresh = Arc::new(self.grid_input_uncached(t));
-        let mut w = self.cache.write().expect("grid cache poisoned");
+        let mut w = cwrite(&self.cache);
         Arc::clone(w.entry(key).or_insert(fresh))
     }
 

@@ -114,6 +114,7 @@ impl CityParams {
     pub fn lerp(&self, other: &CityParams, t: f64) -> CityParams {
         let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
         let f = |a: f64, b: f64| a + (b - a) * t;
+        // lint: allow(lossy-cast) — interpolation between two small nonnegative point counts
         let c = |a: usize, b: usize| f(a as f64, b as f64).round() as usize;
         let min_points = c(self.min_points, other.min_points).max(2);
         CityParams {
@@ -216,6 +217,7 @@ impl CityGenerator {
         // range, with a +-20% jitter.
         let direct = start.distance(&end);
         let jitter = 1.0 + 0.2 * (2.0 * self.rng.random::<f64>() - 1.0);
+        // lint: allow(lossy-cast) — nonnegative step count, clamped to [min_points, max_points] below
         let n = ((direct / p.step_mean * jitter) as usize)
             .clamp(p.min_points, p.max_points);
 

@@ -432,8 +432,10 @@ impl Traj2HashEngine {
         let indexed = self.indexes.as_ref().map(|ix| ix.covers).unwrap_or(0);
         let delta = self.ids.len() - indexed;
         let slack = self.cfg.rebuild_slack;
+        // lint: allow(lossy-cast) — nonnegative fraction of a corpus size that fits usize
         let delta_cap = slack.max((indexed as f64 * self.cfg.max_delta_fraction) as usize);
         let dead_cap =
+            // lint: allow(lossy-cast) — nonnegative fraction of a corpus size that fits usize
             slack.max((self.ids.len() as f64 * self.cfg.max_dead_fraction) as usize);
         if delta > delta_cap || self.dead_count > dead_cap {
             self.rebuild();

@@ -20,22 +20,31 @@
 //! * **snapshots** — [`Traj2HashEngine::save_snapshot`] /
 //!   [`Traj2HashEngine::load_snapshot`] persist model parameters,
 //!   corpus, embeddings, and codes in the CRC-checksummed container
-//!   format, so cold-start never re-encodes.
+//!   format, so cold-start never re-encodes;
+//! * **a model-checked publish protocol** — the concurrent engine's
+//!   swap points are [`cell::PublishCell`]s, whose pin/publish
+//!   invariants the [`loomlet`] interleaving enumerator verifies
+//!   exhaustively.
 
 #![warn(missing_docs)]
 
 pub mod ann;
+pub mod cell;
 pub mod engine;
 pub mod error;
-pub(crate) mod shard;
+pub mod loomlet;
+pub mod shard;
 pub mod sharded;
 pub mod snapshot;
 pub mod telemetry;
 
 pub use ann::{AnnIndex, BruteForceEuclidean, BruteForceHamming, IndexKind, QueryRep};
+pub use cell::{PublishCell, Sequenced};
 pub use engine::{
     EngineConfig, EngineStats, EuclideanBackend, Hit, Strategy, Traj2HashEngine,
 };
 pub use error::EngineError;
-pub use sharded::{PinnedView, ReaderSpec, ShardConfig, ShardReader, ShardedEngine};
+pub use sharded::{
+    ModelBlueprint, PinnedView, ReaderSpec, ShardConfig, ShardReader, ShardedEngine,
+};
 pub use telemetry::{EngineTelemetry, QueryInfo, StrategyTelemetry};

@@ -326,18 +326,28 @@ pub(crate) fn search(
 /// generations: publishing an insert or a tombstone re-uses the base
 /// untouched, so the copy cost of a mutation is the delta block, never
 /// the corpus.
-pub(crate) struct ShardBase {
+pub struct ShardBase {
+    /// Stable ids, ascending.
     pub ids: Vec<u64>,
+    /// Trajectories, parallel to `ids`.
     pub trajs: Vec<Trajectory>,
+    /// Dense embeddings, parallel to `ids`.
     pub embeddings: Vec<Vec<f32>>,
+    /// Binary codes, parallel to `ids`.
     pub codes: Vec<BinaryCode>,
     /// `None` = the index build failed; the shard serves by scans.
-    pub indexes: Option<GenIndexes>,
+    pub(crate) indexes: Option<GenIndexes>,
 }
 
 impl ShardBase {
+    /// Entries in the indexed region.
     pub fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// True when the indexed region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
     }
 
     /// Builds a base over the given entries (ascending-id order),
@@ -358,16 +368,26 @@ impl ShardBase {
 /// was built. Cloned wholesale on every publish — bounded by the
 /// rebuild thresholds, so the copy is O(rebuild_slack), not O(corpus).
 #[derive(Clone, Default)]
-pub(crate) struct DeltaBlock {
+pub struct DeltaBlock {
+    /// Stable ids, ascending (all exceed every base id).
     pub ids: Vec<u64>,
+    /// Trajectories, parallel to `ids`.
     pub trajs: Vec<Trajectory>,
+    /// Dense embeddings, parallel to `ids`.
     pub embeddings: Vec<Vec<f32>>,
+    /// Binary codes, parallel to `ids`.
     pub codes: Vec<BinaryCode>,
 }
 
 impl DeltaBlock {
+    /// Entries in the delta tail.
     pub fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// True when no entry has been inserted since the last rebuild.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
     }
 }
 
@@ -377,11 +397,14 @@ impl DeltaBlock {
 /// behind an `Arc`), so republishing a state (e.g. during a hot swap)
 /// costs O(delta), not O(corpus).
 #[derive(Clone)]
-pub(crate) struct ShardState {
+pub struct ShardState {
+    /// The frozen indexed region, shared across generations.
     pub base: Arc<ShardBase>,
+    /// Entries inserted after the base was built (linearly scanned).
     pub delta: DeltaBlock,
     /// Tombstones over base then delta slots.
     pub dead: Vec<bool>,
+    /// Number of tombstones set in `dead`.
     pub dead_count: usize,
     /// Tombstones inside the indexed region (over-fetch margin); zero
     /// when degraded.
@@ -505,7 +528,7 @@ impl ShardState {
 
     /// The borrowed search view over this state. When degraded the
     /// whole corpus becomes delta segments (pure scans).
-    pub fn ctx(&self) -> SearchCtx<'_> {
+    pub(crate) fn ctx(&self) -> SearchCtx<'_> {
         if self.degraded() {
             SearchCtx {
                 indexed_embeddings: &[],
@@ -641,7 +664,9 @@ impl ShardState {
         let indexed = self.base.len();
         let delta = self.delta.len();
         let slack = cfg.rebuild_slack;
+        // lint: allow(lossy-cast) — nonnegative fraction of a shard size that fits usize
         let delta_cap = slack.max((indexed as f64 * cfg.max_delta_fraction) as usize);
+        // lint: allow(lossy-cast) — nonnegative fraction of a shard size that fits usize
         let dead_cap = slack.max((self.slots() as f64 * cfg.max_dead_fraction) as usize);
         delta > delta_cap || self.dead_count > dead_cap
     }
@@ -697,5 +722,14 @@ impl ShardState {
             }
         }
         Ok(())
+    }
+}
+
+impl crate::cell::Sequenced for ShardState {
+    fn seq(&self) -> u64 {
+        self.publish_seq
+    }
+    fn set_seq(&mut self, seq: u64) {
+        self.publish_seq = seq;
     }
 }

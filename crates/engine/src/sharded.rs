@@ -37,6 +37,7 @@
 //! telemetry, refreshes its replica automatically after a hot swap, and
 //! answers queries bit-identically to the writer.
 
+use crate::cell::{PublishCell, Sequenced};
 use crate::engine::{
     tlock, EngineConfig, EngineStats, Hit, Strategy, Traj2HashEngine,
 };
@@ -45,7 +46,7 @@ use crate::shard::{self, ShardState};
 use crate::snapshot::{self, EntryRef, SnapshotView};
 use crate::telemetry::{EngineTelemetry, QueryInfo};
 use std::path::Path;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use traj_data::Trajectory;
 use traj_index::search::Hit as SlotHit;
@@ -64,6 +65,7 @@ fn partition(entries: Entries, n_shards: usize) -> Vec<Entries> {
     let mut parts: Vec<Entries> = (0..n_shards).map(|_| Default::default()).collect();
     for (((id, traj), embedding), code) in ids.into_iter().zip(trajs).zip(embeddings).zip(codes)
     {
+        // lint: allow(lossy-cast) — residue mod the shard count, which is a small usize
         let p = &mut parts[(id % n_shards as u64) as usize];
         p.0.push(id);
         p.1.push(traj);
@@ -101,70 +103,53 @@ impl ShardConfig {
 }
 
 /// The `Send + Sync` recipe readers rebuild their model replica from.
-/// `version` bumps on every hot swap so readers know to refresh.
-struct ModelBlueprint {
+/// Published behind a [`PublishCell`] whose sequence (`version`) bumps
+/// on every hot swap, so readers know to refresh their replica.
+pub struct ModelBlueprint {
     spec: ModelSpec,
     values: Vec<Tensor>,
     version: u64,
 }
 
 impl ModelBlueprint {
-    fn of(model: &Traj2Hash, version: u64) -> ModelBlueprint {
-        ModelBlueprint { spec: model.spec(), values: model.params.clone_values(), version }
+    /// Captures `model`'s spec and parameter values. The version starts
+    /// at 0 and is stamped by the cell on publish.
+    pub fn of(model: &Traj2Hash) -> ModelBlueprint {
+        ModelBlueprint { spec: model.spec(), values: model.params.clone_values(), version: 0 }
     }
 
-    fn instantiate(&self) -> Traj2Hash {
+    /// Builds a byte-identical model replica from the blueprint.
+    pub fn instantiate(&self) -> Traj2Hash {
         Traj2Hash::from_spec(&self.spec, &self.values)
     }
-}
 
-/// Poison-proof read of an `RwLock` (a panicked writer must not wedge
-/// readers; the published `Arc` is always internally consistent).
-fn rread<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    match l.read() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+    /// The blueprint's publish version (bumps on every hot swap).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 
-fn rwrite<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    match l.write() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+impl Sequenced for ModelBlueprint {
+    fn seq(&self) -> u64 {
+        self.version
+    }
+    fn set_seq(&mut self, seq: u64) {
+        self.version = seq;
     }
 }
 
-/// One shard's publish point. Readers pin the current state with a
-/// brief read lock; the writer swaps in the next generation under the
-/// write lock. `publish` stamps a strictly monotone per-shard sequence
-/// number, which is what the concurrency suite asserts never moves
-/// backwards under a pinned reader.
-struct ShardCell {
-    state: RwLock<Arc<ShardState>>,
-}
-
-impl ShardCell {
-    fn new(state: ShardState) -> ShardCell {
-        ShardCell { state: RwLock::new(Arc::new(state)) }
-    }
-
-    fn pin(&self) -> Arc<ShardState> {
-        Arc::clone(&rread(&self.state))
-    }
-
-    fn publish(&self, mut next: ShardState) {
-        let mut guard = rwrite(&self.state);
-        next.publish_seq = guard.publish_seq + 1;
-        *guard = Arc::new(next);
-    }
-}
+/// One shard's publish point: readers pin the current generation, the
+/// writer swaps in the next. The cell stamps the strictly monotone
+/// per-shard `publish_seq` the concurrency and loomlet suites assert
+/// never moves backwards under a pinned reader.
+pub type ShardCell = PublishCell<ShardState>;
 
 /// Everything shared between the writer and its readers: the shard
 /// cells, the cumulative telemetry, and the model blueprint.
 struct ShardSet {
     cells: Vec<ShardCell>,
     telemetry: Mutex<EngineTelemetry>,
-    model: RwLock<Arc<ModelBlueprint>>,
+    model: PublishCell<ModelBlueprint>,
 }
 
 impl ShardSet {
@@ -281,6 +266,7 @@ fn fan_out(
         // distance ties by ascending index, so keying by id reproduces
         // the facade's ascending-slot (== ascending-id) tie-break.
         merged.extend(hits.into_iter().map(|h| SlotHit {
+            // lint: allow(lossy-cast) — stable ids are assigned from a usize-ranged monotone counter
             index: st.id_at(h.index) as usize,
             distance: h.distance,
         }));
@@ -434,7 +420,7 @@ impl ShardedEngine {
         let set = Arc::new(ShardSet {
             cells,
             telemetry: Mutex::new(EngineTelemetry::default()),
-            model: RwLock::new(Arc::new(ModelBlueprint::of(&model, 1))),
+            model: PublishCell::new(ModelBlueprint::of(&model)),
         });
         {
             // Construction counts as each shard's first rebuild, like
@@ -446,6 +432,7 @@ impl ShardedEngine {
     }
 
     fn shard_of(&self, id: u64) -> usize {
+        // lint: allow(lossy-cast) — residue mod the shard count, which is a small usize
         (id % self.scfg.shards as u64) as usize
     }
 
@@ -794,11 +781,9 @@ impl ShardedEngine {
                 cell.publish(ShardState::build(ids, trajs, embeddings, codes, &self.cfg));
             }
         }
-        {
-            let mut guard = rwrite(&self.set.model);
-            let version = guard.version + 1;
-            *guard = Arc::new(ModelBlueprint::of(&model, version));
-        }
+        // Build the blueprint before touching the cell: the write lock
+        // is held only for the Arc swap, never across the clone.
+        self.set.model.publish(ModelBlueprint::of(&model));
         self.model = model;
         // next_id only moves forward: a stale replacement must not make
         // the engine re-issue ids that are already out there.
@@ -957,13 +942,15 @@ pub struct ReaderSpec {
 
 impl ReaderSpec {
     /// Builds the reader (instantiating a local model replica from the
-    /// current blueprint). Call this *on the reader thread*.
+    /// current blueprint). Call this *on the reader thread*. The
+    /// blueprint `Arc` is pinned out of the cell first, so the replica
+    /// build never holds the publish lock (a guard held across
+    /// `instantiate` would stall every hot swap behind a full model
+    /// rebuild — the exact hazard `no-guard-across-compute` flags).
     pub fn into_reader(self) -> ShardReader {
-        let (model, version) = {
-            let bp = rread(&self.set.model);
-            (bp.instantiate(), bp.version)
-        };
-        ShardReader { set: self.set, model, model_version: version }
+        let bp = self.set.model.pin();
+        let model = bp.instantiate();
+        ShardReader { set: self.set, model, model_version: bp.version }
     }
 }
 
@@ -982,9 +969,8 @@ impl ShardReader {
     /// Refreshes the local model replica if a hot swap published a new
     /// blueprint since this reader last looked.
     fn refresh_model(&mut self) {
-        let current = rread(&self.set.model).version;
-        if current != self.model_version {
-            let bp = Arc::clone(&rread(&self.set.model));
+        if self.set.model.seq() != self.model_version {
+            let bp = self.set.model.pin();
             self.model = bp.instantiate();
             self.model_version = bp.version;
         }

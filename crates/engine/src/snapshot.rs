@@ -129,8 +129,8 @@ pub(crate) fn encode_view(view: &SnapshotView<'_>) -> Result<Vec<u8>, EngineErro
         Readout::Mean => 1,
         Readout::Cls => 2,
     });
-    w.u8(mc.use_grids as u8);
-    w.u8(mc.use_rev_aug as u8);
+    w.u8(u8::from(mc.use_grids));
+    w.u8(u8::from(mc.use_rev_aug));
     w.f64(mc.fine_cell_m);
     w.f64(spec.norm.mean_x);
     w.f64(spec.norm.mean_y);
@@ -205,10 +205,10 @@ pub(crate) fn decode_parts(bytes: &[u8]) -> Result<DecodedSnapshot, EngineError>
     let mut r = PayloadReader::new(payload);
 
     // Model section.
-    let dim = r.u64()? as usize;
-    let blocks = r.u64()? as usize;
-    let heads = r.u64()? as usize;
-    let grid_dim = r.u64()? as usize;
+    let dim = r.u64_usize("model dim")?;
+    let blocks = r.u64_usize("block count")?;
+    let heads = r.u64_usize("head count")?;
+    let grid_dim = r.u64_usize("grid dim")?;
     let readout = match r.u8()? {
         0 => Readout::LowerBound,
         1 => Readout::Mean,
@@ -240,9 +240,9 @@ pub(crate) fn decode_parts(bytes: &[u8]) -> Result<DecodedSnapshot, EngineError>
             if !cell_size.is_finite() || cell_size <= 0.0 {
                 return Err(malformed(format!("bad grid cell size {cell_size}")));
             }
-            let edim = r.u64()? as usize;
-            let nx = r.u64()? as usize;
-            let ny = r.u64()? as usize;
+            let edim = r.u64_usize("grid embedding dim")?;
+            let nx = r.u64_usize("grid nx")?;
+            let ny = r.u64_usize("grid ny")?;
             let ex = read_f32s(&mut r)?;
             let ey = read_f32s(&mut r)?;
             let emb = DecomposedGridEmbedding::from_raw_parts(edim, nx, ny, ex, ey)
@@ -269,14 +269,14 @@ pub(crate) fn decode_parts(bytes: &[u8]) -> Result<DecodedSnapshot, EngineError>
 
     // Engine section.
     let engine_cfg = EngineConfig {
-        mih_tables: r.u64()? as usize,
+        mih_tables: r.u64_usize("mih tables")?,
         euclidean_backend: match r.u8()? {
             0 => EuclideanBackend::BruteForce,
             1 => EuclideanBackend::VpTree,
             t => return Err(malformed(format!("bad euclidean backend tag {t}"))),
         },
-        encode_threads: r.u64()? as usize,
-        rebuild_slack: r.u64()? as usize,
+        encode_threads: r.u64_usize("encode threads")?,
+        rebuild_slack: r.u64_usize("rebuild slack")?,
         max_delta_fraction: r.f64()?,
         max_dead_fraction: r.f64()?,
     };
@@ -313,7 +313,7 @@ pub(crate) fn decode_parts(bytes: &[u8]) -> Result<DecodedSnapshot, EngineError>
                 embedding.len()
             )));
         }
-        let bits = r.u64()? as usize;
+        let bits = r.u64_usize("code width")?;
         if bits != dim {
             return Err(malformed(format!("entry {e}: code width {bits} != model dim {dim}")));
         }

@@ -37,6 +37,13 @@ pub struct NceConfig {
     pub seed: u64,
 }
 
+/// Widens a `u32` grid coordinate into a row index.
+#[inline]
+fn gi(g: u32) -> usize {
+    // lint: allow(lossy-cast) — u32 always fits usize on supported targets
+    g as usize
+}
+
 impl Default for NceConfig {
     fn default() -> Self {
         NceConfig {
@@ -123,12 +130,12 @@ impl DecomposedGridEmbedding {
     }
 
     fn ex_row(&self, gx: u32) -> &[f32] {
-        let s = gx as usize * self.dim;
+        let s = gi(gx) * self.dim;
         &self.ex[s..s + self.dim]
     }
 
     fn ey_row(&self, gy: u32) -> &[f32] {
-        let s = gy as usize * self.dim;
+        let s = gi(gy) * self.dim;
         &self.ey[s..s + self.dim]
     }
 
@@ -176,6 +183,7 @@ impl DecomposedGridEmbedding {
         assert_eq!(self.dim, cfg.dim, "config dim must match table dim");
         let start = std::time::Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // lint: allow(lossy-cast) — grid dimensions are far below 2^32 (checked at GridSpec::new)
         let (nx, ny) = (spec.nx() as u32, spec.ny() as u32);
         let r = cfg.radius as i64;
         let dim = self.dim;
@@ -196,6 +204,7 @@ impl DecomposedGridEmbedding {
                             let px = gx as i64 + dx;
                             let py = gy as i64 + dy;
                             if px >= 0 && px < nx as i64 && py >= 0 && py < ny as i64 {
+                                // lint: allow(lossy-cast) — bounds-checked against [0, nx) x [0, ny) on the previous line
                                 break (px as u32, py as u32);
                             }
                         };
@@ -220,22 +229,22 @@ impl DecomposedGridEmbedding {
                             let grad_p = -g_buf[k];
                             let grad_n = g_buf[k];
                             // e_g = e_x[gx] + e_y[gy]: the gradient hits both.
-                            self.ex[gx as usize * dim + k] -= lr * grad_g;
-                            self.ey[gy as usize * dim + k] -= lr * grad_g;
-                            self.ex[px as usize * dim + k] -= lr * grad_p;
-                            self.ey[py as usize * dim + k] -= lr * grad_p;
-                            self.ex[qx as usize * dim + k] -= lr * grad_n;
-                            self.ey[qy as usize * dim + k] -= lr * grad_n;
+                            self.ex[gi(gx) * dim + k] -= lr * grad_g;
+                            self.ey[gi(gy) * dim + k] -= lr * grad_g;
+                            self.ex[gi(px) * dim + k] -= lr * grad_p;
+                            self.ey[gi(py) * dim + k] -= lr * grad_p;
+                            self.ex[gi(qx) * dim + k] -= lr * grad_n;
+                            self.ey[gi(qy) * dim + k] -= lr * grad_n;
                         }
                         for &(cx, _) in &[(gx, 0), (px, 0), (qx, 0)] {
                             Self::renorm_row(
-                                &mut self.ex[cx as usize * dim..(cx as usize + 1) * dim],
+                                &mut self.ex[gi(cx) * dim..(gi(cx) + 1) * dim],
                                 cfg.max_norm,
                             );
                         }
                         for &(cy, _) in &[(gy, 0), (py, 0), (qy, 0)] {
                             Self::renorm_row(
-                                &mut self.ey[cy as usize * dim..(cy as usize + 1) * dim],
+                                &mut self.ey[gi(cy) * dim..(gi(cy) + 1) * dim],
                                 cfg.max_norm,
                             );
                         }

@@ -22,7 +22,9 @@ impl GridSpec {
     pub fn new(bbox: BoundingBox, cell_size: f64) -> Self {
         assert!(cell_size > 0.0, "cell size must be positive");
         assert!(bbox.width() > 0.0 && bbox.height() > 0.0, "degenerate bounding box");
+        // lint: allow(lossy-cast) — positive finite cell count (bbox and cell size validated above)
         let nx = (bbox.width() / cell_size).ceil().max(1.0) as usize;
+        // lint: allow(lossy-cast) — positive finite cell count (bbox and cell size validated above)
         let ny = (bbox.height() / cell_size).ceil().max(1.0) as usize;
         GridSpec { bbox, cell_size, nx, ny }
     }
@@ -56,8 +58,11 @@ impl GridSpec {
     /// box onto the border cells.
     pub fn locate(&self, p: Point) -> (u32, u32) {
         let q = self.bbox.clamp(p);
+        // lint: allow(lossy-cast) — clamped into the bbox, so the quotient is a nonnegative cell index
         let gx = ((q.x - self.bbox.min_x) / self.cell_size) as usize;
+        // lint: allow(lossy-cast) — clamped into the bbox, so the quotient is a nonnegative cell index
         let gy = ((q.y - self.bbox.min_y) / self.cell_size) as usize;
+        // lint: allow(lossy-cast) — min() bounds both coordinates by the grid dims, far below 2^32
         (gx.min(self.nx - 1) as u32, gy.min(self.ny - 1) as u32)
     }
 
@@ -68,6 +73,7 @@ impl GridSpec {
 
     /// Inverse of [`GridSpec::cell_id`].
     pub fn cell_coords(&self, id: u64) -> (u32, u32) {
+        // lint: allow(lossy-cast) — cell ids are < nx * ny, so both quotient and residue fit u32
         ((id % self.nx as u64) as u32, (id / self.nx as u64) as u32)
     }
 

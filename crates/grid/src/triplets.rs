@@ -131,6 +131,7 @@ impl GridBuckets {
                             continue;
                         }
                         let probe =
+                            // lint: allow(lossy-cast) — grid coordinates are bounded by the grid dimensions, far below 2^32
                             (nf.0 as u32, nf.1 as u32, nl.0 as u32, nl.1 as u32);
                         if let Some(ids) = self.endpoint_index.get(&probe) {
                             out.extend_from_slice(ids);

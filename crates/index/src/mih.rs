@@ -108,6 +108,7 @@ impl MultiIndexHashing {
                 tables[s]
                     .entry(substring(code, cs, cl))
                     .or_default()
+                    // lint: allow(lossy-cast) — corpus slots are capped far below 2^32 (u32 postings by design)
                     .push(id as u32);
             }
         }
@@ -153,6 +154,7 @@ impl MultiIndexHashing {
             return Err(SearchError::WidthMismatch { query: query.len(), index: self.bits });
         }
         let m = self.tables.len();
+        // lint: allow(lossy-cast) — u32 radius widens losslessly into usize
         let sub_r = (radius as usize / m).min(self.bits);
         let mut seen = vec![false; self.codes.len()];
         let mut out = Vec::new();
@@ -163,6 +165,7 @@ impl MultiIndexHashing {
                 let mut visit = |candidate_sub: u64| {
                     if let Some(ids) = table.get(&candidate_sub) {
                         for &id in ids {
+                            // lint: allow(lossy-cast) — u32 posting widens losslessly into usize
                             let idx = id as usize;
                             if !seen[idx] {
                                 seen[idx] = true;
@@ -210,7 +213,9 @@ impl MultiIndexHashing {
             // Pigeonhole: codes at distance <= r differ by <= floor(r/m)
             // in some substring.
             let sub_r = r / m;
+            // lint: allow(lossy-cast) — sub_r <= bits per chunk, a tiny positive count
             if sub_r as isize > probed_sub_radius {
+                // lint: allow(lossy-cast) — sub_r <= bits per chunk, a tiny positive count
                 probed_sub_radius = sub_r as isize;
                 for (s, &(cs, cl)) in self.chunks.iter().enumerate() {
                     let q_sub = substring(query, cs, cl);
@@ -218,9 +223,11 @@ impl MultiIndexHashing {
                     let mut visit = |candidate_sub: u64| {
                         if let Some(ids) = table.get(&candidate_sub) {
                             for &id in ids {
+                                // lint: allow(lossy-cast) — u32 posting widens losslessly into usize
                                 let idx = id as usize;
                                 if !seen[idx] {
                                     seen[idx] = true;
+                                    // lint: allow(lossy-cast) — u32 Hamming distance widens losslessly into usize
                                     let d = self.codes[idx].hamming(query) as usize;
                                     by_distance[d].push(id);
                                     found += 1;
@@ -239,6 +246,7 @@ impl MultiIndexHashing {
                     .iter()
                     .enumerate()
                     .flat_map(|(d, ids)| {
+                        // lint: allow(lossy-cast) — u32 posting widens losslessly into usize
                         ids.iter().map(move |&id| Hit { index: id as usize, distance: d as f64 })
                     })
                     .collect();

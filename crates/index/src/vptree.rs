@@ -51,6 +51,7 @@ impl VpTree {
         for v in &data {
             assert_eq!(v.len(), dim, "inconsistent embedding widths");
         }
+        // lint: allow(lossy-cast) — corpus slots are capped far below 2^32 (u32 node ids by design)
         let ids: Vec<u32> = (0..data.len() as u32).collect();
         let root = Self::build_node(&data, ids);
         VpTree { root, data, dim }
@@ -65,6 +66,7 @@ impl VpTree {
         let rest = ids.split_off(1);
         let mut scored: Vec<(f64, u32)> = rest
             .into_iter()
+            // lint: allow(lossy-cast) — u32 node ids widen losslessly into usize
             .map(|id| (dist(&data[vantage as usize], &data[id as usize]), id))
             .collect();
         // total_cmp puts NaN distances past the median split instead of
@@ -122,6 +124,7 @@ impl VpTree {
         let mut tau = f64::INFINITY;
         self.search(&self.root, query, k, &mut best, &mut tau, &mut evaluations);
         let mut hits: Vec<Hit> =
+            // lint: allow(lossy-cast) — u32 node ids widen losslessly into usize
             best.into_iter().map(|(d, i)| Hit { index: i as usize, distance: d }).collect();
         sort_hits(&mut hits);
         (hits, evaluations)
@@ -177,12 +180,14 @@ impl VpTree {
         match node {
             Node::Leaf(ids) => {
                 for &id in ids {
+                    // lint: allow(lossy-cast) — u32 node ids widen losslessly into usize
                     let d = dist(query, &self.data[id as usize]);
                     *evaluations += 1;
                     self.consider(id, d, k, best, tau);
                 }
             }
             Node::Inner { vantage, radius, inside, outside } => {
+                // lint: allow(lossy-cast) — u32 node ids widen losslessly into usize
                 let d = dist(query, &self.data[*vantage as usize]);
                 *evaluations += 1;
                 self.consider(*vantage, d, k, best, tau);

@@ -1,0 +1,15 @@
+//! Failing fixture: an ordering stronger than the declared intent for
+//! `DEMO_HITS` (registry pins it to Relaxed), and an atomic with no
+//! declared intent at all.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static UNDECLARED: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    DEMO_HITS.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn peek() -> u64 {
+    UNDECLARED.load(Ordering::Relaxed)
+}

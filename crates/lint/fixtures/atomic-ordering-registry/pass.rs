@@ -1,0 +1,14 @@
+//! Passing fixture: the declared intent for `DEMO_HITS` allows
+//! Relaxed, and a justified one-off annotation covers the rest.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DEMO_HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    DEMO_HITS.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish_ready(flag: &std::sync::atomic::AtomicU8) {
+    // lint: allow(atomic-ordering) — one-shot init flag; Release pairs with the Acquire in wait_ready
+    flag.store(1, Ordering::Release);
+}

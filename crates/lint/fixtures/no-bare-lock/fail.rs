@@ -1,0 +1,16 @@
+//! Failing fixture: direct lock acquisitions outside the sanctioned
+//! poison-proof helpers — each site decides poison policy ad hoc.
+use std::sync::{Mutex, RwLock};
+
+pub fn telemetry_bump(m: &Mutex<u64>) {
+    let mut g = m.lock().expect("telemetry poisoned");
+    *g += 1;
+}
+
+pub fn snapshot(l: &RwLock<Vec<u32>>) -> Vec<u32> {
+    l.read().expect("state poisoned").clone()
+}
+
+pub fn replace(l: &RwLock<Vec<u32>>, next: Vec<u32>) {
+    *l.write().expect("state poisoned") = next;
+}

@@ -1,0 +1,21 @@
+//! Passing fixture: sanctioned helper calls, a justified annotation,
+//! and an IO read that must not be mistaken for a lock.
+use std::sync::{Arc, Mutex, RwLock};
+
+pub fn telemetry_bump(m: &Mutex<u64>) {
+    *tlock(m) += 1;
+}
+
+pub fn pinned(l: &RwLock<Arc<State>>) -> Arc<State> {
+    Arc::clone(&rread(l))
+}
+
+pub fn init_once(m: &Mutex<u64>) {
+    // lint: allow(bare-lock) — single-threaded startup; nothing can have poisoned it
+    let mut g = m.lock().expect("init lock");
+    *g = 0;
+}
+
+pub fn stream(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    r.read(buf)
+}

@@ -1,0 +1,12 @@
+//! Failing fixture: lock guards live across compute entry points —
+//! every queued reader and the writer stall for the whole computation.
+
+pub fn reader(&self) -> Reader {
+    let bp = rread(&self.model);
+    let replica = bp.instantiate();
+    Reader { replica }
+}
+
+pub fn stalled_query(&self, q: &Traj) -> Vec<Hit> {
+    rread(&self.state).search(q)
+}

@@ -1,0 +1,15 @@
+//! Passing fixture: the sanctioned shapes — clone the Arc out and let
+//! the guard die at the statement, or drop it before computing.
+
+pub fn reader(&self) -> Reader {
+    let bp = Arc::clone(&rread(&self.model));
+    let replica = bp.instantiate();
+    Reader { replica }
+}
+
+pub fn bump_then_rebuild(&self) -> ShardState {
+    let mut g = rwrite(&self.cell);
+    g.mark_dirty();
+    drop(g);
+    rebuild_shard(&self.cfg)
+}

@@ -1,0 +1,10 @@
+//! Failing fixture: narrowing `as` casts in library code — a corrupt
+//! length field wraps silently instead of erroring.
+
+pub fn decode_len(raw: u64) -> usize {
+    raw as usize
+}
+
+pub fn pack_index(idx: usize) -> u32 {
+    idx as u32
+}

@@ -1,0 +1,19 @@
+//! Passing fixture: checked conversion with a typed error, genuinely
+//! widening casts, and a justified in-range annotation.
+
+pub fn decode_len(raw: u64) -> Result<usize, DecodeError> {
+    usize::try_from(raw).map_err(|_| DecodeError::LengthOverflow(raw))
+}
+
+pub fn widen(n: u32) -> u64 {
+    n as u64
+}
+
+pub fn to_float(n: u32) -> f64 {
+    n as f64
+}
+
+pub fn bucket(bits: u64) -> usize {
+    // lint: allow(lossy-cast) — masked to 6 bits on the previous line
+    (bits & 0x3f) as usize
+}

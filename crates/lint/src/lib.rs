@@ -1,11 +1,14 @@
 //! # traj-lint — repo-specific static analysis for the Traj2Hash workspace
 //!
 //! A lightweight source lint driver: a character-level scanner
-//! ([`source`]) feeds five token-level rules ([`rules`]) that encode
+//! ([`source`]) feeds a token-level pass ([`tokens`]: function
+//! boundaries, lock-guard scopes) and ten rules ([`rules`]) that encode
 //! invariants this repository has already been burned by — NaN-unsound
 //! float sorts, panicking library code, a serving crate that must never
-//! take the process down, and container magics that must not collide
-//! ([`registry`]).
+//! take the process down, bare lock acquisitions that decide poison
+//! policy ad hoc, guards held across compute, silently-wrapping casts,
+//! undeclared atomic orderings, and container magics that must not
+//! collide (all centrally declared in [`registry`]).
 //!
 //! No rustc plugin, no external dependencies: the whole pass runs in
 //! milliseconds and works in the fully-offline build environment. The
@@ -25,6 +28,7 @@
 pub mod registry;
 pub mod rules;
 pub mod source;
+pub mod tokens;
 
 pub use rules::{check_file, Finding, RULES};
 pub use source::{scan, ScannedFile};
@@ -85,6 +89,21 @@ pub enum LintError {
         /// Entries found.
         got: usize,
     },
+    /// The same `rule<TAB>path<TAB>snippet` entry appears twice.
+    DuplicateAllowEntry {
+        /// 1-based line of the second occurrence.
+        line: usize,
+        /// The duplicated entry text.
+        text: String,
+    },
+    /// Entries are not in sorted order, so diffs churn and duplicates
+    /// hide. `--fix-list` prints entries pre-sorted; paste them as-is.
+    UnsortedAllowlist {
+        /// 1-based line of the first out-of-order entry.
+        line: usize,
+        /// The entry that sorts before its predecessor.
+        text: String,
+    },
     /// The magic registry itself contains duplicates.
     DuplicateRegistryMagic(String),
 }
@@ -101,6 +120,16 @@ impl std::fmt::Display for LintError {
                 "lint.allow has {got} entries, over the cap of {ALLOWLIST_CAP}: fix findings \
                  instead of allowlisting them"
             ),
+            LintError::DuplicateAllowEntry { line, text } => {
+                write!(f, "lint.allow line {line} duplicates an earlier entry: {text:?}")
+            }
+            LintError::UnsortedAllowlist { line, text } => {
+                write!(
+                    f,
+                    "lint.allow line {line} is out of sorted order: {text:?} — keep entries \
+                     sorted (rule, then path, then snippet); `--fix-list` prints them pre-sorted"
+                )
+            }
             LintError::DuplicateRegistryMagic(m) => {
                 write!(f, "magic registry declares {m:?} twice")
             }
@@ -112,8 +141,12 @@ impl std::error::Error for LintError {}
 
 /// Parses a `lint.allow` file. Blank lines and `#` comments are
 /// ignored; every other line must be `rule<TAB>path<TAB>snippet`.
+/// Entries must be unique and in sorted order (rule, then path, then
+/// snippet) — duplicates and unsorted files are hard errors so the
+/// allowlist stays diffable and duplicate suppressions cannot hide.
 pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, LintError> {
-    let mut entries = Vec::new();
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut prev_key: Option<(usize, (String, String, String))> = None;
     for (idx, line) in text.lines().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
@@ -122,11 +155,40 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, LintError> {
         let mut parts = line.splitn(3, '\t');
         match (parts.next(), parts.next(), parts.next()) {
             (Some(rule), Some(path), Some(snippet)) if !rule.trim().is_empty() => {
-                entries.push(AllowEntry {
+                let entry = AllowEntry {
                     rule: rule.trim().to_string(),
                     path: path.trim().to_string(),
                     snippet: snippet.trim().to_string(),
-                });
+                };
+                let key = (entry.rule.clone(), entry.path.clone(), entry.snippet.clone());
+                if let Some((_, prev)) = &prev_key {
+                    if *prev == key {
+                        return Err(LintError::DuplicateAllowEntry {
+                            line: idx + 1,
+                            text: trimmed.to_string(),
+                        });
+                    }
+                    if *prev > key {
+                        // A duplicate of a non-adjacent entry also lands
+                        // here: equal keys cannot be sorted apart.
+                        let dup = entries.iter().any(|e| {
+                            (e.rule.as_str(), e.path.as_str(), e.snippet.as_str())
+                                == (key.0.as_str(), key.1.as_str(), key.2.as_str())
+                        });
+                        if dup {
+                            return Err(LintError::DuplicateAllowEntry {
+                                line: idx + 1,
+                                text: trimmed.to_string(),
+                            });
+                        }
+                        return Err(LintError::UnsortedAllowlist {
+                            line: idx + 1,
+                            text: trimmed.to_string(),
+                        });
+                    }
+                }
+                prev_key = Some((idx + 1, key));
+                entries.push(entry);
             }
             _ => {
                 return Err(LintError::MalformedAllowlist {
@@ -212,6 +274,8 @@ pub fn run(root: &Path, files: &[PathBuf], allow: &[AllowEntry]) -> Result<LintR
     let mut report = LintReport::default();
     let mut raw_findings: Vec<Finding> = Vec::new();
     let mut seen_magics: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut intent_seen = vec![false; registry::ATOMIC_INTENTS.len()];
+    let mut helper_seen = vec![false; registry::LOCK_HELPERS.len()];
 
     for file in files {
         let text =
@@ -225,18 +289,51 @@ pub fn run(root: &Path, files: &[PathBuf], allow: &[AllowEntry]) -> Result<LintR
         for lit in &scanned.byte_literals {
             seen_magics.insert(lit.value.clone());
         }
+        for (i, intent) in registry::ATOMIC_INTENTS.iter().enumerate() {
+            if intent.path == rel
+                && scanned.lines.iter().any(|l| rules::contains_word(&l.masked, intent.atomic))
+            {
+                intent_seen[i] = true;
+            }
+        }
+        for (i, helper) in registry::LOCK_HELPERS.iter().enumerate() {
+            let decl = format!("fn {}", helper.name);
+            if helper.path == rel
+                && scanned.lines.iter().any(|l| rules::contains_word(&l.masked, &decl))
+            {
+                helper_seen[i] = true;
+            }
+        }
         check_file(&scanned, is_lib_crate_path(&rel), &mut raw_findings);
         report.files_scanned += 1;
     }
 
     // Registry hygiene: a declared magic nothing writes any more is a
     // stale entry worth a look (warning, not failure — the magic may be
-    // kept for backwards-compatible readers).
+    // kept for backwards-compatible readers). Likewise a lock helper or
+    // atomic intent whose code has moved or vanished. Fixture pins
+    // (crates/demo/…) are never scanned and are exempt.
     for magic in registry::KNOWN_MAGICS {
         if !seen_magics.contains(*magic) {
             report
                 .warnings
                 .push(format!("registry magic {magic:?} does not appear in any scanned file"));
+        }
+    }
+    for (intent, seen) in registry::ATOMIC_INTENTS.iter().zip(&intent_seen) {
+        if !seen && !intent.path.starts_with(registry::FIXTURE_PATH_PREFIX) {
+            report.warnings.push(format!(
+                "stale atomic intent: `{}` is not used in {}",
+                intent.atomic, intent.path
+            ));
+        }
+    }
+    for (helper, seen) in registry::LOCK_HELPERS.iter().zip(&helper_seen) {
+        if !seen && !helper.path.starts_with(registry::FIXTURE_PATH_PREFIX) {
+            report.warnings.push(format!(
+                "stale lock helper: `fn {}` is not defined in {}",
+                helper.name, helper.path
+            ));
         }
     }
 
@@ -293,11 +390,46 @@ mod tests {
         ));
 
         let over: String =
-            (0..21).map(|i| format!("r\tp{i}\ts\n")).collect();
+            (0..21).map(|i| format!("r\tp{i:02}\ts\n")).collect();
         assert!(matches!(
             parse_allowlist(&over),
             Err(LintError::AllowlistOverCap { got: 21 })
         ));
+    }
+
+    #[test]
+    fn allowlist_rejects_duplicates_with_the_offending_line() {
+        // Adjacent duplicate.
+        let err = parse_allowlist("ruleA\tsrc/a.rs\tsnippet\nruleA\tsrc/a.rs\tsnippet\n")
+            .expect_err("duplicate must be rejected");
+        assert!(matches!(&err, LintError::DuplicateAllowEntry { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("duplicates an earlier entry"));
+
+        // Non-adjacent duplicate (necessarily unsorted) is still
+        // reported as a duplicate, not merely as unsorted.
+        let err = parse_allowlist(
+            "ruleA\tsrc/a.rs\tx\nruleB\tsrc/b.rs\ty\nruleA\tsrc/a.rs\tx\n",
+        )
+        .expect_err("non-adjacent duplicate must be rejected");
+        assert!(matches!(err, LintError::DuplicateAllowEntry { line: 3, .. }));
+    }
+
+    #[test]
+    fn allowlist_rejects_unsorted_entries_with_guidance() {
+        let err = parse_allowlist("ruleB\tsrc/b.rs\ty\nruleA\tsrc/a.rs\tx\n")
+            .expect_err("unsorted must be rejected");
+        assert!(matches!(&err, LintError::UnsortedAllowlist { line: 2, .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("out of sorted order"), "{msg}");
+        assert!(msg.contains("--fix-list"), "diagnostic must point at the fix: {msg}");
+
+        // Comments and blank lines between entries do not confuse the
+        // order check, and a properly sorted file parses.
+        let ok = parse_allowlist(
+            "# header\nruleA\tsrc/a.rs\tx\n\n# note\nruleA\tsrc/b.rs\ty\nruleB\tsrc/a.rs\tz\n",
+        )
+        .expect("sorted file parses");
+        assert_eq!(ok.len(), 3);
     }
 
     #[test]

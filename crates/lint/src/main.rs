@@ -112,9 +112,15 @@ fn main() -> ExitCode {
         println!("{finding}");
     }
     if args.fix_list && !report.findings.is_empty() {
-        println!("\n# lint.allow entries for the findings above:");
-        for finding in &report.findings {
-            println!("{}", fix_list_entry(finding));
+        // Pre-sorted and deduplicated so the block pastes straight into
+        // lint.allow, whose parser rejects duplicates and unsorted
+        // entries.
+        let mut entries: Vec<String> = report.findings.iter().map(fix_list_entry).collect();
+        entries.sort();
+        entries.dedup();
+        println!("\n# lint.allow entries for the findings above (pre-sorted):");
+        for entry in entries {
+            println!("{entry}");
         }
     }
 

@@ -1,11 +1,23 @@
-//! The container-magic registry: the single place every on-disk format
-//! header used anywhere in the workspace must be declared.
+//! The workspace invariant registries: the single place every on-disk
+//! format header, sanctioned lock helper, compute boundary, and atomic
+//! ordering intent used anywhere in the workspace must be declared.
 //!
-//! The `checkpoint-magic-registry` rule flags any magic-shaped
-//! byte-string literal (4–8 uppercase/digit characters) that is not
-//! listed here, so two serialization formats can never silently claim
-//! the same header — and so a reader of this file sees every format the
-//! repo can produce at a glance.
+//! Four tables live here:
+//!
+//! * [`KNOWN_MAGICS`] — container magics, backing the
+//!   `checkpoint-magic-registry` rule;
+//! * [`LOCK_HELPERS`] — the poison-proof lock-acquisition helpers,
+//!   backing `no-bare-lock`: only these functions may call
+//!   `.lock()`/`.read()`/`.write()` directly, and only in their
+//!   registered file;
+//! * [`COMPUTE_CALLS`] — the heavy compute/IO entry points a lock guard
+//!   must never be held across, backing `no-guard-across-compute`;
+//! * [`ATOMIC_INTENTS`] — the declared memory-ordering policy for every
+//!   atomic in the workspace, backing `atomic-ordering-registry`.
+//!
+//! Declaring intent centrally is the point: a new lock helper, a new
+//! atomic, or a stronger ordering shows up as a diff *to this file*,
+//! where a reviewer sees the whole concurrency story at a glance.
 
 /// Every known container magic, with its owning format:
 ///
@@ -16,6 +28,175 @@
 /// | `T2HCKPT1` | training checkpoint (`traj2hash::checkpoint`)      |
 /// | `T2HSNAP1` | engine snapshot (`traj_engine::snapshot`)          |
 pub const KNOWN_MAGICS: &[&str] = &["TNN1", "TNS1", "T2HCKPT1", "T2HSNAP1"];
+
+/// A sanctioned poison-proof lock helper: the only functions allowed to
+/// call `.lock()` / `.read()` / `.write()` on a `Mutex`/`RwLock`
+/// directly. Each helper owns the poison-recovery decision for exactly
+/// one lock family, so a panicking writer can never wedge the rest of
+/// the process by accident of `.unwrap()`-on-`PoisonError`.
+#[derive(Debug, Clone, Copy)]
+pub struct LockHelper {
+    /// Repo-relative file the helper is defined in — bare lock calls
+    /// are exempt only inside this file's function of that name.
+    pub path: &'static str,
+    /// The helper's function name; calling it anywhere is sanctioned.
+    pub name: &'static str,
+    /// One-line rationale: what lock it guards and why poison recovery
+    /// is sound there.
+    pub why: &'static str,
+}
+
+/// The sanctioned-helper registry (the `no-bare-lock` rule's ground
+/// truth). Paths under `crates/demo/` are the lint fixture namespace —
+/// they never exist in the repo and are exempt from staleness checks.
+pub const LOCK_HELPERS: &[LockHelper] = &[
+    LockHelper {
+        path: "crates/engine/src/cell.rs",
+        name: "rread",
+        why: "publish-cell RwLock read; the Arc inside a poisoned guard is still a valid \
+              published state, so recovery serves it",
+    },
+    LockHelper {
+        path: "crates/engine/src/cell.rs",
+        name: "rwrite",
+        why: "publish-cell RwLock write; a poisoned cell still holds the last published \
+              Arc, so the next writer may replace it",
+    },
+    LockHelper {
+        path: "crates/engine/src/engine.rs",
+        name: "tlock",
+        why: "telemetry Mutex; counters are plain integers, valid after any panic",
+    },
+    LockHelper {
+        path: "crates/obs/src/lib.rs",
+        name: "olock",
+        why: "recorder-internal Mutex; sink buffers stay structurally valid after a \
+              panicking append",
+    },
+    LockHelper {
+        path: "crates/obs/src/lib.rs",
+        name: "gread",
+        why: "GLOBAL recorder RwLock read; a poisoned global still names a usable \
+              recorder Arc",
+    },
+    LockHelper {
+        path: "crates/obs/src/lib.rs",
+        name: "gwrite",
+        why: "GLOBAL recorder RwLock write; install/uninstall may proceed after a \
+              poisoned reader",
+    },
+    LockHelper {
+        path: "crates/tinynn/src/sync.rs",
+        name: "cread",
+        why: "memo-cache RwLock read; caches hold pure recomputable values, poison \
+              cannot corrupt them",
+    },
+    LockHelper {
+        path: "crates/tinynn/src/sync.rs",
+        name: "cwrite",
+        why: "memo-cache RwLock write; worst case after poison is a redundant recompute",
+    },
+];
+
+/// Heavy compute / IO entry points a lock guard must never be live
+/// across (the `no-guard-across-compute` rule): holding a publish-cell
+/// or telemetry guard across any of these stalls every reader behind
+/// a long computation and widens the poison blast radius to the whole
+/// serving plane. Snapshot first (`Arc::clone(&rread(..))`), drop the
+/// guard, then compute.
+pub const COMPUTE_CALLS: &[&str] = &[
+    "search",
+    "embed",
+    "embed_batch",
+    "embed_all",
+    "embed_all_with_threads",
+    "rebuilt",
+    "rebuild_shard",
+    "instantiate",
+    "encode_view",
+    "decode_parts",
+    "snapshot_bytes",
+    "from_spec",
+];
+
+/// A declared memory-ordering policy for one atomic.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicIntent {
+    /// Repo-relative file the atomic's operations live in.
+    pub path: &'static str,
+    /// The atomic's identifier (field or static name) as it appears at
+    /// the use sites.
+    pub atomic: &'static str,
+    /// Orderings permitted at those sites.
+    pub allowed: &'static [&'static str],
+    /// One-line rationale for the policy.
+    pub why: &'static str,
+}
+
+/// The atomic-ordering intent table (the `atomic-ordering-registry`
+/// rule's ground truth). Policy: `Relaxed` only for monotone
+/// observability counters whose values carry no synchronization
+/// meaning; anything that publishes state other threads then read
+/// must use `Acquire`/`Release` pairs or `SeqCst`. Entries under
+/// `crates/demo/` are lint fixture pins (that namespace never exists
+/// in the repo) and are exempt from staleness checks.
+pub const ATOMIC_INTENTS: &[AtomicIntent] = &[
+    AtomicIntent {
+        path: "crates/obs/src/lib.rs",
+        atomic: "ACTIVE",
+        allowed: &["Relaxed", "SeqCst"],
+        why: "Relaxed for the enabled() fast-path load (stale reads only cost one \
+              recorded/unrecorded event); SeqCst on install/uninstall so the count \
+              totally orders with GLOBAL swaps",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/jsonl.rs",
+        atomic: "SEQ",
+        allowed: &["Relaxed"],
+        why: "unique-suffix counter for export file names; uniqueness needs atomicity, \
+              not ordering",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/memory.rs",
+        atomic: "records",
+        allowed: &["Relaxed"],
+        why: "monotone record counter in the obs fast path; read only for reporting",
+    },
+    AtomicIntent {
+        path: "crates/core/src/iofault.rs",
+        atomic: "attempts",
+        allowed: &["Relaxed"],
+        why: "fault-injection attempt counter; test-harness statistics only",
+    },
+    AtomicIntent {
+        path: "crates/core/src/iofault.rs",
+        atomic: "injected",
+        allowed: &["Relaxed"],
+        why: "fault-injection hit counter; test-harness statistics only",
+    },
+    AtomicIntent {
+        path: "crates/core/src/iofault.rs",
+        atomic: "TMP_COUNTER",
+        allowed: &["Relaxed"],
+        why: "unique temp-file suffix; uniqueness needs atomicity, not ordering",
+    },
+    AtomicIntent {
+        path: "crates/demo/src/fail.rs",
+        atomic: "DEMO_HITS",
+        allowed: &["Relaxed"],
+        why: "lint fixture pin: exercises the declared-but-wrong-ordering diagnostic",
+    },
+    AtomicIntent {
+        path: "crates/demo/src/pass.rs",
+        atomic: "DEMO_HITS",
+        allowed: &["Relaxed"],
+        why: "lint fixture pin: exercises the declared-and-conforming path",
+    },
+];
+
+/// The lint fixture namespace: registry entries under this prefix pin
+/// fixture behaviour and are exempt from staleness warnings.
+pub const FIXTURE_PATH_PREFIX: &str = "crates/demo/";
 
 /// Duplicate entries would defeat the whole point of the registry; the
 /// driver checks this on every run (and the test below pins it).
@@ -38,6 +219,38 @@ mod tests {
         for m in KNOWN_MAGICS {
             assert!((4..=8).contains(&m.len()), "{m}");
             assert!(m.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()), "{m}");
+        }
+    }
+
+    #[test]
+    fn lock_helpers_are_unique_by_name_and_carry_rationale() {
+        let mut seen = std::collections::HashSet::new();
+        for h in LOCK_HELPERS {
+            assert!(seen.insert(h.name), "helper name {} registered twice", h.name);
+            assert!(!h.why.trim().is_empty(), "{}: empty rationale", h.name);
+            assert!(h.path.starts_with("crates/"), "{}: odd path {}", h.name, h.path);
+        }
+    }
+
+    #[test]
+    fn atomic_intents_are_unique_per_site_and_use_real_orderings() {
+        const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+        let mut seen = std::collections::HashSet::new();
+        for i in ATOMIC_INTENTS {
+            assert!(seen.insert((i.path, i.atomic)), "{}:{} declared twice", i.path, i.atomic);
+            assert!(!i.allowed.is_empty(), "{}: empty allowed set", i.atomic);
+            for o in i.allowed {
+                assert!(ORDERINGS.contains(o), "{}: unknown ordering {o}", i.atomic);
+            }
+            assert!(!i.why.trim().is_empty(), "{}: empty rationale", i.atomic);
+        }
+    }
+
+    #[test]
+    fn compute_calls_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in COMPUTE_CALLS {
+            assert!(seen.insert(*c), "compute call {c} listed twice");
         }
     }
 }

@@ -9,8 +9,11 @@
 //! `panic!`) are distinctive enough that masking comments and strings
 //! removes essentially all false positives.
 
-use crate::registry::KNOWN_MAGICS;
+use crate::registry::{ATOMIC_INTENTS, COMPUTE_CALLS, KNOWN_MAGICS, LOCK_HELPERS};
 use crate::source::ScannedFile;
+use crate::tokens::{
+    acquisitions, enclosing_fn, function_spans, guard_scope, tokenize, AcquireKind, TokenKind,
+};
 use std::fmt;
 
 /// One diagnostic produced by a rule.
@@ -42,6 +45,10 @@ pub const RULES: &[&str] = &[
     "no-panic-in-engine",
     "no-raw-print-in-lib",
     "checkpoint-magic-registry",
+    "no-bare-lock",
+    "no-guard-across-compute",
+    "no-lossy-as-cast",
+    "atomic-ordering-registry",
 ];
 
 /// Short aliases accepted in `// lint: allow(...)` annotations.
@@ -53,6 +60,10 @@ fn rule_aliases(rule: &str) -> &[&str] {
         "no-panic-in-engine" => &["panic", "no-panic-in-engine"],
         "no-raw-print-in-lib" => &["raw-print", "no-raw-print-in-lib"],
         "checkpoint-magic-registry" => &["magic", "checkpoint-magic-registry"],
+        "no-bare-lock" => &["bare-lock", "no-bare-lock"],
+        "no-guard-across-compute" => &["guard-across-compute", "no-guard-across-compute"],
+        "no-lossy-as-cast" => &["lossy-cast", "no-lossy-as-cast"],
+        "atomic-ordering-registry" => &["atomic-ordering", "atomic-ordering-registry"],
         _ => &[],
     }
 }
@@ -221,18 +232,223 @@ pub fn checkpoint_magic_registry(file: &ScannedFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// True when `word` occurs in `line` with identifier boundaries on
+/// both sides (so the intent for `SEQ` does not match `SEQ_LEN`).
+pub(crate) fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// `no-bare-lock`: a `.lock()` / `.read()` / `.write()` call on a
+/// `Mutex`/`RwLock` anywhere outside the sanctioned poison-proof
+/// helpers in [`LOCK_HELPERS`]. Direct acquisition decides the poison
+/// policy ad hoc at every call site — one `.expect("poisoned")` wedges
+/// the serving plane the first time a writer panics. Route through the
+/// registered helper for the lock family instead.
+pub fn no_bare_lock(file: &ScannedFile, out: &mut Vec<Finding>) {
+    let tokens = tokenize(file);
+    let spans = function_spans(&tokens);
+    let helper_names: Vec<&str> = LOCK_HELPERS.iter().map(|h| h.name).collect();
+    for acq in acquisitions(&tokens, &helper_names) {
+        if acq.kind != AcquireKind::Bare {
+            continue;
+        }
+        let idx = acq.line - 1;
+        if file.lines[idx].in_test || is_allowed(file, idx, "no-bare-lock") {
+            continue;
+        }
+        // A registered helper's own body is the one sanctioned home for
+        // the bare call — but only in its registered file.
+        if let Some(f) = enclosing_fn(&spans, acq.name_token) {
+            if LOCK_HELPERS.iter().any(|h| h.name == f.name && h.path == file.path) {
+                continue;
+            }
+        }
+        out.push(Finding {
+            rule: "no-bare-lock",
+            path: file.path.clone(),
+            line: acq.line,
+            snippet: file.lines[idx].raw.trim().to_string(),
+            message: format!(
+                "bare .{}() lock acquisition; route through a sanctioned poison-proof \
+                 helper (crates/lint/src/registry.rs LOCK_HELPERS)",
+                acq.name
+            ),
+        });
+    }
+}
+
+/// `no-guard-across-compute`: a lock guard live across a call into a
+/// [`COMPUTE_CALLS`] entry point (search/encode/rebuild/snapshot).
+/// Holding a publish-cell read guard across a model forward pass stalls
+/// the writer — and every other reader queued behind it — for the whole
+/// computation, and a panic inside the compute poisons the lock.
+/// Snapshot the `Arc` first (`Arc::clone(&rread(..))`), let the guard
+/// drop, then compute.
+pub fn no_guard_across_compute(file: &ScannedFile, out: &mut Vec<Finding>) {
+    let tokens = tokenize(file);
+    let spans = function_spans(&tokens);
+    let helper_names: Vec<&str> = LOCK_HELPERS.iter().map(|h| h.name).collect();
+    for acq in acquisitions(&tokens, &helper_names) {
+        let Some(f) = enclosing_fn(&spans, acq.name_token) else { continue };
+        let acq_idx = acq.line - 1;
+        if file.lines[acq_idx].in_test {
+            continue;
+        }
+        let scope = guard_scope(&tokens, &acq, f.body_open, f.body_close);
+        for j in scope.start..=scope.end.min(tokens.len().saturating_sub(1)) {
+            let t = &tokens[j];
+            if t.kind != TokenKind::Ident
+                || !COMPUTE_CALLS.contains(&t.text.as_str())
+                || !tokens.get(j + 1).map(|n| n.text == "(").unwrap_or(false)
+            {
+                continue;
+            }
+            let call_idx = t.line - 1;
+            if is_allowed(file, call_idx, "no-guard-across-compute")
+                || is_allowed(file, acq_idx, "no-guard-across-compute")
+            {
+                continue;
+            }
+            out.push(Finding {
+                rule: "no-guard-across-compute",
+                path: file.path.clone(),
+                line: t.line,
+                snippet: file.lines[call_idx].raw.trim().to_string(),
+                message: format!(
+                    "guard `{}` (acquired line {}) is live across compute call `{}`; \
+                     clone the Arc out and drop the guard before computing",
+                    scope.binding, acq.line, t.text
+                ),
+            });
+            break; // one finding per guard keeps the report readable
+        }
+    }
+}
+
+/// Cast targets the `no-lossy-as-cast` rule treats as narrowing. `u64`
+/// / `i64` / floats are excluded: widening casts to them cannot lose
+/// integer range on any supported platform, while `as usize` (and
+/// smaller) truncates silently when a 64-bit length field arrives
+/// corrupt.
+const NARROW_TARGETS: &[&str] = &["usize", "isize", "u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// `no-lossy-as-cast`: a narrowing `as` cast in library code. `as`
+/// silently wraps — a corrupt `u64` length decodes as a small `usize`
+/// and the reader misparses the rest of the container instead of
+/// erroring. Use `try_into()` with the crate's typed error, or justify
+/// a provably-in-range cast with `// lint: allow(lossy-cast)`.
+pub fn no_lossy_as_cast(file: &ScannedFile, out: &mut Vec<Finding>) {
+    let tokens = tokenize(file);
+    let mut last_line = 0usize;
+    for (j, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "as" {
+            continue;
+        }
+        let Some(target) = tokens.get(j + 1) else { continue };
+        if target.kind != TokenKind::Ident || !NARROW_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        let idx = t.line - 1;
+        if t.line == last_line || file.lines[idx].in_test || is_allowed(file, idx, "no-lossy-as-cast")
+        {
+            continue;
+        }
+        last_line = t.line; // one finding per line even with several casts
+        out.push(Finding {
+            rule: "no-lossy-as-cast",
+            path: file.path.clone(),
+            line: t.line,
+            snippet: file.lines[idx].raw.trim().to_string(),
+            message: format!(
+                "narrowing `as {}` cast in library code; use try_into() with a typed \
+                 error, or justify with lint: allow(lossy-cast)",
+                target.text
+            ),
+        });
+    }
+}
+
+/// The orderings the `atomic-ordering-registry` rule recognises.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// `atomic-ordering-registry`: every `Ordering::*` use site must match
+/// a declared [`ATOMIC_INTENTS`] entry for (file, atomic). An ordering
+/// choice is an argument about every other thread in the program; the
+/// registry forces that argument to be written down once, reviewed, and
+/// kept in sync with the code. Policy: `Relaxed` only for monotone obs
+/// counters, `Acquire`/`Release`/`SeqCst` for anything that publishes.
+pub fn atomic_ordering_registry(file: &ScannedFile, out: &mut Vec<Finding>) {
+    let intents: Vec<_> = ATOMIC_INTENTS.iter().filter(|i| i.path == file.path).collect();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || !line.masked.contains("Ordering::") {
+            continue;
+        }
+        for ord in ORDERINGS {
+            let needle = format!("Ordering::{ord}");
+            if !contains_word(&line.masked, &needle) {
+                continue;
+            }
+            if is_allowed(file, idx, "atomic-ordering-registry") {
+                continue;
+            }
+            let matching: Vec<_> =
+                intents.iter().filter(|i| contains_word(&line.masked, i.atomic)).collect();
+            let message = if matching.is_empty() {
+                format!(
+                    "Ordering::{ord} on an atomic with no declared intent; add the atomic \
+                     to ATOMIC_INTENTS (crates/lint/src/registry.rs) with a rationale"
+                )
+            } else if matching.iter().any(|i| i.allowed.contains(ord)) {
+                continue;
+            } else {
+                let i = matching[0];
+                format!(
+                    "Ordering::{ord} is not in the declared intent for `{}` (allowed: {}); \
+                     change the code or re-justify the registry entry",
+                    i.atomic,
+                    i.allowed.join(", ")
+                )
+            };
+            out.push(Finding {
+                rule: "atomic-ordering-registry",
+                path: file.path.clone(),
+                line: idx + 1,
+                snippet: line.raw.trim().to_string(),
+                message,
+            });
+        }
+    }
+}
+
 /// Runs every rule applicable to `file`. `lib_crate` gates the
-/// unwrap rule: binaries and dev-tooling crates (bench, lint) may
-/// unwrap, library crates may not.
+/// unwrap and lossy-cast rules: binaries and dev-tooling crates
+/// (bench, lint) may unwrap and cast, library crates may not.
 pub fn check_file(file: &ScannedFile, lib_crate: bool, out: &mut Vec<Finding>) {
     no_float_partial_cmp_sort(file, out);
     if lib_crate {
         no_unwrap_in_lib(file, out);
+        no_lossy_as_cast(file, out);
     }
     no_silent_clamp(file, out);
     no_panic_in_engine(file, out);
     no_raw_print_in_lib(file, out);
     checkpoint_magic_registry(file, out);
+    no_bare_lock(file, out);
+    no_guard_across_compute(file, out);
+    atomic_ordering_registry(file, out);
 }
 
 #[cfg(test)]
@@ -301,6 +517,127 @@ mod tests {
         }
         let allowed = "// lint: allow(raw-print) — CLI usage text\nfn f() { eprintln!(\"x\"); }\n";
         assert!(findings_for(allowed, false).is_empty());
+    }
+
+    #[test]
+    fn bare_lock_is_flagged_outside_registered_helpers() {
+        let bare = findings_for("fn f(m: &Mutex<u32>) { let g = m.lock(); }\n", false);
+        assert!(bare.iter().any(|f| f.rule == "no-bare-lock"));
+        let bare_rw = findings_for("fn f(l: &RwLock<u32>) { let g = l.read(); l.write(); }\n", false);
+        assert_eq!(bare_rw.iter().filter(|f| f.rule == "no-bare-lock").count(), 2);
+
+        // Helper calls are sanctioned by name anywhere.
+        let helper = findings_for("fn f(m: &Mutex<T>) { tlock(m).hits += 1; }\n", false);
+        assert!(helper.iter().all(|f| f.rule != "no-bare-lock"));
+
+        // The helper's own body is exempt — but only in its registered file.
+        let body = "pub(crate) fn rread<T>(l: &RwLock<T>) -> G<T> {\n    match l.read() {\n        Ok(g) => g,\n        Err(p) => p.into_inner(),\n    }\n}\n";
+        let home = scan("crates/engine/src/cell.rs", body, false);
+        let mut out = Vec::new();
+        no_bare_lock(&home, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let elsewhere = scan("crates/core/src/lib.rs", body, false);
+        let mut out = Vec::new();
+        no_bare_lock(&elsewhere, &mut out);
+        assert_eq!(out.len(), 1, "same body outside the registered file must flag");
+
+        // Annotation suppresses.
+        let allowed =
+            "fn f(m: &Mutex<u32>) {\n    // lint: allow(bare-lock) — single-threaded init\n    let g = m.lock();\n}\n";
+        assert!(findings_for(allowed, false).iter().all(|f| f.rule != "no-bare-lock"));
+
+        // `read` with arguments is IO, not a lock.
+        let io = findings_for("fn f(r: &mut File) { r.read(&mut buf); }\n", false);
+        assert!(io.iter().all(|f| f.rule != "no-bare-lock"));
+    }
+
+    #[test]
+    fn guard_across_compute_distinguishes_retained_from_cloned() {
+        let bad = "fn f(&self) -> R {\n    let bp = rread(&self.model);\n    let m = bp.instantiate();\n    m\n}\n";
+        let hits = findings_for(bad, false);
+        let f = hits.iter().find(|f| f.rule == "no-guard-across-compute").expect("must flag");
+        assert!(f.message.contains("bp"), "{}", f.message);
+        assert!(f.message.contains("instantiate"), "{}", f.message);
+
+        // Method-chained compute on the guard temporary is the same hazard.
+        let chained = "fn f(&self) -> R {\n    rread(&self.model).instantiate()\n}\n";
+        assert!(findings_for(chained, false).iter().any(|f| f.rule == "no-guard-across-compute"));
+
+        // Clone-then-drop is the sanctioned shape.
+        let good = "fn f(&self) -> R {\n    let bp = Arc::clone(&rread(&self.model));\n    let m = bp.instantiate();\n    m\n}\n";
+        assert!(
+            findings_for(good, false).iter().all(|f| f.rule != "no-guard-across-compute"),
+            "cloned Arc must not flag"
+        );
+
+        // Explicit drop ends the hazard window.
+        let dropped = "fn f(&self) -> R {\n    let g = rwrite(&self.cell);\n    g.touch();\n    drop(g);\n    search(&q)\n}\n";
+        assert!(findings_for(dropped, false).iter().all(|f| f.rule != "no-guard-across-compute"));
+
+        // Bare acquisitions are tracked too.
+        let bare = "fn f(&self) -> R {\n    let g = self.state.read();\n    search(&g)\n}\n";
+        assert!(findings_for(bare, false).iter().any(|f| f.rule == "no-guard-across-compute"));
+    }
+
+    #[test]
+    fn lossy_cast_flags_narrowing_targets_only_in_lib() {
+        let src = "fn f(n: u64) -> usize { n as usize }\n";
+        assert!(findings_for(src, true).iter().any(|f| f.rule == "no-lossy-as-cast"));
+        assert!(findings_for(src, false).iter().all(|f| f.rule != "no-lossy-as-cast"));
+
+        // Widening targets are fine.
+        let wide = "fn f(n: u32) -> u64 { n as u64 }\nfn g(x: f32) -> f64 { x as f64 }\n";
+        assert!(findings_for(wide, true).iter().all(|f| f.rule != "no-lossy-as-cast"));
+
+        // One finding per line even with several casts.
+        let multi = "fn f(a: u64, b: u64) -> (usize, u32) { (a as usize, b as u32) }\n";
+        assert_eq!(
+            findings_for(multi, true).iter().filter(|f| f.rule == "no-lossy-as-cast").count(),
+            1
+        );
+
+        // Annotated sites pass.
+        let ok = "fn f(n: u64) -> usize {\n    // lint: allow(lossy-cast) — n < 256, checked above\n    n as usize\n}\n";
+        assert!(findings_for(ok, true).iter().all(|f| f.rule != "no-lossy-as-cast"));
+
+        // `as` in a use-rename is not a cast.
+        let rename = "use std::io::Result as IoResult;\n";
+        assert!(findings_for(rename, true).iter().all(|f| f.rule != "no-lossy-as-cast"));
+    }
+
+    #[test]
+    fn atomic_ordering_requires_a_declared_intent() {
+        // Undeclared atomic: flagged regardless of ordering.
+        let undeclared = findings_for("fn f() { HITS.fetch_add(1, Ordering::Relaxed); }\n", false);
+        let f = undeclared.iter().find(|f| f.rule == "atomic-ordering-registry").expect("flag");
+        assert!(f.message.contains("no declared intent"), "{}", f.message);
+
+        // Declared atomic with a conforming ordering: clean. The obs
+        // ACTIVE intent allows Relaxed and SeqCst.
+        let obs_ok = scan(
+            "crates/obs/src/lib.rs",
+            "fn enabled() -> bool { ACTIVE.load(Ordering::Relaxed) != 0 }\n",
+            false,
+        );
+        let mut out = Vec::new();
+        atomic_ordering_registry(&obs_ok, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        // Declared atomic with a non-conforming ordering: flagged with
+        // the allowed set in the message.
+        let obs_bad = scan(
+            "crates/obs/src/jsonl.rs",
+            "fn next() -> u64 { SEQ.fetch_add(1, Ordering::SeqCst) }\n",
+            false,
+        );
+        let mut out = Vec::new();
+        atomic_ordering_registry(&obs_bad, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("allowed: Relaxed"), "{}", out[0].message);
+
+        // Ordering::Equal (the cmp enum) is not an atomic ordering.
+        let cmp = findings_for("let o = x.cmp(&y) == Ordering::Equal;\n", false);
+        assert!(cmp.iter().all(|f| f.rule != "atomic-ordering-registry"));
     }
 
     #[test]

@@ -36,6 +36,10 @@ fn run_rule(rule: &str, fixture: &Path, which: &str) -> Vec<Finding> {
         "no-panic-in-engine" => rules::no_panic_in_engine(&file, &mut out),
         "no-raw-print-in-lib" => rules::no_raw_print_in_lib(&file, &mut out),
         "checkpoint-magic-registry" => rules::checkpoint_magic_registry(&file, &mut out),
+        "no-bare-lock" => rules::no_bare_lock(&file, &mut out),
+        "no-guard-across-compute" => rules::no_guard_across_compute(&file, &mut out),
+        "no-lossy-as-cast" => rules::no_lossy_as_cast(&file, &mut out),
+        "atomic-ordering-registry" => rules::atomic_ordering_registry(&file, &mut out),
         other => panic!("unknown rule {other}"),
     }
     out
@@ -107,6 +111,26 @@ fn fixture_no_raw_print_in_lib() {
 #[test]
 fn fixture_checkpoint_magic_registry() {
     check_rule_fixtures("checkpoint-magic-registry");
+}
+
+#[test]
+fn fixture_no_bare_lock() {
+    check_rule_fixtures("no-bare-lock");
+}
+
+#[test]
+fn fixture_no_guard_across_compute() {
+    check_rule_fixtures("no-guard-across-compute");
+}
+
+#[test]
+fn fixture_no_lossy_as_cast() {
+    check_rule_fixtures("no-lossy-as-cast");
+}
+
+#[test]
+fn fixture_atomic_ordering_registry() {
+    check_rule_fixtures("atomic-ordering-registry");
 }
 
 #[test]
@@ -206,7 +230,7 @@ fn binary_rejects_an_overfull_allowlist() {
     let tree = TempTree::new("over-cap");
     tree.write("crates/demo/src/lib.rs", "pub fn ok() {}\n");
     let entries: String = (0..21)
-        .map(|i| format!("no-unwrap-in-lib\tcrates/demo/src/lib.rs\tline{i}.unwrap()\n"))
+        .map(|i| format!("no-unwrap-in-lib\tcrates/demo/src/lib.rs\tline{i:02}.unwrap()\n"))
         .collect();
     tree.write("lint.allow", &entries);
 

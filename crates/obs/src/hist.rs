@@ -58,6 +58,7 @@ fn bucket_of(v: f64) -> usize {
     if v <= MIN_VALUE {
         return 0;
     }
+    // lint: allow(lossy-cast) — v >= MIN_VALUE makes the log nonnegative; idx is clamped below
     let idx = ((v / MIN_VALUE).log2() * SUBDIV) as usize;
     idx.min(BUCKETS - 1)
 }

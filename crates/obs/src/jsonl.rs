@@ -23,7 +23,7 @@
 //! occurrence of a name wins.
 
 use crate::memory::Aggregates;
-use crate::{lock, Field, Recorder, Value};
+use crate::{olock, Field, Recorder, Value};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -45,8 +45,8 @@ fn escape_into(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -118,18 +118,18 @@ impl JsonlRecorder {
     /// A snapshot of everything aggregated so far (streamed events and
     /// spans are retained here too, so summaries match the file).
     pub fn aggregates(&self) -> Aggregates {
-        lock(&self.agg).clone()
+        olock(&self.agg).clone()
     }
 
     /// Human-readable summary of the aggregated state.
     pub fn summary(&self) -> String {
-        lock(&self.agg).summary()
+        olock(&self.agg).summary()
     }
 
     /// Appends one line. IO failures are swallowed: losing telemetry
     /// must never take the instrumented program down with it.
     fn write_line(&self, line: &str) {
-        let mut out = lock(&self.out);
+        let mut out = olock(&self.out);
         let _ = out.write_all(line.as_bytes());
         let _ = out.write_all(b"\n");
     }
@@ -137,19 +137,19 @@ impl JsonlRecorder {
 
 impl Recorder for JsonlRecorder {
     fn counter(&self, name: &str, delta: u64) {
-        lock(&self.agg).apply_counter(name, delta);
+        olock(&self.agg).apply_counter(name, delta);
     }
 
     fn gauge(&self, name: &str, value: f64) {
-        lock(&self.agg).apply_gauge(name, value);
+        olock(&self.agg).apply_gauge(name, value);
     }
 
     fn observe(&self, name: &str, value: f64) {
-        lock(&self.agg).apply_observe(name, value);
+        olock(&self.agg).apply_observe(name, value);
     }
 
     fn event(&self, name: &str, fields: &[Field]) {
-        lock(&self.agg).apply_event(name, fields);
+        olock(&self.agg).apply_event(name, fields);
         let mut line = String::from("{\"kind\":\"event\",\"name\":\"");
         escape_into(&mut line, name);
         line.push_str("\",\"fields\":");
@@ -159,7 +159,7 @@ impl Recorder for JsonlRecorder {
     }
 
     fn span_end(&self, path: &str, seconds: f64, fields: &[Field]) {
-        lock(&self.agg).apply_span(path, seconds, fields);
+        olock(&self.agg).apply_span(path, seconds, fields);
         let mut line = String::from("{\"kind\":\"span\",\"path\":\"");
         escape_into(&mut line, path);
         line.push_str("\",\"seconds\":");
@@ -171,7 +171,7 @@ impl Recorder for JsonlRecorder {
     }
 
     fn flush(&self) {
-        let snapshot = lock(&self.agg).clone();
+        let snapshot = olock(&self.agg).clone();
         for (name, v) in &snapshot.counters {
             let mut line = String::from("{\"kind\":\"counter\",\"name\":\"");
             escape_into(&mut line, name);
@@ -204,7 +204,7 @@ impl Recorder for JsonlRecorder {
             let _ = write!(line, ",\"non_finite\":{}}}", h.non_finite());
             self.write_line(&line);
         }
-        let _ = lock(&self.out).flush();
+        let _ = olock(&self.out).flush();
     }
 }
 

@@ -174,10 +174,31 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Poison-proof lock helpers: a recorder panicking while holding its
-/// own lock must not disable observability for the rest of the process.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+/// Poison-proof mutex acquisition for recorder internals: a recorder
+/// panicking while holding its own lock must not disable observability
+/// for the rest of the process. This is the obs crate's one sanctioned
+/// `Mutex` acquisition point (traj-lint `no-bare-lock`).
+pub(crate) fn olock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Poison-proof read of the global recorder slot. Recovery is sound
+/// because the slot only ever holds a whole `Option<Arc<..>>` that is
+/// replaced atomically under the write lock — a panicked installer
+/// cannot leave it half-written.
+fn gread() -> std::sync::RwLockReadGuard<'static, Option<Arc<dyn Recorder>>> {
+    match GLOBAL.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Poison-proof write of the global recorder slot; see [`gread`].
+fn gwrite() -> std::sync::RwLockWriteGuard<'static, Option<Arc<dyn Recorder>>> {
+    match GLOBAL.write() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
@@ -193,10 +214,7 @@ pub fn enabled() -> bool {
 /// Installs `rec` as the process-wide recorder, replacing any previous
 /// one. Thread-local recorders (tests) take precedence on their thread.
 pub fn install(rec: Arc<dyn Recorder>) {
-    let mut g = match GLOBAL.write() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    };
+    let mut g = gwrite();
     if g.is_none() {
         ACTIVE.fetch_add(1, Ordering::SeqCst);
     }
@@ -206,10 +224,7 @@ pub fn install(rec: Arc<dyn Recorder>) {
 /// Removes the process-wide recorder; emission sites return to the
 /// near-zero no-op path.
 pub fn uninstall() {
-    let mut g = match GLOBAL.write() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    };
+    let mut g = gwrite();
     if g.take().is_some() {
         ACTIVE.fetch_sub(1, Ordering::SeqCst);
     }
@@ -241,10 +256,7 @@ fn current() -> Option<Arc<dyn Recorder>> {
     if let Some(local) = LOCAL.with(|l| l.borrow().clone()) {
         return Some(local);
     }
-    match GLOBAL.read() {
-        Ok(g) => g.clone(),
-        Err(p) => p.into_inner().clone(),
-    }
+    gread().clone()
 }
 
 // ---------------------------------------------------------------------

@@ -3,7 +3,7 @@
 //! summary from.
 
 use crate::hist::Histogram;
-use crate::{lock, Field, Recorder, Value};
+use crate::{olock, Field, Recorder, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -185,7 +185,7 @@ pub struct InMemoryRecorder {
 impl InMemoryRecorder {
     /// A snapshot of everything recorded so far.
     pub fn aggregates(&self) -> Aggregates {
-        lock(&self.inner).clone()
+        olock(&self.inner).clone()
     }
 
     /// Total recorder invocations (counters + gauges + observations +
@@ -197,34 +197,34 @@ impl InMemoryRecorder {
 
     /// Human-readable summary of the aggregated state.
     pub fn summary(&self) -> String {
-        lock(&self.inner).summary()
+        olock(&self.inner).summary()
     }
 }
 
 impl Recorder for InMemoryRecorder {
     fn counter(&self, name: &str, delta: u64) {
         self.records.fetch_add(1, Ordering::Relaxed);
-        lock(&self.inner).apply_counter(name, delta);
+        olock(&self.inner).apply_counter(name, delta);
     }
 
     fn gauge(&self, name: &str, value: f64) {
         self.records.fetch_add(1, Ordering::Relaxed);
-        lock(&self.inner).apply_gauge(name, value);
+        olock(&self.inner).apply_gauge(name, value);
     }
 
     fn observe(&self, name: &str, value: f64) {
         self.records.fetch_add(1, Ordering::Relaxed);
-        lock(&self.inner).apply_observe(name, value);
+        olock(&self.inner).apply_observe(name, value);
     }
 
     fn event(&self, name: &str, fields: &[Field]) {
         self.records.fetch_add(1, Ordering::Relaxed);
-        lock(&self.inner).apply_event(name, fields);
+        olock(&self.inner).apply_event(name, fields);
     }
 
     fn span_end(&self, path: &str, seconds: f64, fields: &[Field]) {
         self.records.fetch_add(1, Ordering::Relaxed);
-        lock(&self.inner).apply_span(path, seconds, fields);
+        olock(&self.inner).apply_span(path, seconds, fields);
     }
 }
 

@@ -220,6 +220,7 @@ impl SoakRunner {
         let mut lat_sum = [0.0f64; 5];
         let mut lat_n = [0u32; 5];
         for (i, q) in queries.iter().enumerate() {
+            // lint: allow(lossy-cast) — wrapping a round-robin tick into a strategy index; truncation is harmless
             let strategy = Strategy::ALL[(tick as usize + i) % Strategy::ALL.len()];
             if let Ok((_, info)) = self.engine.query_with_info(q, self.cfg.k, strategy) {
                 self.report.queries += 1;

@@ -166,11 +166,11 @@ static PE_CACHE: OnceLock<PeCache> = OnceLock::new();
 /// returned tensor is shared, never copied.
 pub fn positional_encoding_cached(n: usize, d: usize) -> Arc<Tensor> {
     let cache = PE_CACHE.get_or_init(|| RwLock::new(HashMap::new()));
-    if let Some(hit) = cache.read().expect("positional-encoding cache poisoned").get(&(n, d)) {
+    if let Some(hit) = crate::sync::cread(cache).get(&(n, d)) {
         return Arc::clone(hit);
     }
     let fresh = Arc::new(positional_encoding(n, d));
-    let mut w = cache.write().expect("positional-encoding cache poisoned");
+    let mut w = crate::sync::cwrite(cache);
     Arc::clone(w.entry((n, d)).or_insert(fresh))
 }
 

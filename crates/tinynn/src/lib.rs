@@ -26,6 +26,7 @@ pub mod init;
 pub mod layers;
 pub mod optim;
 pub mod param;
+pub mod sync;
 pub mod tape;
 pub mod tensor;
 pub mod verify;

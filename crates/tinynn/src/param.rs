@@ -96,6 +96,7 @@ impl Param {
     /// Stable identity key for this parameter (the address of its shared
     /// state). Used by the tape to deduplicate leaf nodes.
     pub fn key(&self) -> usize {
+        // lint: allow(lossy-cast) — pointer-to-usize identity for map keys, lossless by definition
         Rc::as_ptr(&self.0) as usize
     }
 }
@@ -212,11 +213,14 @@ impl ParamSet {
     pub fn save_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(b"TNN1");
+        // lint: allow(lossy-cast) — parameter counts are tiny (tens), far below 2^32
         out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
         for p in &self.params {
             let d = p.borrow();
             let (r, c) = d.value.shape();
+            // lint: allow(lossy-cast) — tensor dims are bounded by model width, far below 2^32
             out.extend_from_slice(&(r as u32).to_le_bytes());
+            // lint: allow(lossy-cast) — tensor dims are bounded by model width, far below 2^32
             out.extend_from_slice(&(c as u32).to_le_bytes());
             for &x in d.value.data() {
                 out.extend_from_slice(&x.to_le_bytes());
@@ -241,11 +245,14 @@ impl ParamSet {
     pub fn save_state_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(b"TNS1");
+        // lint: allow(lossy-cast) — parameter counts are tiny (tens), far below 2^32
         out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
         for p in &self.params {
             let d = p.borrow();
             let (r, c) = d.value.shape();
+            // lint: allow(lossy-cast) — tensor dims are bounded by model width, far below 2^32
             out.extend_from_slice(&(r as u32).to_le_bytes());
+            // lint: allow(lossy-cast) — tensor dims are bounded by model width, far below 2^32
             out.extend_from_slice(&(c as u32).to_le_bytes());
             for t in [&d.value, &d.m, &d.v] {
                 for &x in t.data() {
@@ -277,7 +284,7 @@ impl ParamSet {
         if take(&mut pos, 4)? != magic {
             return Err("bad magic in parameter blob".into());
         }
-        // lint: allow(unwrap) — take(4) returned exactly 4 bytes
+        // lint: allow(unwrap, lossy-cast) — take(4) returned exactly 4 bytes; u32 fits usize
         let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         if count != self.params.len() {
             return Err(format!(
@@ -291,9 +298,9 @@ impl ParamSet {
         // half-restored state.
         let mut scan = pos;
         for p in &self.params {
-            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
+            // lint: allow(unwrap, lossy-cast) — take(4) returned exactly 4 bytes; u32 fits usize
             let r = u32::from_le_bytes(take(&mut scan, 4)?.try_into().unwrap()) as usize;
-            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
+            // lint: allow(unwrap, lossy-cast) — take(4) returned exactly 4 bytes; u32 fits usize
             let c = u32::from_le_bytes(take(&mut scan, 4)?.try_into().unwrap()) as usize;
             let d = p.borrow();
             if d.value.shape() != (r, c) {
@@ -308,9 +315,9 @@ impl ParamSet {
             return Err("trailing bytes in parameter blob".into());
         }
         for p in &self.params {
-            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
+            // lint: allow(unwrap, lossy-cast) — take(4) returned exactly 4 bytes; u32 fits usize
             let r = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-            // lint: allow(unwrap) — take(4) returned exactly 4 bytes
+            // lint: allow(unwrap, lossy-cast) — take(4) returned exactly 4 bytes; u32 fits usize
             let c = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
             let mut d = p.borrow_mut();
             let fill = |t: &mut crate::tensor::Tensor, raw: &[u8]| {

@@ -140,12 +140,13 @@ impl NodeMeta {
         debug_assert!(inputs.len() <= 2, "tape ops have arity <= 2");
         let mut buf = [0usize; 2];
         buf[..inputs.len()].copy_from_slice(inputs);
+        // lint: allow(lossy-cast) — inputs.len() <= 2, asserted by the fixed-size buffer above
         NodeMeta { op, shape, inputs: buf, arity: inputs.len() as u8 }
     }
 
     /// Ids of the nodes this node consumes (its children in the graph).
     pub fn inputs(&self) -> &[usize] {
-        &self.inputs[..self.arity as usize]
+        &self.inputs[..usize::from(self.arity)]
     }
 }
 
@@ -307,7 +308,7 @@ impl Tape {
     pub fn debug_set_node_input(&self, id: usize, slot: usize, new_input: usize) {
         let mut nodes = self.inner.nodes.borrow_mut();
         let meta = &mut nodes[id].meta;
-        assert!(slot < meta.arity as usize, "node {id} has no input slot {slot}");
+        assert!(slot < usize::from(meta.arity), "node {id} has no input slot {slot}");
         meta.inputs[slot] = new_input;
     }
 }

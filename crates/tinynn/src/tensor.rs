@@ -77,6 +77,7 @@ fn exp_approx(x: f32) -> f32 {
     // e^f for |f| <= ln2/2 ~ 0.347: degree-5 Taylor, max rel. err ~2e-7.
     let p = 1.0
         + f * (1.0 + f * (0.5 + f * (1.0 / 6.0 + f * (1.0 / 24.0 + f * (1.0 / 120.0)))));
+    // lint: allow(lossy-cast) — k is a clamped f32 exponent in [-126, 127]; biased value fits 8 bits
     let scale = f32::from_bits(((k as i32 + 127) as u32) << 23);
     scale * p
 }
