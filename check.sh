@@ -20,6 +20,12 @@
 #                       the telemetry integration tests, and the
 #                       instrumented perf smoke with a JSONL export
 #                       round-trip (overhead gate included)
+#   ./check.sh ops      ops-surface suite only: the per-query trace
+#                       parity proptests (sharded trace totals reconcile
+#                       with the unsharded facade; disabled-mode output
+#                       byte-identical) and the end-to-end HTTP scrape
+#                       of /metrics, /healthz, and /traces against a
+#                       live sharded engine
 #   ./check.sh lint     static analysis only: builds and runs traj-lint
 #                       over the workspace (extra args are forwarded,
 #                       e.g. ./check.sh lint --fix-list)
@@ -146,6 +152,15 @@ if [[ "${1:-}" == "prune" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "ops" ]]; then
+    echo "==> cargo test --test trace_parity (traces agree with the engines they observe)"
+    cargo test -q --test trace_parity
+    echo "==> cargo test --test ops_surface (HTTP scrape: /metrics exposition, /healthz, /traces)"
+    cargo test -q --test ops_surface
+    echo "Ops-surface checks passed."
+    exit 0
+fi
+
 if [[ "${1:-}" == "sanitize" ]]; then
     run_sanitize
     exit 0
@@ -166,6 +181,9 @@ cargo test -q
 
 echo "==> sharded-serving parity + concurrency (also covered by cargo test; rerun as a named gate)"
 cargo test -q --test shard_parity --test shard_concurrency
+
+echo "==> ops surface: trace parity + HTTP scrape (also covered by cargo test; rerun as a named gate)"
+cargo test -q --test trace_parity --test ops_surface
 
 echo "==> pruned-driver parity + gt_bench smoke (also covered by cargo test; rerun as a named gate)"
 cargo test -q --test prune_parity

@@ -66,6 +66,23 @@ fn bench_matmul(n: usize, m: usize, p: usize) -> f64 {
     secs * 1e9 / iters as f64
 }
 
+/// Blocking HTTP GET against the ops server; returns (status, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect to ops server");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let status: u16 = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("parse status line");
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
 /// ns per emission-site call with **no recorder installed** — the price
 /// every instrumented hot-path line pays in production by default (one
 /// relaxed atomic load and an early return).
@@ -240,6 +257,41 @@ fn main() {
         single_us / batched_us
     );
 
+    // ---- trace: disabled-tracing overhead gate ------------------------
+    // The sharded query timings above already ran with tracing compiled
+    // in but inert (no recorder, no flight recorder). Measure the inert
+    // trace machinery on its own — context creation, the step clock a
+    // query stamps, sealing — and bound it against the measured
+    // per-query latency.
+    assert!(
+        !traj_obs::enabled() && !traj_obs::flight::installed(),
+        "disabled-trace bench needs no trace consumer installed"
+    );
+    let trace_iters = 5_000_000u64;
+    let trace_secs = best_of(3, || {
+        for _ in 0..trace_iters {
+            let mut t = traj_engine::TraceCtx::new();
+            t.step(std::hint::black_box("embed"));
+            t.step(std::hint::black_box("fanout"));
+            let mut st = t.shard_trace();
+            st.step(std::hint::black_box("indexed"));
+            t.step(std::hint::black_box("merge"));
+            t.step(std::hint::black_box("record"));
+            let qt = t.finish(Strategy::HammingBf, 0.0);
+            assert_eq!(std::hint::black_box(qt.shard_count()), 0);
+        }
+    });
+    let trace_ns = trace_secs * 1e9 / trace_iters as f64;
+    let trace_overhead_pct = trace_ns / (single_us * 1e3) * 100.0;
+    eprintln!(
+        "trace disabled      : {trace_ns:10.2} ns/query inert, {trace_overhead_pct:.4}% of the \
+         {single_us:.1} us sharded query"
+    );
+    assert!(
+        trace_overhead_pct < 1.0,
+        "disabled-tracing overhead gate failed: {trace_overhead_pct:.4}% >= 1% of the query path"
+    );
+
     let shard_json = format!(
         concat!(
             "{{\n",
@@ -398,6 +450,58 @@ fn main() {
         let (_, info) = engine.query_with_info(&dataset.query[0], 10, strategy).unwrap();
         assert!(info.degraded, "{strategy:?} must report degraded mode after force_degrade");
     }
+
+    // ---- ops: scrape-under-load self-test -----------------------------
+    // With the recorder still installed: stand up the flight recorder
+    // and the ops HTTP server, run query load so traces land in the
+    // ring, then scrape /metrics, /healthz, and /traces over real TCP
+    // and validate each payload with the offline validators.
+    traj_obs::flight::install(traj_obs::FlightConfig {
+        capacity: 32,
+        tail_threshold_seconds: 0.0,
+        dump_path: None,
+    });
+    let health = traj_obs::OpsHealth::new();
+    let mut ops = traj_obs::OpsServer::start(0, Arc::clone(&health)).expect("start ops server");
+    for strategy in Strategy::ALL {
+        for q in &dataset.query {
+            let hits = sharded.query(q, 10, strategy).unwrap();
+            std::hint::black_box(hits);
+        }
+    }
+    let (status, metrics) = http_get(ops.addr(), "/metrics");
+    assert_eq!(status, 200, "/metrics must answer 200");
+    let samples = traj_obs::validate_exposition(&metrics)
+        .unwrap_or_else(|e| panic!("invalid Prometheus exposition: {e}"));
+    assert!(
+        metrics.contains("# TYPE engine_query_candidates histogram"),
+        "scrape must carry the query-path histograms:\n{metrics}"
+    );
+    let (status, body) = http_get(ops.addr(), "/healthz");
+    assert_eq!(status, 200, "/healthz must answer 200 while healthy");
+    assert!(body.starts_with("ok"), "healthz body: {body}");
+    health.set(false, "bench drill");
+    let (status, body) = http_get(ops.addr(), "/healthz");
+    assert_eq!(status, 503, "/healthz must answer 503 once degraded");
+    assert!(body.starts_with("degraded"), "healthz body: {body}");
+    health.set(true, "bench");
+    let (status, traces) = http_get(ops.addr(), "/traces");
+    assert_eq!(status, 200, "/traces must answer 200");
+    let mut n_traces = 0usize;
+    for line in traces.lines().filter(|l| !l.trim().is_empty()) {
+        traj_obs::validate_record(line)
+            .unwrap_or_else(|e| panic!("invalid trace line: {e}\n  {line}"));
+        n_traces += 1;
+    }
+    assert!(n_traces > 0, "flight recorder captured no traces under load");
+    eprintln!(
+        "ops scrape          : {samples} metric samples, {n_traces} flight traces via \
+         127.0.0.1:{}",
+        ops.port()
+    );
+    ops.shutdown();
+    traj_obs::flight::uninstall();
+
     let tele = engine.telemetry();
     traj_obs::flush();
     eprint!("{}", tele.summary());
@@ -495,6 +599,31 @@ fn main() {
     );
     std::fs::write("BENCH_pr5.json", &obs_json).expect("write BENCH_pr5.json");
     println!("{obs_json}");
+
+    let trace_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_smoke_trace\",\n",
+            "  \"workload\": \"porto_like corpus=600 sharded HammingBf k=10; inert TraceCtx per query vs measured query latency; scrape-under-load via the ops HTTP server\",\n",
+            "  \"disabled_trace_ns_per_query\": {:.2},\n",
+            "  \"sharded_query_us\": {:.1},\n",
+            "  \"disabled_trace_overhead_pct_of_query\": {:.4},\n",
+            "  \"gate_disabled_trace_under_1pct\": true,\n",
+            "  \"ops_scrape\": {{\n",
+            "    \"metric_samples\": {},\n",
+            "    \"flight_traces_drained\": {},\n",
+            "    \"endpoints\": [\"/metrics\", \"/healthz\", \"/traces\"]\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        trace_ns,
+        single_us,
+        trace_overhead_pct,
+        samples,
+        n_traces,
+    );
+    std::fs::write("BENCH_pr10.json", &trace_json).expect("write BENCH_pr10.json");
+    println!("{trace_json}");
 }
 
 /// Pre-PR numbers (matmul 64/seq ns, epoch s, corpus-encode s, HR@10 s).

@@ -224,14 +224,23 @@ pub struct Traj2HashEngine {
     /// Always-on self-measurement (see [`crate::telemetry`]); behind a
     /// mutex because `query` takes `&self`.
     telemetry: Mutex<EngineTelemetry>,
+    /// Process-unique trace instance id: groups this engine's flight-
+    /// recorder traces for offline generation-monotonicity validation.
+    trace_instance: u64,
 }
 
 /// Poison-proof telemetry lock: a panicking reader must not wedge the
-/// engine.
+/// engine. Detecting poison here means a query thread panicked mid-
+/// telemetry — exactly the moment a post-mortem wants the flight
+/// recorder's tail exemplars, so the poison arm force-dumps them
+/// (re-entrancy-guarded and best-effort) before continuing.
 pub(crate) fn tlock(m: &Mutex<EngineTelemetry>) -> std::sync::MutexGuard<'_, EngineTelemetry> {
     match m.lock() {
         Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+        Err(poisoned) => {
+            traj_obs::flight::poison_dump("engine.telemetry.poisoned");
+            poisoned.into_inner()
+        }
     }
 }
 
@@ -263,6 +272,7 @@ impl Traj2HashEngine {
             generation: 0,
             indexes: None,
             telemetry: Mutex::new(EngineTelemetry::default()),
+            trace_instance: crate::trace::next_instance_id(),
         };
         engine.rebuild();
         Ok(engine)
@@ -308,6 +318,7 @@ impl Traj2HashEngine {
             generation: 0,
             indexes: None,
             telemetry: Mutex::new(EngineTelemetry::default()),
+            trace_instance: crate::trace::next_instance_id(),
         };
         engine.rebuild();
         Ok(engine)
@@ -507,6 +518,12 @@ impl Traj2HashEngine {
                 );
             }
         }
+        if degraded {
+            // Outside the `enabled()` gate: the flight recorder can be
+            // installed without an obs recorder, and a degraded entry is
+            // exactly when its tail exemplars are wanted.
+            traj_obs::flight::force_dump("engine.degraded");
+        }
     }
 
     /// Drops the generation indexes, forcing every strategy onto the
@@ -527,6 +544,8 @@ impl Traj2HashEngine {
                 &[("reason", "forced".into()), ("generation", self.generation.into())],
             );
         }
+        // Outside the `enabled()` gate: flight capture works standalone.
+        traj_obs::flight::force_dump("engine.degraded");
     }
 
     /// Builds a *replacement* engine: the current live corpus re-encoded
@@ -572,6 +591,7 @@ impl Traj2HashEngine {
             generation: _,
             indexes,
             telemetry: _,
+            trace_instance: _,
         } = replacement;
         self.model = model;
         self.cfg = cfg;
@@ -659,6 +679,22 @@ impl Traj2HashEngine {
         k: usize,
         strategy: Strategy,
     ) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+        self.query_traced(q, k, strategy).map(|(hits, info, _)| (hits, info))
+    }
+
+    /// [`query_with_info`](Traj2HashEngine::query_with_info) plus the
+    /// sealed per-query [`QueryTrace`](crate::trace::QueryTrace): the
+    /// step clock, the single shard row (the facade reports its rebuild
+    /// generation as its publish seq), and the fallback taxonomy. The
+    /// trace is inert — no id allocated, nothing recorded — unless an
+    /// obs recorder or a flight recorder is installed.
+    pub fn query_traced(
+        &self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<(Vec<Hit>, QueryInfo, crate::trace::QueryTrace), EngineError> {
+        let mut trace = crate::trace::TraceCtx::new();
         let degraded = self.indexes.is_none();
         if k == 0 || self.is_empty() {
             let info = QueryInfo {
@@ -672,12 +708,35 @@ impl Traj2HashEngine {
                 fanout_seconds: 0.0,
                 merge_seconds: 0.0,
             };
-            return Ok((Vec::new(), info));
+            trace.step("empty");
+            let qt = trace.finish(strategy, 0.0);
+            qt.offer_to_flight("facade", self.trace_instance);
+            return Ok((Vec::new(), info, qt));
         }
         let t0 = Instant::now();
+        trace.step("embed");
         let embedding = self.model.embed(q).data().to_vec();
         let code = BinaryCode::from_floats(&embedding);
-        let (slot_hits, path) = shard::search(&self.search_ctx(), strategy, &embedding, &code, k);
+        trace.step("search");
+        let mut strace = trace.shard_trace();
+        let (slot_hits, path) =
+            shard::search(&self.search_ctx(), strategy, &embedding, &code, k, &mut strace);
+        trace.step("finalize");
+        if trace.active() {
+            trace.push_shard(crate::trace::ShardTraceRow {
+                shard: 0,
+                // The rebuild generation is the facade's single-writer
+                // publish-seq analogue: bumped on every rebuild, never
+                // reset over the engine's lifetime.
+                publish_seq: self.generation,
+                generation: self.generation,
+                degraded,
+                candidates: path.candidates,
+                fallback: path.fallback,
+                spill: path.spill,
+                steps: strace.into_steps(),
+            });
+        }
         let hits: Vec<Hit> = slot_hits
             .into_iter()
             .map(|h| Hit { id: self.ids[h.index], distance: h.distance })
@@ -726,7 +785,9 @@ impl Traj2HashEngine {
                 traj_obs::counter("engine.hybrid_spills", 1);
             }
         }
-        Ok((hits, info))
+        let qt = trace.finish(strategy, seconds);
+        qt.offer_to_flight("facade", self.trace_instance);
+        Ok((hits, info, qt))
     }
 
     /// The borrowed search view over the current state, handed to the

@@ -37,6 +37,7 @@ pub mod shard;
 pub mod sharded;
 pub mod snapshot;
 pub mod telemetry;
+pub mod trace;
 
 pub use ann::{AnnIndex, BruteForceEuclidean, BruteForceHamming, IndexKind, QueryRep};
 pub use cell::{PublishCell, Sequenced};
@@ -48,3 +49,4 @@ pub use sharded::{
     ModelBlueprint, PinnedView, ReaderSpec, ShardConfig, ShardReader, ShardedEngine,
 };
 pub use telemetry::{EngineTelemetry, QueryInfo, StrategyTelemetry};
+pub use trace::{QueryTrace, ShardTrace, ShardTraceRow, TraceCtx};

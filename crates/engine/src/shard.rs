@@ -290,21 +290,49 @@ impl SearchCtx<'_> {
     }
 }
 
+/// The taxonomy label a finished search stamps on its shard trace: one
+/// word naming *why* the path looked the way it did, so tail exemplars
+/// in the flight recorder read without cross-referencing `PathInfo`
+/// bit-by-bit.
+fn path_taxonomy(ctx: &SearchCtx<'_>, strategy: Strategy, path: &PathInfo) -> &'static str {
+    if path.fallback {
+        // The configured index could not answer; a full scan did.
+        return "fallback_scan";
+    }
+    if path.spill {
+        return "hybrid_spill";
+    }
+    if ctx.indexes.is_none() {
+        // Degraded view: scans are the only option, by construction.
+        return "degraded_scan";
+    }
+    match strategy {
+        Strategy::HammingBf => "designed_scan",
+        Strategy::EuclideanBf if matches!(ctx.euclidean_backend, EuclideanBackend::BruteForce) => {
+            "designed_scan"
+        }
+        _ => "indexed",
+    }
+}
+
 /// Answers one strategy over the view: the shared search core behind
 /// both the single-threaded facade and every shard of the concurrent
 /// engine. Hits carry *slot* indices into the view; callers map them to
-/// stable ids.
+/// stable ids. The shard trace receives one taxonomy step describing
+/// how the answer was produced (a no-op when tracing is disabled).
 pub(crate) fn search(
     ctx: &SearchCtx<'_>,
     strategy: Strategy,
     q_emb: &[f32],
     q_code: &BinaryCode,
     k: usize,
+    trace: &mut crate::trace::ShardTrace,
 ) -> (Vec<SlotHit>, PathInfo) {
     if k == 0 || ctx.total_slots() == 0 {
+        trace.step("empty");
         return (Vec::new(), PathInfo::scan(0, false));
     }
-    match strategy {
+    let (hits, path) = match strategy {
         Strategy::EuclideanBf => ctx.euclidean_hits(q_emb, k),
         Strategy::HammingBf => {
             let cand = ctx.scan_hamming_all(q_code);
@@ -315,7 +343,9 @@ pub(crate) fn search(
         Strategy::Table => ctx.table_hits(q_code, k, false),
         Strategy::Mih => ctx.mih_hits(q_code, k),
         Strategy::Hybrid => ctx.table_hits(q_code, k, true),
-    }
+    };
+    trace.step(path_taxonomy(ctx, strategy, &path));
+    (hits, path)
 }
 
 // ---------------------------------------------------------------------

@@ -45,6 +45,7 @@ use crate::error::EngineError;
 use crate::shard::{self, ShardState};
 use crate::snapshot::{self, EntryRef, SnapshotView};
 use crate::telemetry::{EngineTelemetry, QueryInfo};
+use crate::trace::{self, QueryTrace, ShardTrace, ShardTraceRow, TraceCtx};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -150,6 +151,10 @@ struct ShardSet {
     cells: Vec<ShardCell>,
     telemetry: Mutex<EngineTelemetry>,
     model: PublishCell<ModelBlueprint>,
+    /// Process-unique trace instance id: flight-recorder traces carry
+    /// it so offline validation can group per-shard publish-seq checks
+    /// by the engine that produced them.
+    trace_instance: u64,
 }
 
 impl ShardSet {
@@ -216,14 +221,20 @@ fn fan_out(
     q_code: &BinaryCode,
     k: usize,
     threads: usize,
+    trace: &mut TraceCtx,
 ) -> (Vec<Hit>, FanInfo) {
     let t0 = Instant::now();
+    trace.step("fanout");
+    let tracing = trace.active();
     let n = states.len();
-    let mut results: Vec<(Vec<SlotHit>, shard::PathInfo)> =
-        (0..n).map(|_| (Vec::new(), shard::PathInfo::scan(0, false))).collect();
+    let mut results: Vec<(Vec<SlotHit>, shard::PathInfo, ShardTrace)> = (0..n)
+        .map(|_| (Vec::new(), shard::PathInfo::scan(0, false), ShardTrace::new(tracing)))
+        .collect();
     if threads <= 1 || n <= 1 {
         for (st, slot) in states.iter().zip(results.iter_mut()) {
-            *slot = shard::search(&st.ctx(), strategy, q_emb, q_code, k);
+            let (hits, path) = shard::search(&st.ctx(), strategy, q_emb, q_code, k, &mut slot.2);
+            slot.0 = hits;
+            slot.1 = path;
         }
     } else {
         let workers = threads.min(n);
@@ -234,7 +245,10 @@ fn fan_out(
                 scope.spawn(move || {
                     for (j, slot) in out_chunk.iter_mut().enumerate() {
                         let st = &states[base + j];
-                        *slot = shard::search(&st.ctx(), strategy, q_emb, q_code, k);
+                        let (hits, path) =
+                            shard::search(&st.ctx(), strategy, q_emb, q_code, k, &mut slot.2);
+                        slot.0 = hits;
+                        slot.1 = path;
                     }
                 });
             }
@@ -243,6 +257,7 @@ fn fan_out(
     let fanout_seconds = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
+    trace.step("merge");
     let mut merged: Vec<SlotHit> = Vec::new();
     let mut info = FanInfo {
         candidates: 0,
@@ -253,7 +268,7 @@ fn fan_out(
         fanout_seconds,
         merge_seconds: 0.0,
     };
-    for (st, (hits, path)) in states.iter().zip(results) {
+    for (si, (st, (hits, path, strace))) in states.iter().zip(results).enumerate() {
         let shard_degraded = st.degraded();
         info.candidates += path.candidates;
         info.fallback |= path.fallback;
@@ -261,6 +276,18 @@ fn fan_out(
         info.spill |= path.spill;
         if !shard_degraded && !path.fallback {
             info.overfetch += st.dead_in_indexed;
+        }
+        if tracing {
+            trace.push_shard(ShardTraceRow {
+                shard: si,
+                publish_seq: st.publish_seq,
+                generation: st.generation,
+                degraded: shard_degraded,
+                candidates: path.candidates,
+                fallback: path.fallback,
+                spill: path.spill,
+                steps: strace.into_steps(),
+            });
         }
         // Re-key per-shard slot hits by stable id: `top_k_hits` breaks
         // distance ties by ascending index, so keying by id reproduces
@@ -280,15 +307,17 @@ fn fan_out(
     (hits, info)
 }
 
-/// Folds one answered query into telemetry and the obs recorder,
-/// returning the [`QueryInfo`].
+/// Folds one answered query into telemetry and the obs recorder, seals
+/// the trace, and offers it to the flight recorder as a tail-latency
+/// exemplar. Returns the [`QueryInfo`] and the sealed [`QueryTrace`].
 fn record_query(
     set: &ShardSet,
     strategy: Strategy,
     k_shards: usize,
     info: &FanInfo,
     seconds: f64,
-) -> QueryInfo {
+    mut trace: TraceCtx,
+) -> (QueryInfo, QueryTrace) {
     let q = QueryInfo {
         strategy,
         degraded: info.degraded,
@@ -334,7 +363,10 @@ fn record_query(
             traj_obs::counter("engine.hybrid_spills", 1);
         }
     }
-    q
+    trace.step("record");
+    let qt = trace.finish(strategy, seconds);
+    qt.offer_to_flight("sharded", set.trace_instance);
+    (q, qt)
 }
 
 fn empty_query_info(strategy: Strategy, degraded: bool, shards: usize) -> QueryInfo {
@@ -421,6 +453,7 @@ impl ShardedEngine {
             cells,
             telemetry: Mutex::new(EngineTelemetry::default()),
             model: PublishCell::new(ModelBlueprint::of(&model)),
+            trace_instance: trace::next_instance_id(),
         });
         {
             // Construction counts as each shard's first rebuild, like
@@ -540,6 +573,20 @@ impl ShardedEngine {
         k: usize,
         strategy: Strategy,
     ) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+        self.query_traced(q, k, strategy).map(|(hits, info, _)| (hits, info))
+    }
+
+    /// [`query_with_info`](ShardedEngine::query_with_info) plus the
+    /// sealed per-query [`QueryTrace`]: per-shard pinned publish seqs,
+    /// candidate counts, fallback taxonomy, and the fan-out/merge step
+    /// clock. The trace is empty (inert) unless an obs recorder or a
+    /// flight recorder is installed.
+    pub fn query_traced(
+        &self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<(Vec<Hit>, QueryInfo, QueryTrace), EngineError> {
         let states = self.set.pin_all();
         query_pinned(&self.set, &states, &self.model, q, k, strategy, self.scfg.fan_out_threads)
     }
@@ -572,10 +619,26 @@ impl ShardedEngine {
         let mut out = Vec::with_capacity(qs.len());
         for embedding in &embeddings {
             let tq = Instant::now();
+            let mut trace = TraceCtx::new();
+            trace.step("embed");
             let code = BinaryCode::from_floats(embedding);
-            let (hits, info) =
-                fan_out(&states, strategy, embedding, &code, k, self.scfg.fan_out_threads);
-            record_query(&self.set, strategy, states.len(), &info, tq.elapsed().as_secs_f64());
+            let (hits, info) = fan_out(
+                &states,
+                strategy,
+                embedding,
+                &code,
+                k,
+                self.scfg.fan_out_threads,
+                &mut trace,
+            );
+            record_query(
+                &self.set,
+                strategy,
+                states.len(),
+                &info,
+                tq.elapsed().as_secs_f64(),
+                trace,
+            );
             out.push(hits);
         }
         Ok(out)
@@ -662,6 +725,14 @@ impl ShardedEngine {
                 traj_obs::counter("engine.degraded_entries", 1);
             }
         }
+        if degraded {
+            // Dump tail exemplars the moment a shard drops to degraded
+            // serving: the traces leading up to an index-build failure
+            // are exactly what a post-mortem wants. Deliberately outside
+            // the `enabled()` gate — the flight recorder can be
+            // installed without an obs recorder.
+            traj_obs::flight::force_dump("engine.degraded");
+        }
     }
 
     /// Forces compaction + re-index of every shard, one at a time (each
@@ -688,6 +759,8 @@ impl ShardedEngine {
                 &[("reason", "forced".into()), ("generation", self.generation.into())],
             );
         }
+        // Outside the `enabled()` gate: flight capture works standalone.
+        traj_obs::flight::force_dump("engine.degraded");
     }
 
     /// Rebuilds every degraded shard; returns `true` when all shards
@@ -918,18 +991,24 @@ fn query_pinned(
     k: usize,
     strategy: Strategy,
     threads: usize,
-) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+) -> Result<(Vec<Hit>, QueryInfo, QueryTrace), EngineError> {
+    let mut trace = TraceCtx::new();
     let degraded = states.iter().any(|s| s.degraded());
     let live: usize = states.iter().map(|s| s.live()).sum();
     if k == 0 || live == 0 {
-        return Ok((Vec::new(), empty_query_info(strategy, degraded, states.len())));
+        trace.step("empty");
+        let qt = trace.finish(strategy, 0.0);
+        qt.offer_to_flight("sharded", set.trace_instance);
+        return Ok((Vec::new(), empty_query_info(strategy, degraded, states.len()), qt));
     }
     let t0 = Instant::now();
+    trace.step("embed");
     let embedding = model.embed(q).data().to_vec();
     let code = BinaryCode::from_floats(&embedding);
-    let (hits, info) = fan_out(states, strategy, &embedding, &code, k, threads);
-    let q_info = record_query(set, strategy, states.len(), &info, t0.elapsed().as_secs_f64());
-    Ok((hits, q_info))
+    let (hits, info) = fan_out(states, strategy, &embedding, &code, k, threads, &mut trace);
+    let (q_info, qt) =
+        record_query(set, strategy, states.len(), &info, t0.elapsed().as_secs_f64(), trace);
+    Ok((hits, q_info, qt))
 }
 
 /// A `Send` recipe for building a [`ShardReader`] on another thread.
@@ -1001,6 +1080,18 @@ impl ShardReader {
         k: usize,
         strategy: Strategy,
     ) -> Result<(Vec<Hit>, QueryInfo), EngineError> {
+        self.query_traced(q, k, strategy).map(|(hits, info, _)| (hits, info))
+    }
+
+    /// [`query_with_info`](ShardReader::query_with_info) plus the sealed
+    /// per-query [`QueryTrace`] (inert unless a trace consumer is
+    /// installed).
+    pub fn query_traced(
+        &mut self,
+        q: &Trajectory,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<(Vec<Hit>, QueryInfo, QueryTrace), EngineError> {
         self.refresh_model();
         let states = self.set.pin_all();
         // Readers fan out sequentially: reader-side parallelism comes

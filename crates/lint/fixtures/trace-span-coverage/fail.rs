@@ -1,0 +1,10 @@
+// Fixture: public query entry points on the serving crate that neither
+// create/accept a TraceCtx nor appear in TRACED_ENTRY_POINTS. Both must
+// be flagged.
+pub fn query(&self, k: usize) -> Vec<Hit> {
+    self.scan(k)
+}
+
+pub fn query_nearest(&self, k: usize) -> Vec<Hit> {
+    self.scan(k).into_iter().take(1).collect()
+}

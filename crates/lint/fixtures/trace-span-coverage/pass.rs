@@ -1,0 +1,35 @@
+// Fixture: every public query entry point is trace-covered — it owns a
+// TraceCtx, returns the sealed QueryTrace, is internal plumbing, or
+// carries a justified annotation.
+pub fn query_traced(&self, k: usize) -> (Vec<Hit>, QueryTrace) {
+    let mut trace = TraceCtx::new();
+    trace.step("embed");
+    let hits = self.scan(k, &mut trace);
+    (hits, trace.finish())
+}
+
+// Internal plumbing accepts the ctx; `pub(crate)` is not an entry point.
+pub(crate) fn query_inner(&self, k: usize, trace: &mut TraceCtx) -> Vec<Hit> {
+    self.scan(k, trace)
+}
+
+// Non-query public API is out of the rule's scope.
+pub fn rebuild(&mut self) {
+    self.refresh()
+}
+
+// lint: allow(trace-span) — bench-only probe, never serves traffic
+pub fn query_count(&self) -> usize {
+    self.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn untraced_query_helpers_are_fine_in_tests() {
+        pub fn query_fixture() -> usize {
+            3
+        }
+        assert_eq!(query_fixture(), 3);
+    }
+}

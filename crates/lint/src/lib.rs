@@ -2,13 +2,14 @@
 //!
 //! A lightweight source lint driver: a character-level scanner
 //! ([`source`]) feeds a token-level pass ([`tokens`]: function
-//! boundaries, lock-guard scopes) and ten rules ([`rules`]) that encode
-//! invariants this repository has already been burned by — NaN-unsound
-//! float sorts, panicking library code, a serving crate that must never
-//! take the process down, bare lock acquisitions that decide poison
-//! policy ad hoc, guards held across compute, silently-wrapping casts,
-//! undeclared atomic orderings, and container magics that must not
-//! collide (all centrally declared in [`registry`]).
+//! boundaries, lock-guard scopes) and eleven rules ([`rules`]) that
+//! encode invariants this repository has already been burned by —
+//! NaN-unsound float sorts, panicking library code, a serving crate
+//! that must never take the process down, bare lock acquisitions that
+//! decide poison policy ad hoc, guards held across compute,
+//! silently-wrapping casts, undeclared atomic orderings, query entry
+//! points that dodge per-query tracing, and container magics that must
+//! not collide (all centrally declared in [`registry`]).
 //!
 //! No rustc plugin, no external dependencies: the whole pass runs in
 //! milliseconds and works in the fully-offline build environment. The
@@ -276,6 +277,8 @@ pub fn run(root: &Path, files: &[PathBuf], allow: &[AllowEntry]) -> Result<LintR
     let mut seen_magics: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut intent_seen = vec![false; registry::ATOMIC_INTENTS.len()];
     let mut helper_seen = vec![false; registry::LOCK_HELPERS.len()];
+    let mut print_seen = vec![false; registry::RAW_PRINT_ALLOWED.len()];
+    let mut traced_seen = vec![false; registry::TRACED_ENTRY_POINTS.len()];
 
     for file in files {
         let text =
@@ -302,6 +305,22 @@ pub fn run(root: &Path, files: &[PathBuf], allow: &[AllowEntry]) -> Result<LintR
                 && scanned.lines.iter().any(|l| rules::contains_word(&l.masked, &decl))
             {
                 helper_seen[i] = true;
+            }
+        }
+        for (i, allow) in registry::RAW_PRINT_ALLOWED.iter().enumerate() {
+            const PRINTS: &[&str] = &["println!", "eprintln!", "print!(", "eprint!("];
+            if allow.path == rel
+                && scanned.lines.iter().any(|l| PRINTS.iter().any(|p| l.masked.contains(p)))
+            {
+                print_seen[i] = true;
+            }
+        }
+        for (i, entry) in registry::TRACED_ENTRY_POINTS.iter().enumerate() {
+            let decl = format!("fn {}", entry.func);
+            if entry.path == rel
+                && scanned.lines.iter().any(|l| rules::contains_word(&l.masked, &decl))
+            {
+                traced_seen[i] = true;
             }
         }
         check_file(&scanned, is_lib_crate_path(&rel), &mut raw_findings);
@@ -333,6 +352,22 @@ pub fn run(root: &Path, files: &[PathBuf], allow: &[AllowEntry]) -> Result<LintR
             report.warnings.push(format!(
                 "stale lock helper: `fn {}` is not defined in {}",
                 helper.name, helper.path
+            ));
+        }
+    }
+    for (allow, seen) in registry::RAW_PRINT_ALLOWED.iter().zip(&print_seen) {
+        if !seen && !allow.path.starts_with(registry::FIXTURE_PATH_PREFIX) {
+            report.warnings.push(format!(
+                "stale raw-print allowance: {} contains no print macro",
+                allow.path
+            ));
+        }
+    }
+    for (entry, seen) in registry::TRACED_ENTRY_POINTS.iter().zip(&traced_seen) {
+        if !seen && !entry.path.starts_with(registry::FIXTURE_PATH_PREFIX) {
+            report.warnings.push(format!(
+                "stale traced entry point: `fn {}` is not defined in {}",
+                entry.func, entry.path
             ));
         }
     }

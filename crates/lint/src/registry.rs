@@ -2,7 +2,7 @@
 //! format header, sanctioned lock helper, compute boundary, and atomic
 //! ordering intent used anywhere in the workspace must be declared.
 //!
-//! Four tables live here:
+//! Six tables live here:
 //!
 //! * [`KNOWN_MAGICS`] — container magics, backing the
 //!   `checkpoint-magic-registry` rule;
@@ -13,7 +13,12 @@
 //! * [`COMPUTE_CALLS`] — the heavy compute/IO entry points a lock guard
 //!   must never be held across, backing `no-guard-across-compute`;
 //! * [`ATOMIC_INTENTS`] — the declared memory-ordering policy for every
-//!   atomic in the workspace, backing `atomic-ordering-registry`.
+//!   atomic in the workspace, backing `atomic-ordering-registry`;
+//! * [`RAW_PRINT_ALLOWED`] — the library files sanctioned to print to
+//!   stdout/stderr directly, backing `no-raw-print-in-lib`;
+//! * [`TRACED_ENTRY_POINTS`] — the `query*` entry points sanctioned
+//!   without a visible trace type in their span, backing
+//!   `trace-span-coverage`.
 //!
 //! Declaring intent centrally is the point: a new lock helper, a new
 //! atomic, or a stronger ordering shows up as a diff *to this file*,
@@ -84,6 +89,19 @@ pub const LOCK_HELPERS: &[LockHelper] = &[
         name: "gwrite",
         why: "GLOBAL recorder RwLock write; install/uninstall may proceed after a \
               poisoned reader",
+    },
+    LockHelper {
+        path: "crates/obs/src/flight.rs",
+        name: "fread",
+        why: "FLIGHT recorder-slot RwLock read; the slot only ever holds a whole \
+              Option<Arc<..>> replaced atomically, so a poisoned guard still names a \
+              usable recorder",
+    },
+    LockHelper {
+        path: "crates/obs/src/flight.rs",
+        name: "fwrite",
+        why: "FLIGHT recorder-slot RwLock write; install/uninstall may proceed after \
+              a poisoned reader for the same reason as fread",
     },
     LockHelper {
         path: "crates/tinynn/src/sync.rs",
@@ -181,6 +199,88 @@ pub const ATOMIC_INTENTS: &[AtomicIntent] = &[
         why: "unique temp-file suffix; uniqueness needs atomicity, not ordering",
     },
     AtomicIntent {
+        path: "crates/engine/src/trace.rs",
+        atomic: "QUERY_IDS",
+        allowed: &["Relaxed"],
+        why: "unique trace query-id counter; uniqueness needs atomicity, not ordering",
+    },
+    AtomicIntent {
+        path: "crates/engine/src/trace.rs",
+        atomic: "INSTANCE_IDS",
+        allowed: &["Relaxed"],
+        why: "unique engine-instance id for trace grouping; uniqueness needs \
+              atomicity, not ordering",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "captured",
+        allowed: &["Relaxed"],
+        why: "monotone flight-capture counter; read only for reporting",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "dropped",
+        allowed: &["Relaxed"],
+        why: "monotone overwrite counter; read only for reporting",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "seq",
+        allowed: &["Relaxed"],
+        why: "per-entry sequence stamp; the drain sorts by it, so allocation order \
+              needs atomicity only",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "head",
+        allowed: &["Relaxed"],
+        why: "ring write cursor; slot claims need atomicity only — the entry payload \
+              is published by the slot's AcqRel swap, not by this index",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "slots",
+        allowed: &["AcqRel"],
+        why: "ring-cell AtomicPtr swap: Release publishes the boxed entry to the \
+              drainer, Acquire claims sole ownership of the displaced one",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "slot",
+        allowed: &["AcqRel"],
+        why: "drain/Drop loop over the ring cells; same publish/claim pairing as \
+              `slots`",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "FLIGHT_ACTIVE",
+        allowed: &["Relaxed", "SeqCst"],
+        why: "Relaxed for the installed() fast-path load (a stale read only costs one \
+              captured/uncaptured trace); SeqCst on install/uninstall so the count \
+              totally orders with FLIGHT slot swaps",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/flight.rs",
+        atomic: "DUMPING",
+        allowed: &["SeqCst"],
+        why: "poison_dump re-entrancy latch; runs on panic paths where a total order \
+              is worth more than the saved fence",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/serve.rs",
+        atomic: "healthy",
+        allowed: &["Relaxed"],
+        why: "OpsHealth flag read by /healthz; a stale read serves one slightly-old \
+              health verdict, which scraping tolerates by design",
+    },
+    AtomicIntent {
+        path: "crates/obs/src/serve.rs",
+        atomic: "stop",
+        allowed: &["SeqCst"],
+        why: "ops-server shutdown latch; set once at shutdown, checked per accept — \
+              not hot, so the strongest ordering documents intent for free",
+    },
+    AtomicIntent {
         path: "crates/demo/src/fail.rs",
         atomic: "DEMO_HITS",
         allowed: &["Relaxed"],
@@ -191,6 +291,74 @@ pub const ATOMIC_INTENTS: &[AtomicIntent] = &[
         atomic: "DEMO_HITS",
         allowed: &["Relaxed"],
         why: "lint fixture pin: exercises the declared-and-conforming path",
+    },
+];
+
+/// A sanctioned raw-print site: one library file allowed to write to
+/// stdout/stderr directly (the `no-raw-print-in-lib` rule skips it).
+#[derive(Debug, Clone, Copy)]
+pub struct RawPrintAllowance {
+    /// Repo-relative file the allowance covers.
+    pub path: &'static str,
+    /// One-line rationale: why this file cannot route through
+    /// `traj_obs` like everyone else.
+    pub why: &'static str,
+}
+
+/// The raw-print allowance registry. Keep it short: the only library
+/// code that may print is code for which the obs pipeline itself is
+/// the thing that might be broken.
+pub const RAW_PRINT_ALLOWED: &[RawPrintAllowance] = &[RawPrintAllowance {
+    path: "crates/obs/src/serve.rs",
+    why: "the ops HTTP server's accept-loop error report; it cannot route through \
+          traj_obs because the recorder may be exactly the component being debugged, \
+          and a silent accept failure would look like a healthy-but-mute server",
+}];
+
+/// A `query*` entry point sanctioned without a visible `TraceCtx` /
+/// `QueryTrace` in its span (the `trace-span-coverage` rule's ground
+/// truth): either it delegates to a traced sibling, or it is not a
+/// query entry point at all despite the name.
+#[derive(Debug, Clone, Copy)]
+pub struct TracedEntryPoint {
+    /// Repo-relative file the function is defined in.
+    pub path: &'static str,
+    /// The function's name.
+    pub func: &'static str,
+    /// One-line rationale for the exemption.
+    pub why: &'static str,
+}
+
+/// The traced-entry-point registry. Every public `query*` function in
+/// `crates/engine` must create or accept a `TraceCtx` (or return the
+/// sealed `QueryTrace`); the ones listed here are sanctioned because
+/// they delegate into one that does.
+pub const TRACED_ENTRY_POINTS: &[TracedEntryPoint] = &[
+    TracedEntryPoint {
+        path: "crates/engine/src/engine.rs",
+        func: "query",
+        why: "delegates to Traj2HashEngine::query_traced, which owns the TraceCtx",
+    },
+    TracedEntryPoint {
+        path: "crates/engine/src/engine.rs",
+        func: "query_with_info",
+        why: "delegates to Traj2HashEngine::query_traced, which owns the TraceCtx",
+    },
+    TracedEntryPoint {
+        path: "crates/engine/src/sharded.rs",
+        func: "query",
+        why: "both ShardedEngine::query and ShardReader::query delegate to their \
+              query_traced siblings",
+    },
+    TracedEntryPoint {
+        path: "crates/engine/src/sharded.rs",
+        func: "query_with_info",
+        why: "both query_with_info variants delegate to their query_traced siblings",
+    },
+    TracedEntryPoint {
+        path: "crates/engine/src/trace.rs",
+        func: "query_id",
+        why: "accessor on TraceCtx itself, not a query entry point",
     },
 ];
 
@@ -243,6 +411,32 @@ mod tests {
                 assert!(ORDERINGS.contains(o), "{}: unknown ordering {o}", i.atomic);
             }
             assert!(!i.why.trim().is_empty(), "{}: empty rationale", i.atomic);
+        }
+    }
+
+    #[test]
+    fn raw_print_allowances_are_unique_and_carry_rationale() {
+        let mut seen = std::collections::HashSet::new();
+        for a in RAW_PRINT_ALLOWED {
+            assert!(seen.insert(a.path), "{} allowed twice", a.path);
+            assert!(!a.why.trim().is_empty(), "{}: empty rationale", a.path);
+            assert!(a.path.starts_with("crates/"), "odd path {}", a.path);
+        }
+    }
+
+    #[test]
+    fn traced_entry_points_are_unique_and_engine_scoped() {
+        let mut seen = std::collections::HashSet::new();
+        for e in TRACED_ENTRY_POINTS {
+            assert!(seen.insert((e.path, e.func)), "{}:{} declared twice", e.path, e.func);
+            assert!(!e.why.trim().is_empty(), "{}: empty rationale", e.func);
+            assert!(
+                e.path.starts_with("crates/engine/src/")
+                    || e.path.starts_with(FIXTURE_PATH_PREFIX),
+                "{}: the rule only covers crates/engine",
+                e.path
+            );
+            assert!(e.func.starts_with("query"), "{}: rule only matches query*", e.func);
         }
     }
 

@@ -9,7 +9,10 @@
 //! `panic!`) are distinctive enough that masking comments and strings
 //! removes essentially all false positives.
 
-use crate::registry::{ATOMIC_INTENTS, COMPUTE_CALLS, KNOWN_MAGICS, LOCK_HELPERS};
+use crate::registry::{
+    ATOMIC_INTENTS, COMPUTE_CALLS, KNOWN_MAGICS, LOCK_HELPERS, RAW_PRINT_ALLOWED,
+    TRACED_ENTRY_POINTS,
+};
 use crate::source::ScannedFile;
 use crate::tokens::{
     acquisitions, enclosing_fn, function_spans, guard_scope, tokenize, AcquireKind, TokenKind,
@@ -49,6 +52,7 @@ pub const RULES: &[&str] = &[
     "no-guard-across-compute",
     "no-lossy-as-cast",
     "atomic-ordering-registry",
+    "trace-span-coverage",
 ];
 
 /// Short aliases accepted in `// lint: allow(...)` annotations.
@@ -64,6 +68,7 @@ fn rule_aliases(rule: &str) -> &[&str] {
         "no-guard-across-compute" => &["guard-across-compute", "no-guard-across-compute"],
         "no-lossy-as-cast" => &["lossy-cast", "no-lossy-as-cast"],
         "atomic-ordering-registry" => &["atomic-ordering", "atomic-ordering-registry"],
+        "trace-span-coverage" => &["trace-span", "trace-span-coverage"],
         _ => &[],
     }
 }
@@ -186,7 +191,7 @@ pub fn no_raw_print_in_lib(file: &ScannedFile, out: &mut Vec<Finding>) {
         && path.contains("/src/")
         && !path.contains("/src/bin/")
         && !path.ends_with("/main.rs");
-    if !in_lib_module {
+    if !in_lib_module || RAW_PRINT_ALLOWED.iter().any(|a| a.path == file.path) {
         return;
     }
     const PATTERNS: &[&str] = &["println!", "eprintln!", "print!(", "eprint!("];
@@ -433,6 +438,55 @@ pub fn atomic_ordering_registry(file: &ScannedFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// `trace-span-coverage`: every *public* `query*` entry point in
+/// `crates/engine` must create or accept a `TraceCtx` (or return the
+/// sealed `QueryTrace`) so no query path can silently opt out of
+/// per-query tracing. Thin delegating wrappers that never touch a trace
+/// type are sanctioned via [`TRACED_ENTRY_POINTS`] — a registry diff,
+/// where a reviewer sees the whole coverage story at a glance.
+pub fn trace_span_coverage(file: &ScannedFile, out: &mut Vec<Finding>) {
+    if !file.path.contains("crates/engine/src") {
+        return;
+    }
+    let tokens = tokenize(file);
+    for span in function_spans(&tokens) {
+        if !span.name.starts_with("query") {
+            continue;
+        }
+        // Only plain `pub` is a public entry point; `pub(crate)` and
+        // private fns are internal plumbing the ctx threads through.
+        if span.fn_token == 0 || tokens[span.fn_token - 1].text != "pub" {
+            continue;
+        }
+        let idx = span.start_line - 1;
+        if file.lines[idx].in_test || is_allowed(file, idx, "trace-span-coverage") {
+            continue;
+        }
+        let traced = tokens[span.fn_token..=span.body_close].iter().any(|t| {
+            t.kind == TokenKind::Ident && (t.text == "TraceCtx" || t.text == "QueryTrace")
+        });
+        if traced
+            || TRACED_ENTRY_POINTS
+                .iter()
+                .any(|e| e.path == file.path && e.func == span.name)
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: "trace-span-coverage",
+            path: file.path.clone(),
+            line: span.start_line,
+            snippet: file.lines[idx].raw.trim().to_string(),
+            message: format!(
+                "public entry point `{}` neither creates/accepts a TraceCtx nor is \
+                 registered as a traced delegate (TRACED_ENTRY_POINTS in \
+                 crates/lint/src/registry.rs)",
+                span.name
+            ),
+        });
+    }
+}
+
 /// Runs every rule applicable to `file`. `lib_crate` gates the
 /// unwrap and lossy-cast rules: binaries and dev-tooling crates
 /// (bench, lint) may unwrap and cast, library crates may not.
@@ -449,6 +503,7 @@ pub fn check_file(file: &ScannedFile, lib_crate: bool, out: &mut Vec<Finding>) {
     no_bare_lock(file, out);
     no_guard_across_compute(file, out);
     atomic_ordering_registry(file, out);
+    trace_span_coverage(file, out);
 }
 
 #[cfg(test)]
@@ -638,6 +693,61 @@ mod tests {
         // Ordering::Equal (the cmp enum) is not an atomic ordering.
         let cmp = findings_for("let o = x.cmp(&y) == Ordering::Equal;\n", false);
         assert!(cmp.iter().all(|f| f.rule != "atomic-ordering-registry"));
+    }
+
+    #[test]
+    fn trace_span_coverage_requires_a_trace_type_or_a_registry_entry() {
+        let run = |path: &str, src: &str| -> Vec<Finding> {
+            let file = scan(path, src, false);
+            let mut out = Vec::new();
+            trace_span_coverage(&file, &mut out);
+            out
+        };
+        let engine = "crates/engine/src/newpath.rs";
+
+        // Untraced public query entry point: flagged.
+        let bad = "pub fn query_fast(&self, k: usize) -> Vec<Hit> {\n    self.scan(k)\n}\n";
+        let hits = run(engine, bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("query_fast"), "{}", hits[0].message);
+
+        // Creating or accepting a TraceCtx (or returning the sealed
+        // QueryTrace) satisfies the rule.
+        let ctx = "pub fn query_fast(&self, k: usize) -> Vec<Hit> {\n    let mut t = TraceCtx::new();\n    self.scan(k, &mut t)\n}\n";
+        assert!(run(engine, ctx).is_empty());
+        let sealed = "pub fn query_traced2(&self) -> (Vec<Hit>, QueryTrace) {\n    self.inner()\n}\n";
+        assert!(run(engine, sealed).is_empty());
+
+        // Registered delegates are sanctioned (engine.rs `query` is in
+        // TRACED_ENTRY_POINTS).
+        let delegate = "pub fn query(&self, k: usize) -> Vec<Hit> {\n    self.query_with_info(k).0\n}\n";
+        assert!(run("crates/engine/src/engine.rs", delegate).is_empty());
+        // ... but the same body elsewhere still flags.
+        assert_eq!(run(engine, delegate).len(), 1);
+
+        // Non-public and non-query functions are out of scope, as is
+        // everything outside crates/engine.
+        assert!(run(engine, "pub(crate) fn query_inner(&self) -> Vec<Hit> { self.s() }\n")
+            .is_empty());
+        assert!(run(engine, "pub fn rebuild(&mut self) { self.r() }\n").is_empty());
+        assert!(run("crates/core/src/lib.rs", bad).is_empty());
+
+        // Annotation suppresses.
+        let allowed = "// lint: allow(trace-span) — bench-only probe\npub fn query_probe(&self) -> usize {\n    self.n()\n}\n";
+        assert!(run(engine, allowed).is_empty());
+    }
+
+    #[test]
+    fn raw_print_registry_exempts_the_ops_server() {
+        let src = "fn f() { eprintln!(\"accept failed\"); }\n";
+        let allowed = scan("crates/obs/src/serve.rs", src, false);
+        let mut out = Vec::new();
+        no_raw_print_in_lib(&allowed, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let other = scan("crates/obs/src/lib.rs", src, false);
+        let mut out = Vec::new();
+        no_raw_print_in_lib(&other, &mut out);
+        assert_eq!(out.len(), 1, "unregistered file must still flag");
     }
 
     #[test]

@@ -20,9 +20,9 @@ use traj_lint::source::scan;
 fn run_rule(rule: &str, fixture: &Path, which: &str) -> Vec<Finding> {
     let text = std::fs::read_to_string(fixture)
         .unwrap_or_else(|e| panic!("read {}: {e}", fixture.display()));
-    // The engine rule is path-scoped; everything else gets a neutral
+    // The engine rules are path-scoped; everything else gets a neutral
     // library-crate path.
-    let path = if rule == "no-panic-in-engine" {
+    let path = if rule == "no-panic-in-engine" || rule == "trace-span-coverage" {
         format!("crates/engine/src/{which}.rs")
     } else {
         format!("crates/demo/src/{which}.rs")
@@ -40,6 +40,7 @@ fn run_rule(rule: &str, fixture: &Path, which: &str) -> Vec<Finding> {
         "no-guard-across-compute" => rules::no_guard_across_compute(&file, &mut out),
         "no-lossy-as-cast" => rules::no_lossy_as_cast(&file, &mut out),
         "atomic-ordering-registry" => rules::atomic_ordering_registry(&file, &mut out),
+        "trace-span-coverage" => rules::trace_span_coverage(&file, &mut out),
         other => panic!("unknown rule {other}"),
     }
     out
@@ -131,6 +132,11 @@ fn fixture_no_lossy_as_cast() {
 #[test]
 fn fixture_atomic_ordering_registry() {
     check_rule_fixtures("atomic-ordering-registry");
+}
+
+#[test]
+fn fixture_trace_span_coverage() {
+    check_rule_fixtures("trace-span-coverage");
 }
 
 #[test]

@@ -1,0 +1,649 @@
+//! Tail-exemplar flight recorder: a lock-free ring buffer of recent
+//! slow-query traces, force-dumped to JSONL when the engine degrades,
+//! a refresh fails, or a panic poisons an instrumented lock.
+//!
+//! Aggregate histograms (PR 5) answer "what is p99"; the flight
+//! recorder answers "show me the last N queries that *were* the p99".
+//! Producers call [`offer`] with the query's wall-clock seconds and a
+//! closure that builds the trace fields; the closure only runs when the
+//! latency lands at or above the configured tail bucket, so fast
+//! queries pay one atomic load and one bucket comparison.
+//!
+//! The ring is a fixed array of `AtomicPtr` slots. Capture swaps a
+//! boxed entry in and frees whatever it displaced; drain swaps nulls
+//! in and takes ownership of what it finds. Neither path ever blocks a
+//! query thread on a lock — only [`force_dump`] serializes (via
+//! `try_lock`, so a dump contended by another dump is skipped rather
+//! than waited for, which keeps the poison path re-entrancy safe).
+
+use crate::hist::bucket_of;
+use crate::jsonl::{escape_into, parse_json, push_fields, validate_record, Json};
+use crate::Field;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Configuration for a [`FlightRecorder`].
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Ring capacity: how many tail exemplars are retained before the
+    /// oldest is overwritten. Clamped to at least 1.
+    pub capacity: usize,
+    /// Latency threshold in seconds. A query qualifies for capture when
+    /// its latency lands in the same log-histogram bucket as this value
+    /// or higher (bucket-granularity comparison, matching how the
+    /// aggregate histograms would classify it). `0.0` captures
+    /// everything.
+    pub tail_threshold_seconds: f64,
+    /// Where [`force_dump`] appends JSONL; `None` disables dumping
+    /// (the ring still captures and [`drain`](FlightRecorder::drain)
+    /// still works, e.g. for the `/traces` endpoint).
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig { capacity: 64, tail_threshold_seconds: 0.0, dump_path: None }
+    }
+}
+
+/// One captured trace: a named event plus its structured fields, stamped
+/// with a process-wide capture sequence number.
+#[derive(Debug, Clone)]
+pub struct FlightEntry {
+    /// Monotone capture sequence (process-wide per recorder); drains
+    /// and dumps are ordered by this.
+    pub seq: u64,
+    /// Event name, e.g. `flight.trace`.
+    pub name: &'static str,
+    /// Structured trace fields. The recorder appends `flight_seq` and
+    /// `seconds` at capture time.
+    pub fields: Vec<Field>,
+}
+
+impl FlightEntry {
+    /// Renders the entry as one JSONL event line, byte-compatible with
+    /// the [`JsonlRecorder`](crate::JsonlRecorder) event schema so the
+    /// same validator reads both.
+    pub fn to_json_line(&self) -> String {
+        let mut line = String::from("{\"kind\":\"event\",\"name\":\"");
+        escape_into(&mut line, self.name);
+        line.push_str("\",\"fields\":");
+        push_fields(&mut line, &self.fields);
+        line.push('}');
+        line
+    }
+}
+
+/// The lock-free ring buffer of tail exemplars. Install one globally
+/// with [`install`]; producers reach it through [`offer`].
+pub struct FlightRecorder {
+    slots: Vec<AtomicPtr<FlightEntry>>,
+    head: AtomicUsize,
+    seq: AtomicU64,
+    threshold_bucket: usize,
+    captured: AtomicU64,
+    dropped: AtomicU64,
+    dump_path: Option<PathBuf>,
+    dump_file: Mutex<()>,
+}
+
+impl FlightRecorder {
+    /// Builds a recorder from `cfg` (capacity clamped to at least 1,
+    /// non-finite/negative thresholds treated as 0).
+    pub fn new(cfg: FlightConfig) -> Self {
+        let capacity = cfg.capacity.max(1);
+        let threshold = if cfg.tail_threshold_seconds.is_finite() && cfg.tail_threshold_seconds > 0.0
+        {
+            cfg.tail_threshold_seconds
+        } else {
+            0.0
+        };
+        FlightRecorder {
+            slots: (0..capacity).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            head: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            threshold_bucket: if threshold == 0.0 { 0 } else { bucket_of(threshold) },
+            captured: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            dump_path: cfg.dump_path,
+            dump_file: Mutex::new(()),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries captured so far (including ones since overwritten).
+    pub fn captured(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Entries overwritten before ever being drained or dumped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Whether a latency of `seconds` lands at or above the tail
+    /// threshold bucket (non-finite and negative latencies never
+    /// qualify — they are quarantined by the histograms too).
+    pub fn qualifies(&self, seconds: f64) -> bool {
+        seconds.is_finite() && seconds >= 0.0 && bucket_of(seconds) >= self.threshold_bucket
+    }
+
+    /// Captures one trace if `seconds` qualifies; `build` runs only on
+    /// the capture path. Returns whether the entry was retained.
+    pub fn offer(&self, seconds: f64, build: impl FnOnce() -> (&'static str, Vec<Field>)) -> bool {
+        if !self.qualifies(seconds) {
+            return false;
+        }
+        let (name, mut fields) = build();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        fields.push(("flight_seq", seq.into()));
+        fields.push(("seconds", seconds.into()));
+        let entry = Box::into_raw(Box::new(FlightEntry { seq, name, fields }));
+        let idx = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let old = self.slots[idx].swap(entry, Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: the swap transferred sole ownership of `old` to
+            // this thread; it was created by Box::into_raw in this
+            // function (or is null, excluded above) and no other thread
+            // can reach it after the swap.
+            drop(unsafe { Box::from_raw(old) });
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        self.captured.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Takes every retained entry out of the ring, oldest first.
+    pub fn drain(&self) -> Vec<FlightEntry> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: same ownership transfer as in `offer` — the
+                // swap makes this thread the unique owner of `p`.
+                out.push(*unsafe { Box::from_raw(p) });
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Poison-proof, non-blocking acquisition of the dump-file lock.
+    /// `None` means another dump is in flight (skip, never wait: the
+    /// caller may be inside a panic path).
+    fn try_dump_lock(&self) -> Option<MutexGuard<'_, ()>> {
+        match self.dump_file.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        }
+    }
+
+    /// Drains the ring and appends the entries to the configured dump
+    /// path as JSONL, preceded by a `flight.dump` header event carrying
+    /// `reason` and the entry count. Returns the number of trace
+    /// entries written (0 when no path is configured, the ring is
+    /// empty, another dump holds the lock, or IO fails — a failed dump
+    /// must never take the process down).
+    pub fn force_dump(&self, reason: &str) -> usize {
+        let Some(path) = &self.dump_path else { return 0 };
+        let Some(_guard) = self.try_dump_lock() else { return 0 };
+        let entries = self.drain();
+        if entries.is_empty() {
+            return 0;
+        }
+        let mut header = String::from("{\"kind\":\"event\",\"name\":\"flight.dump\",\"fields\":");
+        push_fields(
+            &mut header,
+            &[("reason", reason.into()), ("entries", entries.len().into())],
+        );
+        header.push('}');
+        let Ok(mut file) =
+            std::fs::OpenOptions::new().create(true).append(true).open(path)
+        else {
+            return 0;
+        };
+        let mut body = header;
+        body.push('\n');
+        for e in &entries {
+            body.push_str(&e.to_json_line());
+            body.push('\n');
+        }
+        match file.write_all(body.as_bytes()) {
+            Ok(()) => entries.len(),
+            Err(_) => 0,
+        }
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: `&mut self` guarantees no concurrent access;
+                // every non-null pointer is an unclaimed Box from
+                // `offer`.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global installation (mirrors the recorder slot in lib.rs)
+// ---------------------------------------------------------------------
+
+/// Whether a flight recorder is installed: one relaxed load, the
+/// disabled fast path for [`offer`].
+static FLIGHT_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+static FLIGHT: RwLock<Option<Arc<FlightRecorder>>> = RwLock::new(None);
+
+/// Re-entrancy guard for [`poison_dump`]: a dump triggered by lock
+/// poison must not recurse into another dump if the dump path itself
+/// trips a poisoned lock.
+static DUMPING: AtomicBool = AtomicBool::new(false);
+
+/// Poison-proof read of the global flight slot; recovery is sound
+/// because the slot only ever holds a whole `Option<Arc<..>>` replaced
+/// atomically under the write lock.
+fn fread() -> std::sync::RwLockReadGuard<'static, Option<Arc<FlightRecorder>>> {
+    match FLIGHT.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Poison-proof write of the global flight slot; see [`fread`].
+fn fwrite() -> std::sync::RwLockWriteGuard<'static, Option<Arc<FlightRecorder>>> {
+    match FLIGHT.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs a flight recorder process-wide, replacing any previous one,
+/// and returns a handle to it (for draining and stats).
+pub fn install(cfg: FlightConfig) -> Arc<FlightRecorder> {
+    let rec = Arc::new(FlightRecorder::new(cfg));
+    let mut g = fwrite();
+    if g.is_none() {
+        FLIGHT_ACTIVE.fetch_add(1, Ordering::SeqCst);
+    }
+    *g = Some(rec.clone());
+    rec
+}
+
+/// Removes the process-wide flight recorder; [`offer`] returns to the
+/// one-atomic-load no-op path.
+pub fn uninstall() {
+    let mut g = fwrite();
+    if g.take().is_some() {
+        FLIGHT_ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// True when a flight recorder is installed. One relaxed atomic load —
+/// safe on the hottest query path.
+#[inline]
+pub fn installed() -> bool {
+    FLIGHT_ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// The installed flight recorder, if any.
+pub fn recorder() -> Option<Arc<FlightRecorder>> {
+    if !installed() {
+        return None;
+    }
+    fread().clone()
+}
+
+/// Offers a trace to the installed flight recorder. No-op (one relaxed
+/// load) when none is installed; `build` runs only when the latency
+/// qualifies for capture.
+#[inline]
+pub fn offer(seconds: f64, build: impl FnOnce() -> (&'static str, Vec<Field>)) {
+    if !installed() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        rec.offer(seconds, build);
+    }
+}
+
+/// Force-dumps the installed flight recorder (see
+/// [`FlightRecorder::force_dump`]). Returns the number of entries
+/// written; 0 when no recorder is installed.
+pub fn force_dump(reason: &str) -> usize {
+    match recorder() {
+        Some(rec) => rec.force_dump(reason),
+        None => 0,
+    }
+}
+
+/// The panic/poison hook: force-dumps with a re-entrancy guard so a
+/// poisoned lock *inside* the dump path cannot recurse. Called from
+/// the poison arms of the workspace's poison-proof lock helpers.
+pub fn poison_dump(context: &str) {
+    if DUMPING.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    force_dump(context);
+    DUMPING.store(false, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------
+// Offline dump validation
+// ---------------------------------------------------------------------
+
+fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get("fields")
+        .and_then(|f| f.get(key))
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("trace missing string field '{key}'"))
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    let v = doc
+        .get("fields")
+        .and_then(|f| f.get(key))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("trace missing numeric field '{key}'"))?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("field '{key}' = {v} is not a nonnegative integer"));
+    }
+    Ok(v as u64) // lint: allow(lossy-cast) — checked nonnegative integer above
+}
+
+fn parse_u64_list(text: &str, key: &str) -> Result<Vec<u64>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|t| t.parse::<u64>().map_err(|_| format!("field '{key}' has non-integer item {t:?}")))
+        .collect()
+}
+
+/// Offline self-validation of a flight-recorder dump file: every line
+/// is a well-formed `flight.dump` header or `flight.trace` event; trace
+/// query ids are unique; step clocks are strictly monotone from 0; the
+/// per-shard lists agree with the shard count and the candidate total;
+/// and per-shard publish seqs are non-decreasing across traces from the
+/// same engine/shard-count group. Returns the number of trace lines.
+pub fn validate_flight_dump(text: &str) -> Result<usize, String> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut ids = BTreeSet::new();
+    // (engine, instance, shard_count) -> per-shard last-seen publish
+    // seq, in flight_seq order (dumps append drains in seq order). The
+    // optional `instance` field separates traces from unrelated engine
+    // instances whose seqs would otherwise conflate.
+    let mut last_seqs: BTreeMap<(String, u64, usize), Vec<u64>> = BTreeMap::new();
+    let mut traces = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let rs = validate_record(line).map_err(|e| format!("line {n}: {e}"))?;
+        if rs.kind != "event" {
+            return Err(format!("line {n}: unexpected kind '{}' in flight dump", rs.kind));
+        }
+        match rs.name.as_str() {
+            "flight.dump" => continue,
+            "flight.trace" => {}
+            other => return Err(format!("line {n}: unexpected event '{other}' in flight dump")),
+        }
+        traces += 1;
+        let doc = parse_json(line).map_err(|e| format!("line {n}: {e}"))?;
+        let id = field_u64(&doc, "query_id").map_err(|e| format!("line {n}: {e}"))?;
+        if !ids.insert(id) {
+            return Err(format!("line {n}: duplicate query_id {id}"));
+        }
+        let steps = field_str(&doc, "steps").map_err(|e| format!("line {n}: {e}"))?;
+        let mut prev_clock: Option<u64> = None;
+        for step in steps.split(',').filter(|s| !s.is_empty()) {
+            let (clock, label) = step
+                .split_once(':')
+                .ok_or_else(|| format!("line {n}: malformed step {step:?}"))?;
+            if label.is_empty() {
+                return Err(format!("line {n}: step {step:?} has an empty label"));
+            }
+            let clock: u64 = clock
+                .parse()
+                .map_err(|_| format!("line {n}: step {step:?} has a non-integer clock"))?;
+            match prev_clock {
+                None if clock != 0 => {
+                    return Err(format!("line {n}: step clock starts at {clock}, not 0"));
+                }
+                Some(p) if clock <= p => {
+                    return Err(format!("line {n}: step clocks not strictly monotone ({p} then {clock})"));
+                }
+                _ => {}
+            }
+            prev_clock = Some(clock);
+        }
+        if prev_clock.is_none() {
+            return Err(format!("line {n}: trace has no steps"));
+        }
+        let engine = field_str(&doc, "engine").map_err(|e| format!("line {n}: {e}"))?.to_string();
+        let shards = field_u64(&doc, "shards").map_err(|e| format!("line {n}: {e}"))? as usize; // lint: allow(lossy-cast) — shard counts are tiny
+        let seqs = parse_u64_list(field_str(&doc, "shard_seqs").map_err(|e| format!("line {n}: {e}"))?, "shard_seqs")
+            .map_err(|e| format!("line {n}: {e}"))?;
+        let gens = parse_u64_list(field_str(&doc, "shard_gens").map_err(|e| format!("line {n}: {e}"))?, "shard_gens")
+            .map_err(|e| format!("line {n}: {e}"))?;
+        let cands = parse_u64_list(
+            field_str(&doc, "shard_candidates").map_err(|e| format!("line {n}: {e}"))?,
+            "shard_candidates",
+        )
+        .map_err(|e| format!("line {n}: {e}"))?;
+        for (key, len) in [("shard_seqs", seqs.len()), ("shard_gens", gens.len()), ("shard_candidates", cands.len())] {
+            if len != shards {
+                return Err(format!("line {n}: {key} has {len} items for {shards} shards"));
+            }
+        }
+        if gens.contains(&0) {
+            return Err(format!("line {n}: shard generation 0 (generations start at 1)"));
+        }
+        let total = field_u64(&doc, "candidates").map_err(|e| format!("line {n}: {e}"))?;
+        let sum: u64 = cands.iter().sum();
+        if total != sum {
+            return Err(format!("line {n}: candidates {total} != per-shard sum {sum}"));
+        }
+        let instance = match doc.get("fields").and_then(|f| f.get("instance")) {
+            Some(_) => field_u64(&doc, "instance").map_err(|e| format!("line {n}: {e}"))?,
+            None => 0,
+        };
+        let entry =
+            last_seqs.entry((engine, instance, shards)).or_insert_with(|| vec![0; shards]);
+        for (shard, (&seq, last)) in seqs.iter().zip(entry.iter_mut()).enumerate() {
+            if seq < *last {
+                return Err(format!(
+                    "line {n}: shard {shard} publish seq went backwards ({last} then {seq})"
+                ));
+            }
+            *last = seq;
+        }
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_fields(id: u64, seqs: &str, cands: &[u64]) -> (&'static str, Vec<Field>) {
+        let total: u64 = cands.iter().sum();
+        let cand_list = cands.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let gens = cands.iter().map(|_| "1").collect::<Vec<_>>().join(",");
+        (
+            "flight.trace",
+            vec![
+                ("query_id", id.into()),
+                ("strategy", "mih".into()),
+                ("engine", "sharded".into()),
+                ("shards", (cands.len() as u64).into()),
+                ("candidates", total.into()),
+                ("steps", "0:embed,1:fanout,2:merge,3:record".into()),
+                ("shard_seqs", seqs.to_string().into()),
+                ("shard_gens", gens.into()),
+                ("shard_candidates", cand_list.into()),
+            ],
+        )
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("traj-flight-{tag}-{}-{n}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn ring_captures_drains_and_overwrites_in_order() {
+        let rec = FlightRecorder::new(FlightConfig {
+            capacity: 3,
+            tail_threshold_seconds: 0.0,
+            dump_path: None,
+        });
+        for i in 0..5u64 {
+            assert!(rec.offer(1e-3, || trace_fields(i, "1,2", &[4, 6])));
+        }
+        assert_eq!(rec.captured(), 5);
+        assert_eq!(rec.dropped(), 2);
+        let entries = rec.drain();
+        // Capacity 3: the two oldest were overwritten.
+        assert_eq!(entries.len(), 3);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        // Drained means gone.
+        assert!(rec.drain().is_empty());
+    }
+
+    #[test]
+    fn threshold_filters_at_bucket_granularity() {
+        let rec = FlightRecorder::new(FlightConfig {
+            capacity: 8,
+            tail_threshold_seconds: 1e-3,
+            dump_path: None,
+        });
+        assert!(!rec.qualifies(1e-6));
+        assert!(!rec.qualifies(f64::NAN));
+        assert!(!rec.qualifies(-1.0));
+        assert!(rec.qualifies(1e-3));
+        assert!(rec.qualifies(0.5));
+        let mut built = false;
+        assert!(!rec.offer(1e-6, || {
+            built = true;
+            trace_fields(0, "1", &[1])
+        }));
+        assert!(!built, "build closure must not run for fast queries");
+        assert!(rec.offer(2e-3, || trace_fields(1, "1", &[1])));
+        assert_eq!(rec.drain().len(), 1);
+    }
+
+    #[test]
+    fn force_dump_round_trips_through_the_validator() {
+        let path = temp_path("dump");
+        let rec = FlightRecorder::new(FlightConfig {
+            capacity: 8,
+            tail_threshold_seconds: 0.0,
+            dump_path: Some(path.clone()),
+        });
+        rec.offer(1e-3, || trace_fields(10, "1,1", &[3, 5]));
+        rec.offer(2e-3, || trace_fields(11, "1,2", &[2, 2]));
+        assert_eq!(rec.force_dump("engine.degraded"), 2);
+        // Second dump on an empty ring writes nothing.
+        assert_eq!(rec.force_dump("engine.degraded"), 0);
+
+        // A later dump appends (publish seqs continue non-decreasing).
+        rec.offer(3e-3, || trace_fields(12, "2,2", &[1, 1]));
+        assert_eq!(rec.force_dump("soak.final"), 1);
+
+        let text = std::fs::read_to_string(&path).expect("read dump");
+        let traces = validate_flight_dump(&text).expect("dump validates");
+        assert_eq!(traces, 3);
+        assert!(text.lines().next().expect("header").contains("flight.dump"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validator_rejects_corrupt_dumps() {
+        let good = FlightEntry {
+            seq: 0,
+            name: "flight.trace",
+            fields: trace_fields(1, "1,1", &[2, 3]).1,
+        }
+        .to_json_line();
+        assert_eq!(validate_flight_dump(&good), Ok(1));
+
+        // Duplicate query id.
+        let dup = format!("{good}\n{good}");
+        assert!(validate_flight_dump(&dup).unwrap_err().contains("duplicate query_id"));
+
+        // Candidate total disagrees with the per-shard rows.
+        let bad_total = good.replace("\"candidates\":5", "\"candidates\":9");
+        assert!(validate_flight_dump(&bad_total).unwrap_err().contains("per-shard sum"));
+
+        // Non-monotone step clocks.
+        let bad_steps = good.replace("0:embed,1:fanout", "0:embed,0:fanout");
+        assert!(validate_flight_dump(&bad_steps).unwrap_err().contains("monotone"));
+
+        // Publish seq going backwards within a shard.
+        let older = FlightEntry {
+            seq: 1,
+            name: "flight.trace",
+            fields: trace_fields(2, "0,1", &[2, 3]).1,
+        }
+        .to_json_line();
+        let regress = format!("{good}\n{older}");
+        assert!(validate_flight_dump(&regress).unwrap_err().contains("went backwards"));
+
+        // Shard list length mismatch.
+        let short = FlightEntry {
+            seq: 2,
+            name: "flight.trace",
+            fields: trace_fields(3, "1", &[2, 3]).1,
+        }
+        .to_json_line();
+        assert!(validate_flight_dump(&short).unwrap_err().contains("shard_seqs"));
+
+        // Foreign lines don't belong in a dump.
+        assert!(validate_flight_dump("{\"kind\":\"counter\",\"name\":\"c\",\"value\":1}")
+            .unwrap_err()
+            .contains("unexpected"));
+        assert!(validate_flight_dump("not json").is_err());
+    }
+
+    #[test]
+    fn global_install_offer_and_poison_dump_guard() {
+        // The only test touching the global flight slot (keeps parallel
+        // tests from interfering, mirroring the recorder-slot test).
+        let path = temp_path("global");
+        assert!(!installed());
+        offer(1.0, || panic!("must not build when uninstalled"));
+        assert_eq!(force_dump("noop"), 0);
+        poison_dump("noop"); // no recorder: harmless
+
+        let rec = install(FlightConfig {
+            capacity: 4,
+            tail_threshold_seconds: 0.0,
+            dump_path: Some(path.clone()),
+        });
+        assert!(installed());
+        offer(1e-3, || trace_fields(100, "1", &[7]));
+        assert_eq!(rec.captured(), 1);
+        poison_dump("obs.lock.poisoned");
+        let text = std::fs::read_to_string(&path).expect("read dump");
+        assert_eq!(validate_flight_dump(&text), Ok(1));
+        assert!(text.contains("obs.lock.poisoned"));
+        assert!(!DUMPING.load(Ordering::SeqCst), "guard must reset after dump");
+
+        uninstall();
+        assert!(!installed());
+        offer(1.0, || panic!("must not build after uninstall"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

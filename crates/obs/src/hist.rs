@@ -54,7 +54,11 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
-fn bucket_of(v: f64) -> usize {
+/// The bucket a finite nonnegative value lands in. Exposed crate-wide
+/// so the flight recorder can compare latencies at bucket granularity
+/// ("lands in the top bucket" is a bucket-index comparison, not a float
+/// threshold).
+pub(crate) fn bucket_of(v: f64) -> usize {
     if v <= MIN_VALUE {
         return 0;
     }
@@ -66,6 +70,11 @@ fn bucket_of(v: f64) -> usize {
 /// Geometric midpoint of bucket `i`, the value quantiles report.
 fn bucket_mid(i: usize) -> f64 {
     MIN_VALUE * ((i as f64 + 0.5) / SUBDIV).exp2()
+}
+
+/// Upper edge of bucket `i` — the Prometheus `le` bound of the bucket.
+fn bucket_upper(i: usize) -> f64 {
+    MIN_VALUE * ((i as f64 + 1.0) / SUBDIV).exp2()
 }
 
 impl Histogram {
@@ -127,12 +136,32 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`) estimated from bucket
-    /// midpoints and clamped into `[min, max]`; 0 when empty.
+    /// midpoints and clamped into `[min, max]`.
+    ///
+    /// Edge policy:
+    ///
+    /// * `q <= 0.0` returns the exact recorded minimum and `q >= 1.0`
+    ///   the exact recorded maximum — never a bucket midpoint, so the
+    ///   extremes round-trip losslessly;
+    /// * an empty histogram (including one that only ever saw
+    ///   non-finite/negative observations, which are quarantined by
+    ///   [`record`](Histogram::record)) reports `0.0` for every
+    ///   quantile, matching [`min`](Histogram::min) and
+    ///   [`max`](Histogram::max);
+    /// * a NaN `q` is treated as `0.0` (the conservative end), so a
+    ///   corrupted quantile request degrades to the minimum rather
+    ///   than propagating NaN into dashboards.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -142,6 +171,17 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// `(upper_edge, count)` for every non-empty bucket, in ascending
+    /// edge order — the raw material for Prometheus `_bucket` series
+    /// (callers accumulate the cumulative `le` counts).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
     }
 
     /// Median.
@@ -237,6 +277,65 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 1e12);
+    }
+
+    #[test]
+    fn quantile_edges_are_exact_min_and_max() {
+        let mut h = Histogram::default();
+        for us in 1..=1000 {
+            h.record(us as f64 * 1e-6);
+        }
+        // q=0 / q=1 return the exact extremes, not bucket midpoints.
+        assert_eq!(h.quantile(0.0), 1e-6);
+        assert_eq!(h.quantile(1.0), 1000e-6);
+        // Out-of-range q clamps to the same exact extremes.
+        assert_eq!(h.quantile(-3.0), 1e-6);
+        assert_eq!(h.quantile(7.0), 1000e-6);
+    }
+
+    #[test]
+    fn quantile_nan_and_degenerate_histograms() {
+        let mut h = Histogram::default();
+        h.record(0.25);
+        h.record(0.75);
+        // NaN q degrades to q=0 (the minimum), never NaN.
+        assert_eq!(h.quantile(f64::NAN), 0.25);
+
+        // Empty histograms report 0 at every q, including the edges.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0.0);
+        }
+
+        // A histogram that only saw quarantined values is still empty.
+        let mut bad = Histogram::default();
+        bad.record(f64::NAN);
+        bad.record(-2.0);
+        bad.record(f64::INFINITY);
+        assert_eq!(bad.count(), 0);
+        assert_eq!(bad.non_finite(), 3);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(bad.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_the_distribution_in_order() {
+        let mut h = Histogram::default();
+        for us in 1..=1000 {
+            h.record(us as f64 * 1e-6);
+        }
+        let buckets: Vec<(f64, u64)> = h.nonzero_buckets().collect();
+        assert!(!buckets.is_empty());
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "edges must ascend: {buckets:?}");
+        }
+        // Every observation sits at or below its bucket's upper edge
+        // (up to one bucket of slack at the top for the max).
+        let top_edge = buckets.last().map(|&(e, _)| e).unwrap_or(0.0);
+        assert!(h.max() <= top_edge * 1.2, "max {} vs edge {top_edge}", h.max());
     }
 
     #[test]

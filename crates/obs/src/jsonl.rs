@@ -36,8 +36,9 @@ use std::sync::Mutex;
 // ---------------------------------------------------------------------
 
 /// Escapes `s` into `out` as JSON string contents (no surrounding
-/// quotes).
-fn escape_into(out: &mut String, s: &str) {
+/// quotes). Shared with the flight recorder's dump writer so both
+/// sinks emit byte-identical line schemas.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -55,7 +56,7 @@ fn escape_into(out: &mut String, s: &str) {
 
 /// Writes an f64 as a JSON value. JSON has no NaN/inf literals, so
 /// non-finite values become `null` — the reader treats them as absent.
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -63,7 +64,7 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
-fn push_value(out: &mut String, v: &Value) {
+pub(crate) fn push_value(out: &mut String, v: &Value) {
     match v {
         Value::U64(x) => {
             let _ = write!(out, "{x}");
@@ -83,7 +84,7 @@ fn push_value(out: &mut String, v: &Value) {
     }
 }
 
-fn push_fields(out: &mut String, fields: &[Field]) {
+pub(crate) fn push_fields(out: &mut String, fields: &[Field]) {
     out.push('{');
     for (i, (k, v)) in fields.iter().enumerate() {
         if i > 0 {
@@ -205,6 +206,10 @@ impl Recorder for JsonlRecorder {
             self.write_line(&line);
         }
         let _ = olock(&self.out).flush();
+    }
+
+    fn aggregates_snapshot(&self) -> Option<Aggregates> {
+        Some(self.aggregates())
     }
 }
 

@@ -42,14 +42,18 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod hist;
 pub mod jsonl;
 pub mod memory;
+pub mod serve;
 pub mod trend;
 
+pub use flight::{FlightConfig, FlightEntry, FlightRecorder};
 pub use hist::Histogram;
 pub use jsonl::{parse_json, validate_record, Json, JsonlRecorder, RecordSummary};
 pub use memory::{Aggregates, EventRecord, InMemoryRecorder, SpanRecord};
+pub use serve::{render_prometheus, validate_exposition, OpsHealth, OpsServer};
 pub use trend::TrendWindow;
 
 use std::cell::RefCell;
@@ -160,6 +164,13 @@ pub trait Recorder: Send + Sync {
     fn span_end(&self, path: &str, seconds: f64, fields: &[Field]);
     /// Flushes buffered output (JSONL metric summaries, file buffers).
     fn flush(&self) {}
+    /// A snapshot of the aggregated counters/gauges/histograms, when
+    /// the sink keeps one. The ops server's `/metrics` endpoint renders
+    /// whatever this returns; sinks without aggregation return `None`
+    /// (the default) and scrape as an empty exposition.
+    fn aggregates_snapshot(&self) -> Option<Aggregates> {
+        None
+    }
 }
 
 /// Number of installed recorders (global slot counts 1, each thread
@@ -177,11 +188,18 @@ thread_local! {
 /// Poison-proof mutex acquisition for recorder internals: a recorder
 /// panicking while holding its own lock must not disable observability
 /// for the rest of the process. This is the obs crate's one sanctioned
-/// `Mutex` acquisition point (traj-lint `no-bare-lock`).
+/// `Mutex` acquisition point (traj-lint `no-bare-lock`). Recovering
+/// from poison means a panic unwound through instrumented code — that
+/// is exactly the moment tail exemplars matter, so the poison arm
+/// force-dumps the flight recorder (re-entrancy-guarded) before
+/// continuing.
 pub(crate) fn olock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+        Err(poisoned) => {
+            flight::poison_dump("obs.lock.poisoned");
+            poisoned.into_inner()
+        }
     }
 }
 
@@ -311,6 +329,13 @@ pub fn flush() {
     if let Some(r) = current() {
         r.flush();
     }
+}
+
+/// A snapshot of the installed recorder's aggregated metrics, if a
+/// recorder is installed and keeps aggregates. This is what the ops
+/// server's `/metrics` endpoint scrapes.
+pub fn snapshot_aggregates() -> Option<Aggregates> {
+    current().and_then(|r| r.aggregates_snapshot())
 }
 
 // ---------------------------------------------------------------------

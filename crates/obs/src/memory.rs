@@ -97,6 +97,18 @@ impl Aggregates {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The last value written to the named gauge, if it was ever set.
+    /// Tests assert on this directly instead of re-parsing JSONL
+    /// summary lines.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation ever landed in it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
     /// Renders the aggregated state as an aligned human-readable block:
     /// counters, gauges, histogram quantiles, per-path span totals, and
     /// per-name event counts.
@@ -226,6 +238,10 @@ impl Recorder for InMemoryRecorder {
         self.records.fetch_add(1, Ordering::Relaxed);
         olock(&self.inner).apply_span(path, seconds, fields);
     }
+
+    fn aggregates_snapshot(&self) -> Option<Aggregates> {
+        Some(self.aggregates())
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +263,10 @@ mod tests {
         let agg = rec.aggregates();
         assert_eq!(agg.counter_value("engine.inserts"), 3);
         assert_eq!(agg.counter_value("never.touched"), 0);
+        assert_eq!(agg.gauge_value("train.val_hr10"), Some(0.625));
+        assert_eq!(agg.gauge_value("never.touched"), None);
+        assert_eq!(agg.histogram("engine.query.mih").map(|h| h.count()), Some(100));
+        assert!(agg.histogram("never.touched").is_none());
         assert_eq!(agg.events_named("train.rollback").count(), 1);
         let ev = agg.events_named("train.rollback").next().expect("event");
         assert_eq!(ev.field("epoch"), Some(&Value::U64(3)));

@@ -78,6 +78,18 @@ pub struct SoakConfig {
     pub faults: Vec<FaultRule>,
     /// Retry/backoff policy for snapshot writes.
     pub retry: RetryPolicy,
+    /// Start the blocking ops HTTP server (`/metrics`, `/healthz`,
+    /// `/traces`) for the duration of the run.
+    pub ops_server: bool,
+    /// TCP port for the ops server (0 = ephemeral; the bound port is
+    /// printed at startup).
+    pub ops_port: u16,
+    /// Flight-recorder ring capacity for tail-latency query traces
+    /// (0 disables the flight recorder entirely).
+    pub flight_capacity: usize,
+    /// Queries at least this slow (seconds) are retained as flight
+    /// exemplars; 0.0 captures everything the ring can hold.
+    pub flight_tail_threshold: f64,
     /// Directory holding the model checkpoint and engine snapshot.
     pub workdir: PathBuf,
     /// Model architecture (shape is frozen for the whole run so every
@@ -121,6 +133,10 @@ impl SoakConfig {
                 FaultRule { when: FaultWhen::Nth(7), fault: WriteFault::SlowWrite { millis: 2 } },
             ],
             retry: RetryPolicy { max_retries: 3, base_backoff_ms: 1, max_backoff_ms: 4 },
+            ops_server: true,
+            ops_port: 0,
+            flight_capacity: 64,
+            flight_tail_threshold: 0.0,
             workdir,
             model: ModelConfig::small(),
         }
@@ -174,6 +190,9 @@ impl SoakConfig {
         if self.shards == 0 {
             return Err("shards must be >= 1".into());
         }
+        if !(self.flight_tail_threshold.is_finite() && self.flight_tail_threshold >= 0.0) {
+            return Err("flight_tail_threshold must be finite and >= 0".into());
+        }
         Ok(())
     }
 }
@@ -215,6 +234,14 @@ mod tests {
 
         let mut c = demo();
         c.shards = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = demo();
+        c.flight_tail_threshold = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = demo();
+        c.flight_tail_threshold = -1.0;
         assert!(c.validate().is_err());
     }
 

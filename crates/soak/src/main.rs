@@ -16,7 +16,12 @@ fn usage() -> ! {
          \n\
          Runs the deterministic demo soak (porto→chengdu drift, write\n\
          faults, degrade drills). Set OBS_JSONL=<path> to export the\n\
-         telemetry stream; the run validates it before exiting."
+         telemetry stream; the run validates it before exiting.\n\
+         \n\
+         Ops surface:\n\
+           --ops-port N   bind the ops HTTP server (/metrics, /healthz,\n\
+                          /traces) to 127.0.0.1:N (default 0 = ephemeral)\n\
+           --no-ops       run without the ops server"
     );
     std::process::exit(2);
 }
@@ -38,6 +43,11 @@ fn parse_args(cfg: &mut SoakConfig) {
                 None => usage(),
             },
             "--no-faults" => cfg.faults.clear(),
+            "--ops-port" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.ops_port = v,
+                None => usage(),
+            },
+            "--no-ops" => cfg.ops_server = false,
             _ => usage(),
         }
     }
@@ -81,6 +91,29 @@ fn main() -> ExitCode {
     if report.final_stats.degraded {
         eprintln!("traj-soak: FAIL — engine ended with degraded strategies");
         failed = true;
+    }
+
+    // Self-validate the flight-recorder dump the run left behind:
+    // unique query ids, monotone step clocks, per-shard publish seqs
+    // that match the published generations.
+    let flight_path = runner.workdir().join("flight.jsonl");
+    if flight_path.exists() {
+        match std::fs::read_to_string(&flight_path) {
+            Ok(text) => match traj_obs::flight::validate_flight_dump(&text) {
+                Ok(n) => println!(
+                    "flight: {n} traces validated ({})",
+                    flight_path.to_string_lossy()
+                ),
+                Err(e) => {
+                    eprintln!("traj-soak: FAIL — bad flight dump: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("traj-soak: FAIL — cannot read flight dump: {e}");
+                failed = true;
+            }
+        }
     }
 
     // Self-validate the JSONL artifact when one was exported.

@@ -10,7 +10,7 @@ use traj2hash::{
 };
 use traj_data::{Dataset, DriftSchedule, DriftingGenerator, Trajectory};
 use traj_engine::{EngineConfig, EngineError, ShardConfig, ShardedEngine, Strategy};
-use traj_obs::TrendWindow;
+use traj_obs::{FlightConfig, OpsHealth, OpsServer, TrendWindow};
 
 use crate::config::SoakConfig;
 use crate::report::{DegradeReason, SoakReport, TickHealth, TickRecord};
@@ -93,6 +93,9 @@ pub struct SoakRunner {
     trained_epochs: usize,
     snapshot_path: PathBuf,
     plan: Arc<FaultPlan>,
+    /// Live health handle the ops server's `/healthz` reads; present
+    /// only while [`run`](SoakRunner::run) has the server up.
+    ops_health: Option<Arc<OpsHealth>>,
     report: SoakReport,
 }
 
@@ -150,6 +153,7 @@ impl SoakRunner {
             trained_epochs,
             snapshot_path,
             plan,
+            ops_health: None,
             report: SoakReport {
                 ticks: 0,
                 inserts: 0,
@@ -180,6 +184,12 @@ impl SoakRunner {
         &self.engine
     }
 
+    /// The run's working directory (checkpoint, engine snapshot, and
+    /// the flight-recorder dump `flight.jsonl`).
+    pub fn workdir(&self) -> &std::path::Path {
+        &self.cfg.workdir
+    }
+
     /// The live corpus in ascending-id order, as `(id, trajectory)`.
     pub fn live_corpus(&self) -> Vec<(u64, Trajectory)> {
         self.live.iter().cloned().collect()
@@ -187,7 +197,44 @@ impl SoakRunner {
 
     /// Runs every tick with the fault plan installed and returns the
     /// report. In-loop failures degrade and recover; they never abort.
+    ///
+    /// For the duration of the run this also stands up the observability
+    /// surface the config asks for: a flight recorder capturing
+    /// tail-latency query traces (dumped to `workdir/flight.jsonl` on
+    /// degradation, refresh failure, and run end) and the blocking ops
+    /// HTTP server serving `/metrics`, `/healthz`, and `/traces`.
     pub fn run(&mut self) -> Result<SoakReport, SoakError> {
+        let flight_installed = self.cfg.flight_capacity > 0;
+        if flight_installed {
+            traj_obs::flight::install(FlightConfig {
+                capacity: self.cfg.flight_capacity,
+                tail_threshold_seconds: self.cfg.flight_tail_threshold,
+                dump_path: Some(self.cfg.workdir.join("flight.jsonl")),
+            });
+        }
+        let mut ops = None;
+        if self.cfg.ops_server {
+            let health = OpsHealth::new();
+            match OpsServer::start(self.cfg.ops_port, Arc::clone(&health)) {
+                Ok(server) => {
+                    traj_obs::event(
+                        "soak.ops.started",
+                        &[("port", u64::from(server.port()).into())],
+                    );
+                    self.ops_health = Some(health);
+                    ops = Some(server);
+                }
+                Err(e) => {
+                    // Serving soak ticks beats serving scrapes: log and
+                    // run without the ops surface.
+                    traj_obs::event(
+                        "soak.ops.failed",
+                        &[("error", e.to_string().into())],
+                    );
+                }
+            }
+        }
+
         let plan = Arc::clone(&self.plan);
         for tick in 1..=self.cfg.ticks {
             let p = Arc::clone(&plan);
@@ -202,6 +249,18 @@ impl SoakRunner {
             .last()
             .map(|r| r.health)
             .unwrap_or(TickHealth::Healthy);
+
+        if flight_installed {
+            // Always leave a dump behind: the tail exemplars of a clean
+            // run are the baseline the next incident is compared to.
+            traj_obs::flight::force_dump("soak.final");
+            traj_obs::flight::uninstall();
+        }
+        if let Some(mut server) = ops {
+            server.shutdown();
+        }
+        self.ops_health = None;
+
         self.report.check_invariants().map_err(SoakError::Config)?;
         Ok(self.report.clone())
     }
@@ -354,6 +413,15 @@ impl SoakRunner {
         } else {
             TickHealth::Healthy
         };
+        if let Some(h) = &self.ops_health {
+            h.set(
+                health.is_healthy(),
+                match health {
+                    TickHealth::Healthy => "healthy",
+                    TickHealth::Degraded(r) => r.name(),
+                },
+            );
+        }
         if !health.is_healthy() {
             self.report.degraded_ticks += 1;
             traj_obs::counter("soak.degraded_ticks", 1);
@@ -411,6 +479,7 @@ impl SoakRunner {
                             ("error", e.to_string().into()),
                         ],
                     );
+                    traj_obs::flight::force_dump("soak.refresh.failed");
                     return;
                 }
             }
@@ -485,6 +554,7 @@ impl SoakRunner {
                         ("error", e.to_string().into()),
                     ],
                 );
+                traj_obs::flight::force_dump("soak.refresh.failed");
                 let m = self.engine.model();
                 let replica = Traj2Hash::from_spec(&m.spec(), &m.params.clone_values());
                 return Err((Box::new(replica), DegradeReason::RefreshIoFailed));
@@ -503,6 +573,7 @@ impl SoakRunner {
                         ("error", e.to_string().into()),
                     ],
                 );
+                traj_obs::flight::force_dump("soak.refresh.failed");
                 return Err((Box::new(replacement.into_model()), DegradeReason::RefreshIoFailed));
             }
         }
@@ -520,6 +591,7 @@ impl SoakRunner {
                         ("error", e.to_string().into()),
                     ],
                 );
+                traj_obs::flight::force_dump("soak.refresh.failed");
                 return Err((Box::new(replacement.into_model()), DegradeReason::SnapshotLoadFailed));
             }
         };

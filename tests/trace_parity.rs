@@ -1,0 +1,209 @@
+//! Per-query traces agree with the engines they observe.
+//!
+//! The tracing layer must be a pure observer: for any corpus and any
+//! shard count, the sharded engine's [`QueryTrace`] fans out across
+//! exactly the configured shard count, its candidate totals reconcile
+//! with [`QueryInfo`], and — for the strategies whose candidate sets
+//! are partition-invariant (`HammingBf`, `EuclideanBf` on the default
+//! brute-force backend, `Table`) — its total equals the unsharded
+//! facade's on the same corpus. `Mih` over-fetches `k + tombstones`
+//! *per shard* and `Hybrid` decides its radius-2 spill per shard, so
+//! their work counts legitimately differ between topologies while the
+//! hit lists stay bit-identical.
+//!
+//! With tracing compiled in but no consumer installed, `query` output
+//! must be byte-identical to `query_traced` and the traces inert.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard};
+use traj_data::{CityParams, Dataset, SplitSizes};
+use traj_engine::{EngineConfig, QueryTrace, ShardConfig, ShardedEngine, Strategy, Traj2HashEngine};
+use traj2hash::{ModelConfig, ModelContext, Traj2Hash};
+
+/// Trace activation is process-global (`traj_obs::enabled()` counts
+/// thread-local recorders too), so tests asserting active vs inert
+/// traces serialize through this gate.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Same deterministic world as the shard parity suite: synthetic city,
+/// untrained tiny model (the model holds `Rc` parameters, so it cannot
+/// be cached in a shared static).
+fn world() -> (Dataset, Traj2Hash) {
+    let sizes = SplitSizes { seeds: 16, validation: 20, corpus: 150, query: 8, database: 90 };
+    let dataset = Dataset::generate(CityParams::test_city(), sizes, 11);
+    let mcfg = ModelConfig::tiny();
+    let ctx = ModelContext::prepare(&dataset.training_visible(), &mcfg, 11);
+    let model = Traj2Hash::new(mcfg, &ctx, 13);
+    (dataset, model)
+}
+
+/// Strategies whose candidate *sets* do not depend on how the corpus is
+/// partitioned; only these may assert facade == sharded totals.
+fn partition_invariant(strategy: Strategy) -> bool {
+    matches!(strategy, Strategy::HammingBf | Strategy::EuclideanBf | Strategy::Table)
+}
+
+fn assert_clock_monotone(trace: &QueryTrace) {
+    assert!(!trace.steps.is_empty(), "active trace must stamp steps");
+    for (i, &(clock, label)) in trace.steps.iter().enumerate() {
+        assert_eq!(clock, i as u64, "step clock must count from 0 ({label})");
+    }
+}
+
+fn check_trace_parity(shards: usize, corpus_len: usize, k: usize, qi: usize) {
+    let _gate = gate();
+    let (dataset, model) = world();
+    let corpus = dataset.database[..corpus_len].to_vec();
+    let flat =
+        Traj2HashEngine::build_from(&model, corpus.clone(), EngineConfig::default()).unwrap();
+    let sharded = ShardedEngine::build_from(
+        &model,
+        corpus,
+        EngineConfig::default(),
+        ShardConfig { shards, fan_out_threads: 0 },
+    )
+    .unwrap();
+    let q = &dataset.query[qi % dataset.query.len()];
+
+    let rec = Arc::new(traj_obs::InMemoryRecorder::default());
+    traj_obs::with_local_recorder(rec, || {
+        let mut ids = std::collections::HashSet::new();
+        for strategy in Strategy::ALL {
+            let (fh, fi, ft) = flat.query_traced(q, k, strategy).unwrap();
+            let (sh, si, st) = sharded.query_traced(q, k, strategy).unwrap();
+            assert_eq!(fh, sh, "{} hits diverged at shards={shards} k={k}", strategy.name());
+            assert!(ft.active && st.active, "recorder installed, traces must be live");
+            assert!(
+                ids.insert(ft.query_id) && ids.insert(st.query_id),
+                "query ids must be process-unique"
+            );
+            assert_eq!(ft.shard_count(), 1, "facade reports one shard row");
+            assert_eq!(
+                st.shard_count(),
+                shards,
+                "{} fan-out must cover every configured shard",
+                strategy.name()
+            );
+            // The trace's totals are the same numbers QueryInfo reports.
+            assert_eq!(ft.candidates(), fi.candidates, "{} facade trace", strategy.name());
+            assert_eq!(st.candidates(), si.candidates, "{} sharded trace", strategy.name());
+            if partition_invariant(strategy) {
+                assert_eq!(
+                    st.candidates(),
+                    ft.candidates(),
+                    "{} candidate total must be partition-invariant at shards={shards}",
+                    strategy.name()
+                );
+            }
+            assert_clock_monotone(&ft);
+            assert_clock_monotone(&st);
+            // Every shard row carries exactly one taxonomy label on a
+            // healthy engine, and pins a live publish seq.
+            for row in ft.shards.iter().chain(&st.shards) {
+                assert_eq!(row.steps.len(), 1, "{:?}", row.steps);
+                assert!(!row.degraded && !row.fallback);
+            }
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn sharded_trace_matches_facade_on_identical_corpora(
+        shards in 1usize..6,
+        corpus_len in 24usize..90,
+        k in 1usize..13,
+        qi in 0usize..64,
+    ) {
+        check_trace_parity(shards, corpus_len, k, qi);
+    }
+}
+
+#[test]
+fn disabled_mode_output_is_byte_identical_and_traces_inert() {
+    let _gate = gate();
+    assert!(
+        !traj_obs::enabled() && !traj_obs::flight::installed(),
+        "no trace consumer may be installed during the disabled-mode check"
+    );
+    let (dataset, model) = world();
+    let flat = Traj2HashEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let sharded = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        ShardConfig { shards: 4, fan_out_threads: 0 },
+    )
+    .unwrap();
+    for q in dataset.query.iter().take(4) {
+        for strategy in Strategy::ALL {
+            for (plain, traced) in [
+                (flat.query(q, 9, strategy).unwrap(), flat.query_traced(q, 9, strategy).unwrap()),
+                (
+                    sharded.query(q, 9, strategy).unwrap(),
+                    sharded.query_traced(q, 9, strategy).unwrap(),
+                ),
+            ] {
+                let (hits, _info, trace) = traced;
+                assert_eq!(plain.len(), hits.len());
+                for (a, b) in plain.iter().zip(&hits) {
+                    assert_eq!(a.id, b.id, "{} ids diverged", strategy.name());
+                    assert_eq!(
+                        a.distance.to_bits(),
+                        b.distance.to_bits(),
+                        "{} distances must be byte-identical",
+                        strategy.name()
+                    );
+                }
+                assert!(!trace.active, "trace must be inert with no consumer installed");
+                assert_eq!(trace.query_id, 0);
+                assert!(trace.steps.is_empty());
+                assert_eq!(trace.shard_count(), 0);
+                assert_eq!(trace.candidates(), 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn degrade_drill_is_visible_in_the_trace_taxonomy() {
+    let _gate = gate();
+    let (dataset, model) = world();
+    let mut sharded = ShardedEngine::build_from(
+        &model,
+        dataset.database.clone(),
+        EngineConfig::default(),
+        ShardConfig { shards: 3, fan_out_threads: 0 },
+    )
+    .unwrap();
+    let q = &dataset.query[0];
+    let rec = Arc::new(traj_obs::InMemoryRecorder::default());
+    traj_obs::with_local_recorder(rec, || {
+        let (_, _, healthy) = sharded.query_traced(q, 5, Strategy::Mih).unwrap();
+        assert!(healthy.shards.iter().all(|r| !r.degraded && r.steps == ["indexed"]));
+        let (_, _, scan) = sharded.query_traced(q, 5, Strategy::HammingBf).unwrap();
+        assert!(scan.shards.iter().all(|r| r.steps == ["designed_scan"]));
+
+        sharded.force_degrade();
+        // Mih lost its index: the scan that answers is a fallback.
+        let (_, _, fb) = sharded.query_traced(q, 5, Strategy::Mih).unwrap();
+        assert!(fb.shards.iter().all(|r| r.degraded && r.steps == ["fallback_scan"]));
+        // HammingBf always scans: degraded, but never a fallback.
+        let (_, _, deg) = sharded.query_traced(q, 5, Strategy::HammingBf).unwrap();
+        assert!(deg.shards.iter().all(|r| r.degraded && r.steps == ["degraded_scan"]));
+
+        assert!(sharded.recover());
+        let (_, _, back) = sharded.query_traced(q, 5, Strategy::Mih).unwrap();
+        assert!(back.shards.iter().all(|r| !r.degraded && r.steps == ["indexed"]));
+    });
+}
